@@ -1,0 +1,53 @@
+// Ablation (DESIGN.md §5): the paper takes the *first* available address
+// in the predicted cluster rather than searching the cluster for the
+// minimum-Hamming match (§3.3.1). This bench quantifies that decision:
+// flips saved by best-in-cluster search vs its added per-write latency.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "placement/clusterer.h"
+
+namespace e2nvm {
+namespace {
+
+constexpr size_t kSegments = 192;
+constexpr size_t kBits = 784;
+constexpr size_t kWrites = 300;
+
+void RunOne(size_t k) {
+  auto ds = workload::MakeMnistLike(kSegments + kWrites, 3);
+  for (bool best : {false, true}) {
+    schemes::Dcw dcw;
+    bench::Rig rig(kSegments, kBits, 0, &dcw);
+    rig.SeedFrom(ds);
+    auto cfg = bench::DefaultModel(kBits, k);
+    core::E2Model model(cfg);
+    auto engine = bench::MakeEngine(rig, &model, best);
+    std::vector<BitVector> stream(ds.items.begin() + kSegments,
+                                  ds.items.end());
+    auto r = bench::RunStream(*engine, *rig.device, stream, 0.95, 7);
+    std::printf("%6zu %12s %14.1f %16.4f\n", k,
+                best ? "best-match" : "first-free", r.FlipsPerWrite(),
+                r.wall_ms / static_cast<double>(r.writes));
+  }
+}
+
+void Run() {
+  bench::PrintBanner("Ablation: DAP acquire policy",
+                     "first-free vs best-in-cluster search");
+  std::printf("%6s %12s %14s %16s\n", "k", "policy", "flips/write",
+              "ms/write");
+  for (size_t k : {4u, 10u, 30u}) RunOne(k);
+  std::printf("\nexpect: best-match saves some flips, but with enough "
+              "clusters the gap is small — supporting the paper's "
+              "first-available choice\n");
+}
+
+}  // namespace
+}  // namespace e2nvm
+
+int main() {
+  e2nvm::Run();
+  return 0;
+}

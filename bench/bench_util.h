@@ -1,0 +1,163 @@
+#ifndef E2NVM_BENCH_BENCH_UTIL_H_
+#define E2NVM_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/e2_model.h"
+#include "core/placement_engine.h"
+#include "index/value_placer.h"
+#include "nvm/controller.h"
+#include "nvm/device.h"
+#include "schemes/schemes.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::bench {
+
+/// A device + controller + (optional) placement engine stack shared by the
+/// figure harnesses.
+struct Rig {
+  Rig(size_t num_segments, size_t segment_bits, uint64_t psi,
+      nvm::WriteScheme* scheme, bool track_bit_wear = false)
+      : num_segments(num_segments) {
+    nvm::DeviceConfig dc;
+    dc.num_segments = num_segments + (psi > 0 ? 1 : 0);
+    dc.segment_bits = segment_bits;
+    dc.track_bit_wear = track_bit_wear;
+    device = std::make_unique<nvm::NvmDevice>(dc);
+    ctrl = std::make_unique<nvm::MemoryController>(device.get(), scheme,
+                                                   num_segments, psi);
+  }
+
+  void SeedFrom(const workload::BitDataset& ds) {
+    auto sized = workload::ResizeItems(ds, ctrl->segment_bits());
+    for (size_t i = 0; i < num_segments; ++i) {
+      ctrl->Seed(i, sized.items[i % sized.items.size()]);
+    }
+  }
+
+  size_t num_segments;
+  std::unique_ptr<nvm::NvmDevice> device;
+  std::unique_ptr<nvm::MemoryController> ctrl;
+};
+
+/// Outcome of streaming writes through a placer.
+struct StreamResult {
+  uint64_t writes = 0;       // Device writes incl. wear-level migrations.
+  uint64_t user_writes = 0;  // Values placed by the workload.
+  uint64_t flips = 0;
+  uint64_t dirty_lines = 0;
+  uint64_t bits_written = 0;
+  double pj = 0;          // PMem write energy over the stream.
+  double total_pj = 0;    // All domains.
+  double wall_ms = 0;     // Host wall-clock of the stream (prediction cost).
+
+  /// Flips per *user* write: migration flips are charged to the user
+  /// writes that triggered them (the paper's per-write metric).
+  double FlipsPerWrite() const {
+    return user_writes ? static_cast<double>(flips) / user_writes : 0;
+  }
+  double FlipsPerDataBit() const {
+    return bits_written ? static_cast<double>(flips) / bits_written : 0;
+  }
+  /// Bits updated per cache-line access (Fig 10's y-axis).
+  double FlipsPerLine() const {
+    return dirty_lines ? static_cast<double>(flips) / dirty_lines : 0;
+  }
+  double PjPerWrite() const {
+    return user_writes ? pj / user_writes : 0;
+  }
+  /// Energy per dirtied cache line (Fig 11's y-axis).
+  double PjPerLine() const {
+    return dirty_lines ? pj / dirty_lines : 0;
+  }
+};
+
+/// Streams `items` through `placer`: every write places one item; with
+/// probability `delete_fraction` a previously placed address is released
+/// afterwards (keeping the pool from draining). Device counters are
+/// deltas over the stream only.
+inline StreamResult RunStream(index::ValuePlacer& placer,
+                              nvm::NvmDevice& device,
+                              const std::vector<BitVector>& items,
+                              double delete_fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> live;
+  nvm::DeviceStats before = device.stats();
+  double pj_before =
+      device.meter().DomainPj(nvm::EnergyDomain::kPmemWrite);
+  double total_before = device.meter().TotalPj();
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t placed = 0;
+  for (const BitVector& item : items) {
+    auto addr = placer.Place(item);
+    if (!addr.ok()) break;
+    ++placed;
+    live.push_back(*addr);
+    if (!live.empty() && rng.NextDouble() < delete_fraction) {
+      size_t idx = rng.NextBounded(live.size());
+      placer.Release(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  StreamResult r;
+  nvm::DeviceStats after = device.stats();
+  r.writes = after.writes - before.writes;
+  r.user_writes = placed;
+  r.flips = after.total_bits_flipped() - before.total_bits_flipped();
+  r.dirty_lines = after.dirty_lines - before.dirty_lines;
+  r.bits_written = after.logical_bits_written - before.logical_bits_written;
+  r.pj = device.meter().DomainPj(nvm::EnergyDomain::kPmemWrite) - pj_before;
+  r.total_pj = device.meter().TotalPj() - total_before;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+/// Builds and bootstraps a placement engine over the whole rig.
+inline std::unique_ptr<core::PlacementEngine> MakeEngine(
+    Rig& rig, placement::ContentClusterer* clusterer,
+    bool search_best = false) {
+  core::PlacementEngine::Config ec;
+  ec.first_segment = 0;
+  ec.num_segments = rig.num_segments;
+  ec.search_best_in_cluster = search_best;
+  auto engine = std::make_unique<core::PlacementEngine>(rig.ctrl.get(),
+                                                        clusterer, ec);
+  Status s = engine->Bootstrap();
+  if (!s.ok()) {
+    std::fprintf(stderr, "engine bootstrap failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return engine;
+}
+
+/// Default E2 model config for a given geometry.
+inline core::E2ModelConfig DefaultModel(size_t input_dim, size_t k,
+                                        uint64_t seed = 42) {
+  core::E2ModelConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.k = k;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 10;
+  cfg.pretrain_epochs = 6;
+  cfg.finetune_rounds = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Prints a header row announcing which paper artifact a bench reproduces.
+inline void PrintBanner(const char* figure, const char* description) {
+  std::printf("### %s — %s\n", figure, description);
+}
+
+}  // namespace e2nvm::bench
+
+#endif  // E2NVM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks for the hot operations on E2-NVM's
+// critical path: Hamming distance, write-scheme encoding, VAE encoding,
+// K-means prediction, and a full Place() (predict + DAP + differential
+// write). These are the per-operation latencies behind the prediction
+// overhead discussed with Figs 4 and 10.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "placement/clusterer.h"
+
+namespace e2nvm {
+namespace {
+
+void BM_HammingDistance(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  BitVector a(bits), b(bits);
+  a.Randomize(rng);
+  b.Randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.HammingDistance(b));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_HammingDistance)->Arg(512)->Arg(2048)->Arg(16384);
+
+void BM_SchemeWrite(benchmark::State& state) {
+  static const char* kNames[] = {"DCW", "FNW", "MinShift", "Captopril"};
+  auto scheme = schemes::MakeScheme(kNames[state.range(0)]);
+  Rng rng(2);
+  BitVector cells(2048), data(2048);
+  cells.Randomize(rng);
+  for (auto _ : state) {
+    data.Randomize(rng);
+    auto r = scheme->Write(0, cells, data);
+    cells = r.stored;
+    benchmark::DoNotOptimize(r.data_bits_flipped);
+  }
+  state.SetLabel(kNames[state.range(0)]);
+}
+BENCHMARK(BM_SchemeWrite)->DenseRange(0, 3);
+
+void BM_VaeEncode(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  ml::VaeConfig cfg;
+  cfg.input_dim = dim;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 10;
+  ml::Vae vae(cfg);
+  std::vector<float> x(dim, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vae.EncodeOne(x));
+  }
+}
+BENCHMARK(BM_VaeEncode)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_KMeansPredict(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  ml::Matrix data(64, dim);
+  for (auto& v : data.data()) v = rng.NextFloat();
+  ml::KMeans km({.k = 20, .max_iters = 5, .seed = 1});
+  if (!km.Fit(data).ok()) return;
+  std::vector<float> probe(dim, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(km.Predict(probe.data(), dim));
+  }
+}
+BENCHMARK(BM_KMeansPredict)->Arg(10)->Arg(512)->Arg(8192);
+
+void BM_EnginePlace(benchmark::State& state) {
+  constexpr size_t kSegments = 128;
+  constexpr size_t kBits = 512;
+  static schemes::Dcw dcw;
+  bench::Rig rig(kSegments, kBits, 0, &dcw);
+  workload::ProtoConfig pc;
+  pc.dim = kBits;
+  pc.num_classes = 4;
+  pc.samples = kSegments + 64;
+  pc.seed = 4;
+  auto ds = workload::MakeProtoDataset(pc);
+  rig.SeedFrom(ds);
+  placement::RawKMeansClusterer clusterer(4, 42, 20);
+  auto engine = bench::MakeEngine(rig, &clusterer);
+  size_t i = 0;
+  std::vector<uint64_t> live;
+  for (auto _ : state) {
+    auto addr = engine->Place(ds.items[i++ % ds.items.size()]);
+    if (addr.ok()) {
+      live.push_back(*addr);
+    }
+    if (!live.empty()) {
+      engine->Release(live.back());
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_EnginePlace);
+
+}  // namespace
+}  // namespace e2nvm
+
+BENCHMARK_MAIN();

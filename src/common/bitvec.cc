@@ -1,0 +1,127 @@
+#include "common/bitvec.h"
+
+#include <algorithm>
+
+namespace e2nvm {
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') v.Set(i, true);
+  }
+  return v;
+}
+
+BitVector BitVector::FromBytes(const uint8_t* data, size_t len) {
+  BitVector v(len * 8);
+  for (size_t i = 0; i < len; ++i) {
+    v.words_[i >> 3] |= uint64_t{data[i]} << ((i & 7) * 8);
+  }
+  return v;
+}
+
+BitVector BitVector::FromFloats(const std::vector<float>& features,
+                                float threshold) {
+  BitVector v(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (features[i] >= threshold) v.Set(i, true);
+  }
+  return v;
+}
+
+size_t BitVector::Popcount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t BitVector::HammingDistance(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+BitVector BitVector::Inverted() const {
+  BitVector v(num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) v.words_[i] = ~words_[i];
+  v.MaskTail();
+  return v;
+}
+
+BitVector BitVector::RotatedLeft(size_t k) const {
+  BitVector v(num_bits_);
+  if (num_bits_ == 0) return v;
+  k %= num_bits_;
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) v.Set((i + k) % num_bits_, true);
+  }
+  return v;
+}
+
+BitVector BitVector::Slice(size_t start, size_t len) const {
+  assert(start + len <= num_bits_);
+  BitVector v(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (Get(start + i)) v.Set(i, true);
+  }
+  return v;
+}
+
+void BitVector::Overlay(size_t start, const BitVector& other) {
+  assert(start + other.size() <= num_bits_);
+  for (size_t i = 0; i < other.size(); ++i) {
+    Set(start + i, other.Get(i));
+  }
+}
+
+BitVector BitVector::Concat(const BitVector& other) const {
+  BitVector v(num_bits_ + other.num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) v.Set(i, true);
+  }
+  for (size_t i = 0; i < other.num_bits_; ++i) {
+    if (other.Get(i)) v.Set(num_bits_ + i, true);
+  }
+  return v;
+}
+
+size_t BitVector::DirtyLines(const BitVector& other, size_t line_bits) const {
+  assert(num_bits_ == other.num_bits_);
+  assert(line_bits > 0);
+  size_t dirty = 0;
+  for (size_t start = 0; start < num_bits_; start += line_bits) {
+    size_t end = std::min(start + line_bits, num_bits_);
+    bool differs = false;
+    for (size_t i = start; i < end && !differs; ++i) {
+      differs = Get(i) != other.Get(i);
+    }
+    if (differs) ++dirty;
+  }
+  return dirty;
+}
+
+std::vector<float> BitVector::ToFloats() const {
+  std::vector<float> out(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) out[i] = Get(i) ? 1.0f : 0.0f;
+  return out;
+}
+
+std::string BitVector::ToString() const {
+  std::string s(num_bits_, '0');
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+void BitVector::MaskTail() {
+  size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace e2nvm

@@ -1,0 +1,159 @@
+#ifndef E2NVM_COMMON_BITVEC_H_
+#define E2NVM_COMMON_BITVEC_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e2nvm {
+
+/// A dense, fixed-size bit string backed by 64-bit words.
+///
+/// BitVector is the unit of content everywhere in this library: memory
+/// segments, values to be written, dataset samples and model inputs are all
+/// bit strings. The class exposes the operations the E2-NVM pipeline needs:
+///  - Hamming distance (popcount over XOR), the placement similarity metric;
+///  - differential-write support (which bits differ, per-cache-line dirtiness);
+///  - conversion to/from float feature vectors for the ML models;
+///  - rotation/inversion, used by the MinShift and Flip-N-Write baselines.
+///
+/// Bits are indexed LSB-first within each word: bit i lives in
+/// word i/64, position i%64.
+class BitVector {
+ public:
+  /// Creates an empty (zero-length) vector.
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Builds a vector from '0'/'1' characters, e.g. "01101". Any other
+  /// character is treated as '0'. Bit 0 is the first character, matching the
+  /// paper's left-to-right list notation [b0, b1, ...].
+  static BitVector FromString(const std::string& bits);
+
+  /// Builds a vector from a byte buffer (`num_bits` <= 8 * len).
+  static BitVector FromBytes(const uint8_t* data, size_t len);
+
+  /// Builds a vector from a float feature vector using `threshold`:
+  /// bit i = (features[i] >= threshold).
+  static BitVector FromFloats(const std::vector<float>& features,
+                              float threshold = 0.5f);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+  size_t num_words() const { return words_.size(); }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Reads bit `i`; requires i < size().
+  bool Get(size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` to `value`; requires i < size().
+  void Set(size_t i, bool value) {
+    assert(i < num_bits_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Number of set bits.
+  size_t Popcount() const;
+
+  /// Number of differing bits between *this and `other`; both must have the
+  /// same size. This is the similarity metric of the paper (§1).
+  size_t HammingDistance(const BitVector& other) const;
+
+  /// Returns a vector with every bit inverted (used by Flip-N-Write).
+  BitVector Inverted() const;
+
+  /// Returns this vector rotated left by `k` bit positions (used by
+  /// MinShift-style schemes). Rotation is modulo size().
+  BitVector RotatedLeft(size_t k) const;
+
+  /// Extracts bits [start, start+len) into a new vector.
+  BitVector Slice(size_t start, size_t len) const;
+
+  /// Overwrites bits [start, start+other.size()) with `other`.
+  void Overlay(size_t start, const BitVector& other);
+
+  /// Returns the concatenation *this || other.
+  BitVector Concat(const BitVector& other) const;
+
+  /// Number of cache lines of `line_bits` bits that contain at least one
+  /// differing bit vs `other`. Models Optane's write-combining: identical
+  /// cache lines are not re-written by the controller (paper §2.2).
+  size_t DirtyLines(const BitVector& other, size_t line_bits) const;
+
+  /// Converts to a float vector (0.0f / 1.0f per bit) for model input.
+  std::vector<float> ToFloats() const;
+
+  /// Renders as a '0'/'1' string (bit 0 first).
+  std::string ToString() const;
+
+  /// Fills with uniformly random bits drawn from `next_u64` (a callable
+  /// returning uint64_t). Templated to avoid coupling to a concrete RNG.
+  template <typename Rng>
+  void Randomize(Rng& rng) {
+    for (auto& w : words_) w = rng.NextU64();
+    MaskTail();
+  }
+
+  /// Flips exactly `n` distinct randomly-chosen bits; `n <= size()`.
+  /// Used to synthesize content at a controlled Hamming distance (Fig 1).
+  template <typename Rng>
+  void FlipRandomBits(size_t n, Rng& rng) {
+    assert(n <= num_bits_);
+    // Floyd's algorithm for distinct sampling when n is small relative to
+    // size; fall back to a shuffle-free scan otherwise.
+    if (n == 0) return;
+    if (n * 4 <= num_bits_) {
+      // Rejection sampling over a small set.
+      std::vector<uint8_t> taken(num_bits_, 0);
+      size_t flipped = 0;
+      while (flipped < n) {
+        size_t i = rng.NextU64() % num_bits_;
+        if (!taken[i]) {
+          taken[i] = 1;
+          Set(i, !Get(i));
+          ++flipped;
+        }
+      }
+    } else {
+      // Reservoir-style: choose n of num_bits_ positions.
+      size_t remaining = n;
+      for (size_t i = 0; i < num_bits_ && remaining > 0; ++i) {
+        size_t left = num_bits_ - i;
+        if (rng.NextU64() % left < remaining) {
+          Set(i, !Get(i));
+          --remaining;
+        }
+      }
+    }
+  }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  /// Zeroes bits beyond num_bits_ in the last word, preserving the invariant
+  /// that unused tail bits are 0 (required for Popcount / equality).
+  void MaskTail();
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_BITVEC_H_

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace e2nvm {
+
+double Histogram::CdfAt(uint64_t value) const {
+  if (n_ == 0) return 0.0;
+  uint64_t cum = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    cum += c;
+  }
+  return static_cast<double>(cum) / static_cast<double>(n_);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (n_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (const auto& [v, c] : counts_) {
+    cum += c;
+    if (cum >= target) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+double Histogram::Mean() const {
+  if (n_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [v, c] : counts_) {
+    s += static_cast<double>(v) * static_cast<double>(c);
+  }
+  return s / static_cast<double>(n_);
+}
+
+uint64_t Histogram::Min() const {
+  return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+uint64_t Histogram::Max() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::CdfSeries() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  out.reserve(counts_.size());
+  uint64_t cum = 0;
+  for (const auto& [v, c] : counts_) {
+    cum += c;
+    out.emplace_back(v, static_cast<double>(cum) / static_cast<double>(n_));
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << Mean() << " min=" << Min()
+     << " p50=" << Quantile(0.5) << " p90=" << Quantile(0.9)
+     << " p99=" << Quantile(0.99) << " max=" << Max();
+  return os.str();
+}
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::Stddev() const { return std::sqrt(Variance()); }
+
+}  // namespace e2nvm

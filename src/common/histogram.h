@@ -1,0 +1,79 @@
+#ifndef E2NVM_COMMON_HISTOGRAM_H_
+#define E2NVM_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace e2nvm {
+
+/// Exact integer-valued histogram used to build the wear CDFs of Figure 19
+/// ("P(address written <= 10) = 81%") and latency distributions. Counts are
+/// kept per distinct value, which is fine for write counts (small domains).
+class Histogram {
+ public:
+  /// Records one observation of `value`.
+  void Add(uint64_t value) {
+    ++counts_[value];
+    ++n_;
+  }
+
+  /// Records `weight` observations of `value`.
+  void AddN(uint64_t value, uint64_t weight) {
+    counts_[value] += weight;
+    n_ += weight;
+  }
+
+  /// Total number of observations.
+  uint64_t count() const { return n_; }
+
+  /// Empirical P(X <= value). Returns 0 if empty.
+  double CdfAt(uint64_t value) const;
+
+  /// Smallest v such that P(X <= v) >= q, for q in (0, 1]. Returns 0 if
+  /// empty.
+  uint64_t Quantile(double q) const;
+
+  double Mean() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  /// Returns (value, cumulative probability) pairs covering the support,
+  /// suitable for printing a CDF series.
+  std::vector<std::pair<uint64_t, double>> CdfSeries() const;
+
+  /// Renders a one-line summary: n/mean/min/p50/p90/p99/max.
+  std::string Summary() const;
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t n_ = 0;
+};
+
+/// Streaming mean/min/max/stddev accumulator for real-valued series
+/// (energy per operation, latency, loss).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double Variance() const;
+  double Stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#ifndef E2NVM_COMMON_LOGGING_H_
+#define E2NVM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace e2nvm {
+
+/// Severity for E2_LOG. Messages below the compile-time threshold
+/// (E2NVM_MIN_LOG_LEVEL, default INFO) are compiled out of hot paths.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+inline const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace internal_logging
+
+#ifndef E2NVM_MIN_LOG_LEVEL
+#define E2NVM_MIN_LOG_LEVEL 1  // kInfo
+#endif
+
+/// printf-style logging: E2_LOG(kInfo, "trained %zu epochs", n).
+#define E2_LOG(level, ...)                                                   \
+  do {                                                                       \
+    if (static_cast<int>(::e2nvm::LogLevel::level) >= E2NVM_MIN_LOG_LEVEL) { \
+      std::fprintf(stderr, "[%s %s:%d] ",                                    \
+                   ::e2nvm::internal_logging::LevelName(                     \
+                       ::e2nvm::LogLevel::level),                            \
+                   __FILE__, __LINE__);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+    }                                                                        \
+  } while (false)
+
+/// Fatal check: aborts with a message when `cond` is false. Used for
+/// programmer errors (API contract violations), not runtime failures —
+/// those return Status.
+#define E2_CHECK(cond, ...)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::fprintf(stderr, "[FATAL %s:%d] check failed: %s — ",    \
+                   __FILE__, __LINE__, #cond);                     \
+      std::fprintf(stderr, __VA_ARGS__);                           \
+      std::fprintf(stderr, "\n");                                  \
+      std::abort();                                                \
+    }                                                              \
+  } while (false)
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_LOGGING_H_

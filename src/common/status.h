@@ -1,0 +1,165 @@
+#ifndef E2NVM_COMMON_STATUS_H_
+#define E2NVM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace e2nvm {
+
+/// Canonical error codes, modeled after absl::StatusCode. The library does
+/// not use C++ exceptions; every fallible operation returns a Status or a
+/// StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kDataLoss,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight result-of-an-operation value: an error code plus an
+/// explanatory message. `Status::Ok()` carries no message and is cheap to
+/// copy. Follows the Google style guide's "no exceptions" rule.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`. The message
+  /// should describe the failure for a human operator, not for parsing.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers mirroring the canonical codes.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" for logging.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The union of a Status and a value of type T: holds T iff `ok()`.
+/// Accessing `value()` on a non-OK StatusOr aborts (assert), matching the
+/// contract of absl::StatusOr in hardened builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK result). Implicit by design so
+  /// `return value;` works in functions returning StatusOr<T>.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. Must not be OK: an OK
+  /// StatusOr requires a value.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define E2_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::e2nvm::Status e2_status_ = (expr);         \
+    if (!e2_status_.ok()) return e2_status_;     \
+  } while (false)
+
+#define E2_INTERNAL_CONCAT_INNER(a, b) a##b
+#define E2_INTERNAL_CONCAT(a, b) E2_INTERNAL_CONCAT_INNER(a, b)
+#define E2_INTERNAL_ASSIGN_OR_RETURN(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+/// Evaluates `rexpr` (a StatusOr) and either assigns its value to `lhs` or
+/// propagates the error.
+#define E2_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  E2_INTERNAL_ASSIGN_OR_RETURN(                                         \
+      E2_INTERNAL_CONCAT(e2_statusor_, __LINE__), lhs, rexpr)
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_STATUS_H_

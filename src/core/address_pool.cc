@@ -1,0 +1,82 @@
+#include "core/address_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace e2nvm::core {
+
+void DynamicAddressPool::Insert(size_t cluster, uint64_t addr) {
+  E2_CHECK(cluster < lists_.size(), "cluster %zu out of range", cluster);
+  std::lock_guard<std::mutex> lock(mu_);
+  lists_[cluster].push_back(addr);
+  ++total_free_;
+}
+
+std::optional<uint64_t> DynamicAddressPool::Acquire(size_t cluster) {
+  E2_CHECK(cluster < lists_.size(), "cluster %zu out of range", cluster);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t c = cluster;
+  if (lists_[c].empty()) {
+    c = LargestClusterLocked();
+    if (lists_[c].empty()) return std::nullopt;
+  }
+  uint64_t addr = lists_[c].front();
+  lists_[c].pop_front();
+  --total_free_;
+  return addr;
+}
+
+size_t DynamicAddressPool::LargestClusterLocked() const {
+  size_t best = 0;
+  size_t best_size = 0;
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    if (lists_[c].size() > best_size) {
+      best_size = lists_[c].size();
+      best = c;
+    }
+  }
+  return best;
+}
+
+size_t DynamicAddressPool::FreeCount(size_t cluster) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lists_[cluster].size();
+}
+
+size_t DynamicAddressPool::TotalFree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_free_;
+}
+
+size_t DynamicAddressPool::MinClusterFree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t mn = SIZE_MAX;
+  for (const auto& l : lists_) mn = std::min(mn, l.size());
+  return mn == SIZE_MAX ? 0 : mn;
+}
+
+size_t DynamicAddressPool::MemoryFootprintBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // 8 bytes per stored address plus fixed per-cluster list headers.
+  return total_free_ * sizeof(uint64_t) +
+         lists_.size() * (sizeof(std::deque<uint64_t>) + 64);
+}
+
+std::vector<uint64_t> DynamicAddressPool::AllFree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(total_free_);
+  for (const auto& l : lists_) {
+    out.insert(out.end(), l.begin(), l.end());
+  }
+  return out;
+}
+
+void DynamicAddressPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l : lists_) l.clear();
+  total_free_ = 0;
+}
+
+}  // namespace e2nvm::core

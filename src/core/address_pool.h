@@ -1,0 +1,102 @@
+#ifndef E2NVM_CORE_ADDRESS_POOL_H_
+#define E2NVM_CORE_ADDRESS_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace e2nvm::core {
+
+/// The Cluster-to-Memory Dynamic Address Pool (DAP, §3.3.1): a map from
+/// cluster id to the list of free segment addresses predicted to belong to
+/// that cluster.
+///
+///  - PUT pops an address from the predicted cluster (the paper takes the
+///    *first* available address — "we just take the first available
+///    address in the cluster knowing that it will have a very similar
+///    content"; see AcquireBest for the search-within-cluster ablation);
+///  - DELETE recycles the freed address into the cluster its content now
+///    belongs to;
+///  - when a cluster's free list drains below a threshold the store
+///    triggers background retraining (§4.1.4).
+///
+/// Thread-safe: all mutators take an internal mutex (the paper: "we
+/// utilize thread-safe methods ... for the data structures that maintain
+/// address pools and mapping").
+class DynamicAddressPool {
+ public:
+  explicit DynamicAddressPool(size_t num_clusters)
+      : lists_(num_clusters) {}
+
+  size_t num_clusters() const { return lists_.size(); }
+
+  /// Adds a free address to `cluster` (initial population and DELETE
+  /// recycling).
+  void Insert(size_t cluster, uint64_t addr);
+
+  /// Pops the first free address of `cluster`. If the cluster is empty,
+  /// falls back to the non-empty cluster with the most free addresses
+  /// (so the pool never fails while any address is free).
+  /// Returns nullopt only when the whole pool is empty.
+  std::optional<uint64_t> Acquire(size_t cluster);
+
+  /// Ablation of the paper's first-available decision: scans the cluster's
+  /// free list for the address whose current content (provided by `peek`)
+  /// minimizes Hamming distance to `data`, at O(cluster size) cost.
+  /// `peek(addr)` must return the segment's logical content.
+  template <typename PeekFn>
+  std::optional<uint64_t> AcquireBest(size_t cluster, const BitVector& data,
+                                      PeekFn&& peek) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t c = cluster;
+    if (lists_[c].empty()) {
+      c = LargestClusterLocked();
+      if (lists_[c].empty()) return std::nullopt;
+    }
+    size_t best_i = 0;
+    size_t best_d = SIZE_MAX;
+    for (size_t i = 0; i < lists_[c].size(); ++i) {
+      size_t d = peek(lists_[c][i]).HammingDistance(data);
+      if (d < best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    uint64_t addr = lists_[c][best_i];
+    lists_[c].erase(lists_[c].begin() +
+                    static_cast<std::ptrdiff_t>(best_i));
+    --total_free_;
+    return addr;
+  }
+
+  size_t FreeCount(size_t cluster) const;
+  size_t TotalFree() const;
+  /// Smallest free-list size across clusters — the retrain trigger input.
+  size_t MinClusterFree() const;
+
+  /// Approximate DRAM footprint of the pool (Fig 7): per-address entry
+  /// plus per-cluster list overhead.
+  size_t MemoryFootprintBytes() const;
+
+  /// Snapshot of every free address across clusters (used to gather the
+  /// training set for re-training).
+  std::vector<uint64_t> AllFree() const;
+
+  /// Drops all lists (before re-population after retraining).
+  void Clear();
+
+ private:
+  size_t LargestClusterLocked() const;
+
+  mutable std::mutex mu_;
+  std::vector<std::deque<uint64_t>> lists_;
+  size_t total_free_ = 0;
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_ADDRESS_POOL_H_

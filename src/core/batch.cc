@@ -1,0 +1,97 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+namespace e2nvm::core {
+
+Status BatchWriter::Put(uint64_t key, const BitVector& value) {
+  if (value.size() > batch_bits_) {
+    return Status::InvalidArgument("value wider than the batch");
+  }
+  if (value.empty()) {
+    return Status::InvalidArgument("empty value");
+  }
+  // Supersede any previous version.
+  DropPlaced(key);
+  for (auto it = staged_order_.begin(); it != staged_order_.end(); ++it) {
+    if (it->first == key) {
+      // Restage: old staged bytes become dead space in the buffer (they
+      // flush as padding and are never referenced again).
+      staged_order_.erase(it);
+      break;
+    }
+  }
+  if (staged_bits_ + value.size() > batch_bits_) {
+    E2_RETURN_IF_ERROR(Flush());
+  }
+  return PutStaged(key, value);
+}
+
+Status BatchWriter::PutStaged(uint64_t key, const BitVector& value) {
+  if (staging_.size() != batch_bits_) {
+    staging_ = BitVector(batch_bits_);
+    staged_bits_ = 0;
+  }
+  staging_.Overlay(staged_bits_, value);
+  staged_order_.emplace_back(key,
+                             std::make_pair(staged_bits_, value.size()));
+  staged_bits_ += value.size();
+  return Status::Ok();
+}
+
+Status BatchWriter::Flush() {
+  if (staged_order_.empty()) return Status::Ok();
+  E2_ASSIGN_OR_RETURN(uint64_t addr, placer_->Place(staging_));
+  ++batches_placed_;
+  BatchInfo& info = batches_[addr];
+  for (auto& [key, span] : staged_order_) {
+    locations_[key] = Location{addr, span.first, span.second};
+    ++info.live;
+  }
+  staged_order_.clear();
+  staging_ = BitVector(batch_bits_);
+  staged_bits_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<BitVector> BatchWriter::Get(uint64_t key) {
+  for (auto& [k, span] : staged_order_) {
+    if (k == key) {
+      return staging_.Slice(span.first, span.second);
+    }
+  }
+  auto it = locations_.find(key);
+  if (it == locations_.end()) return Status::NotFound("key not found");
+  const Location& loc = it->second;
+  BitVector batch = placer_->Read(loc.addr, loc.offset + loc.bits);
+  return batch.Slice(loc.offset, loc.bits);
+}
+
+void BatchWriter::DropPlaced(uint64_t key) {
+  auto it = locations_.find(key);
+  if (it == locations_.end()) return;
+  uint64_t addr = it->second.addr;
+  locations_.erase(it);
+  auto bit = batches_.find(addr);
+  if (bit != batches_.end() && --bit->second.live == 0) {
+    batches_.erase(bit);
+    (void)placer_->Release(addr);
+    ++segments_reclaimed_;
+  }
+}
+
+Status BatchWriter::Delete(uint64_t key) {
+  for (auto it = staged_order_.begin(); it != staged_order_.end(); ++it) {
+    if (it->first == key) {
+      staged_order_.erase(it);
+      return Status::Ok();
+    }
+  }
+  if (locations_.find(key) == locations_.end()) {
+    return Status::NotFound("key not found");
+  }
+  DropPlaced(key);
+  return Status::Ok();
+}
+
+}  // namespace e2nvm::core

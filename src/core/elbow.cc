@@ -1,0 +1,23 @@
+#include "core/elbow.h"
+
+#include "ml/kmeans.h"
+
+namespace e2nvm::core {
+
+ElbowResult SweepK(const ml::Matrix& latent, size_t k_min, size_t k_max,
+                   uint64_t seed) {
+  ElbowResult out;
+  for (size_t k = k_min; k <= k_max && k <= latent.rows(); ++k) {
+    ml::KMeans km({.k = k, .max_iters = 50, .seed = seed});
+    if (!km.Fit(latent).ok()) break;
+    out.ks.push_back(k);
+    out.sse.push_back(km.Sse(latent));
+  }
+  if (!out.sse.empty()) {
+    size_t idx = ml::FindElbow(out.sse) - 1;  // FindElbow is 1-based.
+    if (idx < out.ks.size()) out.best_k = out.ks[idx];
+  }
+  return out;
+}
+
+}  // namespace e2nvm::core

@@ -1,0 +1,26 @@
+#ifndef E2NVM_CORE_ELBOW_H_
+#define E2NVM_CORE_ELBOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace e2nvm::core {
+
+/// Result of a K sweep for the elbow method (Fig 8).
+struct ElbowResult {
+  std::vector<size_t> ks;
+  std::vector<double> sse;  // SSE(X, Pi) per Eq. 1 for each K.
+  size_t best_k = 1;        // The knee of the SSE curve.
+};
+
+/// Runs K-means over `latent` for K in [k_min, k_max] and locates the
+/// elbow — the paper's procedure for picking the number of clusters
+/// before training the full model (§4.1.4, Eq. 1).
+ElbowResult SweepK(const ml::Matrix& latent, size_t k_min, size_t k_max,
+                   uint64_t seed = 42);
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_ELBOW_H_

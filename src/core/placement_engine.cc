@@ -1,0 +1,224 @@
+#include "core/placement_engine.h"
+
+#include "common/logging.h"
+#include "nvm/energy.h"
+
+namespace e2nvm::core {
+
+PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
+                                 placement::ContentClusterer* clusterer,
+                                 const Config& config)
+    : ctrl_(ctrl),
+      clusterer_(clusterer),
+      config_(config),
+      pool_(clusterer->num_clusters()),
+      policy_(config.retrain) {}
+
+std::string_view PlacementEngine::name() const {
+  return clusterer_->name();
+}
+
+void PlacementEngine::SetPadder(const Padder* padder, ml::Lstm* lstm) {
+  padder_ = padder;
+  pad_lstm_ = lstm;
+}
+
+Status PlacementEngine::Bootstrap() {
+  const size_t n = config_.num_segments;
+  const size_t dim = ctrl_->segment_bits();
+  if (n == 0) return Status::InvalidArgument("engine manages no segments");
+  ml::Matrix contents(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    BitVector bits = ctrl_->Peek(config_.first_segment + i);
+    for (size_t d = 0; d < dim; ++d) {
+      contents(i, d) = bits.Get(d) ? 1.0f : 0.0f;
+    }
+  }
+  E2_RETURN_IF_ERROR(clusterer_->Train(contents));
+  stats_.train_flops += clusterer_->LastTrainFlops();
+  // Charge model training to the CPU energy domain and the clock.
+  const nvm::EnergyModel& em = ctrl_->device().energy_model();
+  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
+                                 em.CpuPj(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().AdvanceTime(
+      em.CpuNs(clusterer_->LastTrainFlops()));
+
+  pool_.Clear();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> feats(dim);
+    BitVector bits = ctrl_->Peek(config_.first_segment + i);
+    for (size_t d = 0; d < dim; ++d) {
+      feats[d] = bits.Get(d) ? 1.0f : 0.0f;
+    }
+    pool_.Insert(clusterer_->PredictCluster(feats),
+                 config_.first_segment + i);
+  }
+  policy_.OnRetrain();
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+Status PlacementEngine::Retrain() {
+  std::vector<uint64_t> free_addrs = pool_.AllFree();
+  if (free_addrs.size() < clusterer_->num_clusters()) {
+    return Status::FailedPrecondition(
+        "too few free segments to retrain on");
+  }
+  const size_t dim = ctrl_->segment_bits();
+  ml::Matrix contents(free_addrs.size(), dim);
+  for (size_t i = 0; i < free_addrs.size(); ++i) {
+    BitVector bits = ctrl_->Peek(free_addrs[i]);
+    for (size_t d = 0; d < dim; ++d) {
+      contents(i, d) = bits.Get(d) ? 1.0f : 0.0f;
+    }
+  }
+  E2_RETURN_IF_ERROR(clusterer_->Train(contents));
+  stats_.train_flops += clusterer_->LastTrainFlops();
+  const nvm::EnergyModel& em = ctrl_->device().energy_model();
+  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
+                                 em.CpuPj(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().AdvanceTime(
+      em.CpuNs(clusterer_->LastTrainFlops()));
+
+  pool_.Clear();
+  for (size_t i = 0; i < free_addrs.size(); ++i) {
+    std::vector<float> feats(dim);
+    for (size_t d = 0; d < dim; ++d) feats[d] = contents(i, d);
+    pool_.Insert(clusterer_->PredictCluster(feats), free_addrs[i]);
+  }
+  ++stats_.retrains;
+  policy_.OnRetrain();
+  return Status::Ok();
+}
+
+Status PlacementEngine::ExtendRegion(size_t extra) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("engine not bootstrapped");
+  }
+  uint64_t start = config_.first_segment + config_.num_segments;
+  if (start + extra > ctrl_->num_logical()) {
+    return Status::OutOfRange("extension exceeds the controller's space");
+  }
+  const size_t dim = ctrl_->segment_bits();
+  for (size_t i = 0; i < extra; ++i) {
+    BitVector bits = ctrl_->Peek(start + i);
+    std::vector<float> feats(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      feats[d] = bits.Get(d) ? 1.0f : 0.0f;
+    }
+    ChargePrediction();
+    pool_.Insert(clusterer_->PredictCluster(feats), start + i);
+  }
+  config_.num_segments += extra;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<float>> PlacementEngine::Featurize(
+    const BitVector& value) {
+  const size_t dim = ctrl_->segment_bits();
+  seen_ones_ += value.Popcount();
+  seen_bits_ += value.size();
+  if (value.size() == dim) return value.ToFloats();
+  if (padder_ == nullptr) {
+    // Default: zero-extend at the end.
+    BitVector full(dim);
+    full.Overlay(0, value);
+    return full.ToFloats();
+  }
+  PaddingContext ctx;
+  ctx.dataset_ones_ratio =
+      seen_bits_ ? static_cast<double>(seen_ones_) /
+                       static_cast<double>(seen_bits_)
+                 : 0.5;
+  // Memory-based ratio: density of the whole managed region's cells.
+  uint64_t mem_ones = 0;
+  uint64_t mem_bits = 0;
+  // Sample up to 64 segments to keep the estimate cheap.
+  size_t stride = std::max<size_t>(1, config_.num_segments / 64);
+  for (size_t i = 0; i < config_.num_segments; i += stride) {
+    BitVector bits = ctrl_->Peek(config_.first_segment + i);
+    mem_ones += bits.Popcount();
+    mem_bits += bits.size();
+  }
+  ctx.memory_ones_ratio =
+      mem_bits ? static_cast<double>(mem_ones) /
+                     static_cast<double>(mem_bits)
+               : 0.5;
+  ctx.lstm = pad_lstm_;
+  ctx.rng = &pad_rng_;
+  E2_ASSIGN_OR_RETURN(BitVector padded, padder_->Pad(value, ctx));
+  return padded.ToFloats();
+}
+
+void PlacementEngine::ChargePrediction() {
+  const nvm::EnergyModel& em = ctrl_->device().energy_model();
+  double flops = clusterer_->PredictFlops();
+  stats_.predict_flops += flops;
+  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
+                                 em.CpuPj(flops));
+  ctrl_->device().meter().AdvanceTime(em.CpuNs(flops));
+}
+
+StatusOr<size_t> PlacementEngine::PredictClusterFor(const BitVector& value) {
+  E2_ASSIGN_OR_RETURN(std::vector<float> feats, Featurize(value));
+  ChargePrediction();
+  return clusterer_->PredictCluster(feats);
+}
+
+StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("engine not bootstrapped");
+  }
+  if (value.size() > ctrl_->segment_bits()) {
+    return Status::InvalidArgument("value wider than a segment");
+  }
+  E2_ASSIGN_OR_RETURN(std::vector<float> feats, Featurize(value));
+  ChargePrediction();
+  size_t cluster = clusterer_->PredictCluster(feats);
+
+  std::optional<uint64_t> addr;
+  if (config_.search_best_in_cluster) {
+    addr = pool_.AcquireBest(cluster, value, [&](uint64_t a) {
+      return ctrl_->Peek(a).Slice(0, value.size());
+    });
+  } else {
+    size_t before = pool_.FreeCount(cluster);
+    addr = pool_.Acquire(cluster);
+    if (addr.has_value() && before == 0) ++stats_.fallback_acquires;
+  }
+  if (!addr.has_value()) {
+    return Status::ResourceExhausted("address pool empty");
+  }
+  nvm::WriteResult r = index::MergeWrite(*ctrl_, *addr, value);
+  ++stats_.placements;
+  policy_.RecordWrite(r.total_bits_flipped(), value.size());
+  if (config_.auto_retrain && policy_.ShouldRetrain(pool_)) {
+    Status s = Retrain();
+    if (!s.ok()) {
+      E2_LOG(kWarning, "auto-retrain skipped: %s", s.ToString().c_str());
+    }
+  }
+  return *addr;
+}
+
+Status PlacementEngine::Release(uint64_t addr) {
+  // Algorithm 2: the freed address's *content* decides the cluster it is
+  // recycled into.
+  BitVector content = ctrl_->Peek(addr);
+  ChargePrediction();
+  size_t cluster = clusterer_->PredictCluster(content.ToFloats());
+  pool_.Insert(cluster, addr);
+  ++stats_.releases;
+  return Status::Ok();
+}
+
+BitVector PlacementEngine::Read(uint64_t addr, size_t bits) {
+  return ctrl_->Read(addr).Slice(0, bits);
+}
+
+Status PlacementEngine::WriteAt(uint64_t addr, const BitVector& value) {
+  index::MergeWrite(*ctrl_, addr, value);
+  return Status::Ok();
+}
+
+}  // namespace e2nvm::core

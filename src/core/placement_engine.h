@@ -1,0 +1,131 @@
+#ifndef E2NVM_CORE_PLACEMENT_ENGINE_H_
+#define E2NVM_CORE_PLACEMENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/address_pool.h"
+#include "core/padding.h"
+#include "core/retrain.h"
+#include "index/value_placer.h"
+#include "nvm/controller.h"
+#include "placement/clusterer.h"
+
+namespace e2nvm::core {
+
+/// Statistics of a placement engine's lifetime.
+struct EngineStats {
+  uint64_t placements = 0;
+  uint64_t releases = 0;
+  uint64_t retrains = 0;
+  uint64_t fallback_acquires = 0;  // Cluster empty, fell back.
+  double predict_flops = 0;
+  double train_flops = 0;
+};
+
+/// The heart of E2-NVM (§3.3): content-aware placement of value writes.
+///
+///   Place(value):  pad -> encode -> cluster -> pop a free address of that
+///                  cluster from the DAP -> differential write (Alg. 1)
+///   Release(addr): re-encode the address's current content and recycle it
+///                  into the matching cluster's free list (Alg. 2)
+///
+/// The engine implements index::ValuePlacer so any data structure can be
+/// "plugged into" it (Fig 12). It owns the DAP and the retraining policy;
+/// the clusterer (E2Model or a PNW baseline) and the controller are
+/// borrowed. CPU costs of prediction and training are charged to the
+/// device's energy meter so software overhead shows up in the energy
+/// experiments (Figs 8, 16, 18).
+class PlacementEngine : public index::ValuePlacer {
+ public:
+  struct Config {
+    /// Segment range [first_segment, first_segment + num_segments) the
+    /// engine manages; all of it starts free.
+    uint64_t first_segment = 0;
+    size_t num_segments = 0;
+    /// Ablation: search the predicted cluster's list for the
+    /// minimum-Hamming address instead of taking the first (§3.3.1).
+    bool search_best_in_cluster = false;
+    /// Retrain synchronously inside Place when the policy fires. The
+    /// paper retrains lazily in the background; synchronous retraining is
+    /// equivalent for energy/flip accounting and keeps the simulation
+    /// single-threaded and deterministic.
+    bool auto_retrain = false;
+    RetrainPolicy::Config retrain;
+  };
+
+  PlacementEngine(nvm::MemoryController* ctrl,
+                  placement::ContentClusterer* clusterer,
+                  const Config& config);
+
+  /// Trains the clusterer on the current contents of every managed (free)
+  /// segment and populates the DAP. Must be called once before Place.
+  Status Bootstrap();
+
+  /// Re-trains on the contents of the currently free segments and rebuilds
+  /// the DAP. Callable any time after Bootstrap.
+  Status Retrain();
+
+  /// Incremental indexing (§4.1.4: "instead of indexing the whole NVM
+  /// device at the beginning, a dynamic incremental approach can be
+  /// adopted, which starts by indexing a portion of the memory, and as
+  /// time progresses, more addresses ... are added incrementally to
+  /// DAP"). Extends the managed region by `extra` free segments directly
+  /// above the current one, classifying each with the existing model (no
+  /// retraining). Requires a prior Bootstrap.
+  Status ExtendRegion(size_t extra);
+
+  /// True when the retrain policy wants a rebuild.
+  bool RetrainNeeded() const { return policy_.ShouldRetrain(pool_); }
+
+  /// Optional padding for values narrower than the model input
+  /// (§4: the padded bits are used only for prediction). The padder and
+  /// LSTM must outlive the engine.
+  void SetPadder(const Padder* padder, ml::Lstm* lstm);
+
+  // --- index::ValuePlacer ---
+  std::string_view name() const override;
+  StatusOr<uint64_t> Place(const BitVector& value) override;
+  Status Release(uint64_t addr) override;
+  BitVector Read(uint64_t addr, size_t bits) override;
+  Status WriteAt(uint64_t addr, const BitVector& value) override;
+  size_t FreeCount() const override { return pool_.TotalFree(); }
+
+  /// Cluster the engine would choose for `value` (no side effects beyond
+  /// CPU accounting) — used by tests and the padding experiments.
+  StatusOr<size_t> PredictClusterFor(const BitVector& value);
+
+  const DynamicAddressPool& pool() const { return pool_; }
+  /// Mutable pool access for harnesses that drive the acquire/write steps
+  /// themselves (e.g. the Fig 15 oracle control).
+  DynamicAddressPool& mutable_pool() { return pool_; }
+  const EngineStats& stats() const { return stats_; }
+  const RetrainPolicy& policy() const { return policy_; }
+  nvm::MemoryController& ctrl() { return *ctrl_; }
+  placement::ContentClusterer& clusterer() { return *clusterer_; }
+
+ private:
+  /// Pads (if configured) and featurizes a value for the model.
+  StatusOr<std::vector<float>> Featurize(const BitVector& value);
+  void ChargePrediction();
+
+  nvm::MemoryController* ctrl_;
+  placement::ContentClusterer* clusterer_;
+  Config config_;
+  DynamicAddressPool pool_;
+  RetrainPolicy policy_;
+  EngineStats stats_;
+  const Padder* padder_ = nullptr;
+  ml::Lstm* pad_lstm_ = nullptr;
+  Rng pad_rng_{0xBADC0DEDull};
+  // Running 1-bit ratios feeding DB and MB padding.
+  uint64_t seen_ones_ = 0;
+  uint64_t seen_bits_ = 0;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_PLACEMENT_ENGINE_H_

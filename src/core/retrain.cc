@@ -1,0 +1,52 @@
+#include "core/retrain.h"
+
+#include <algorithm>
+
+namespace e2nvm::core {
+
+void RetrainPolicy::RecordWrite(size_t bits_flipped, size_t bits_written) {
+  window_.emplace_back(bits_flipped, bits_written);
+  window_flips_ += bits_flipped;
+  window_bits_ += bits_written;
+  while (window_.size() > config_.window) {
+    auto [f, b] = window_.front();
+    window_.pop_front();
+    window_flips_ -= f;
+    window_bits_ -= b;
+  }
+  ++writes_since_retrain_;
+  if (baseline_ratio_ < 0 &&
+      writes_since_retrain_ >= config_.baseline_writes &&
+      window_bits_ > 0) {
+    baseline_ratio_ = CurrentRatio();
+  }
+}
+
+void RetrainPolicy::OnRetrain() {
+  writes_since_retrain_ = 0;
+  baseline_ratio_ = -1.0;
+  window_.clear();
+  window_flips_ = 0;
+  window_bits_ = 0;
+}
+
+double RetrainPolicy::CurrentRatio() const {
+  if (window_bits_ == 0) return 0.0;
+  return static_cast<double>(window_flips_) /
+         static_cast<double>(window_bits_);
+}
+
+bool RetrainPolicy::ShouldRetrain(const DynamicAddressPool& pool) const {
+  if (pool.MinClusterFree() < config_.min_free_per_cluster) return true;
+  // A perfect (zero-flip) baseline would make any degradation infinite;
+  // floor it so the trigger compares against a meaningful reference.
+  constexpr double kBaselineFloor = 0.01;
+  if (baseline_ratio_ >= 0 && window_.size() >= config_.window &&
+      CurrentRatio() > config_.degradation_factor *
+                           std::max(baseline_ratio_, kBaselineFloor)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace e2nvm::core

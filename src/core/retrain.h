@@ -1,0 +1,61 @@
+#ifndef E2NVM_CORE_RETRAIN_H_
+#define E2NVM_CORE_RETRAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "core/address_pool.h"
+
+namespace e2nvm::core {
+
+/// Decides *when* to rebuild the model and DAP (§4.1.4 and §5.3):
+///
+///  1. capacity trigger — some cluster's free list fell below a minimum
+///     threshold, so the pool is at risk of failing to serve its cluster
+///     ("we set a minimum threshold ... and trigger the re-training
+///     process in the background when one of the clusters reaches it");
+///  2. efficiency trigger — the recent flips-per-bit ratio degraded past
+///     `degradation_factor` times the ratio observed right after the last
+///     (re)training, meaning the model no longer reflects memory content
+///     (the Fig 17 scenario-3/4 situation).
+class RetrainPolicy {
+ public:
+  struct Config {
+    size_t min_free_per_cluster = 2;
+    /// Writes in the moving window used to estimate current efficiency.
+    size_t window = 256;
+    /// Trigger when current ratio > factor * post-train baseline.
+    double degradation_factor = 1.6;
+    /// Writes to collect after a retrain before freezing the baseline.
+    size_t baseline_writes = 128;
+  };
+
+  explicit RetrainPolicy(const Config& config) : config_(config) {}
+
+  /// Records the outcome of one placed write.
+  void RecordWrite(size_t bits_flipped, size_t bits_written);
+
+  /// Marks a completed (re)training; resets the baseline.
+  void OnRetrain();
+
+  /// Combined decision over both triggers.
+  bool ShouldRetrain(const DynamicAddressPool& pool) const;
+
+  /// Current moving-window flips-per-bit (diagnostics).
+  double CurrentRatio() const;
+  double BaselineRatio() const { return baseline_ratio_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::deque<std::pair<size_t, size_t>> window_;  // (flips, bits)
+  size_t window_flips_ = 0;
+  size_t window_bits_ = 0;
+  size_t writes_since_retrain_ = 0;
+  double baseline_ratio_ = -1.0;  // <0 means not yet frozen.
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_RETRAIN_H_

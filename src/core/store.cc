@@ -1,0 +1,84 @@
+#include "core/store.h"
+
+namespace e2nvm::core {
+
+E2KvStore::E2KvStore(const StoreConfig& config) : config_(config) {}
+
+StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
+    const StoreConfig& config) {
+  if (config.num_segments == 0 || config.segment_bits == 0) {
+    return Status::InvalidArgument("empty store geometry");
+  }
+  std::unique_ptr<E2KvStore> store(new E2KvStore(config));
+
+  nvm::DeviceConfig dc;
+  dc.num_segments = config.num_segments + (config.psi > 0 ? 1 : 0);
+  dc.segment_bits = config.segment_bits;
+  dc.track_bit_wear = config.track_bit_wear;
+  dc.pcm = config.pcm;
+  store->device_ =
+      std::make_unique<nvm::NvmDevice>(dc, &store->meter_);
+  store->ctrl_ = std::make_unique<nvm::MemoryController>(
+      store->device_.get(), &store->scheme_, config.num_segments,
+      config.psi);
+
+  E2ModelConfig mc = config.model;
+  mc.input_dim = config.segment_bits;
+  store->model_ = std::make_unique<E2Model>(mc);
+
+  PlacementEngine::Config ec;
+  ec.first_segment = 0;
+  ec.num_segments = config.num_segments;
+  ec.search_best_in_cluster = config.search_best_in_cluster;
+  ec.auto_retrain = config.auto_retrain;
+  ec.retrain = config.retrain;
+  store->engine_ = std::make_unique<PlacementEngine>(
+      store->ctrl_.get(), store->model_.get(), ec);
+  return store;
+}
+
+void E2KvStore::Seed(const workload::BitDataset& contents) {
+  workload::BitDataset sized =
+      workload::ResizeItems(contents, config_.segment_bits);
+  for (size_t i = 0; i < config_.num_segments; ++i) {
+    ctrl_->Seed(i, sized.items[i % sized.items.size()]);
+  }
+}
+
+Status E2KvStore::Bootstrap() { return engine_->Bootstrap(); }
+
+Status E2KvStore::Put(uint64_t key, const BitVector& value) {
+  E2_ASSIGN_OR_RETURN(uint64_t addr, engine_->Place(value));
+  auto old = tree_.Get(key);
+  tree_.Put(key, addr);
+  value_bits_[key] = value.size();
+  if (old.has_value()) {
+    // UPDATE: the previous location is recycled by content (Alg. 2).
+    E2_RETURN_IF_ERROR(engine_->Release(*old));
+  }
+  return Status::Ok();
+}
+
+StatusOr<BitVector> E2KvStore::Get(uint64_t key) {
+  auto addr = tree_.Get(key);
+  if (!addr.has_value()) return Status::NotFound("key not found");
+  return engine_->Read(*addr, value_bits_.at(key));
+}
+
+Status E2KvStore::Delete(uint64_t key) {
+  auto addr = tree_.Erase(key);
+  if (!addr.has_value()) return Status::NotFound("key not found");
+  value_bits_.erase(key);
+  return engine_->Release(*addr);
+}
+
+std::vector<std::pair<uint64_t, BitVector>> E2KvStore::Scan(uint64_t start,
+                                                            size_t count) {
+  std::vector<std::pair<uint64_t, BitVector>> out;
+  for (auto& [key, addr] : tree_.Scan(start, count)) {
+    out.emplace_back(key, engine_->Read(addr, value_bits_.at(key)));
+  }
+  return out;
+}
+
+}  // namespace e2nvm::core

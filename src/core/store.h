@@ -1,0 +1,99 @@
+#ifndef E2NVM_CORE_STORE_H_
+#define E2NVM_CORE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/e2_model.h"
+#include "core/placement_engine.h"
+#include "index/rbtree.h"
+#include "nvm/controller.h"
+#include "nvm/device.h"
+#include "schemes/schemes.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::core {
+
+/// Configuration of a full E2-NVM key-value store instance.
+struct StoreConfig {
+  /// NVM geometry.
+  size_t num_segments = 1024;
+  size_t segment_bits = 2048;
+  /// Wear-leveling period of the underlying controller (0 = disabled;
+  /// the device then gets one extra physical segment for the gap).
+  uint64_t psi = 0;
+  bool track_bit_wear = false;
+  nvm::PcmParams pcm;
+
+  /// Model configuration (input_dim is forced to segment_bits).
+  E2ModelConfig model;
+
+  /// Placement engine knobs.
+  bool search_best_in_cluster = false;
+  bool auto_retrain = false;
+  RetrainPolicy::Config retrain;
+};
+
+/// The persistent key-value store of Fig 3: an RB-tree data index in DRAM,
+/// an NVM device behind a memory controller (DCW write scheme, optional
+/// Start-Gap wear leveling), and the E2-NVM placement engine in between.
+///
+/// Operations implement Algorithms 1 and 2:
+///   PUT/UPDATE: predict cluster -> pop address from DAP -> differential
+///               write -> index update (old address recycled on update);
+///   DELETE:     index lookup -> flag reset -> recycle address by content;
+///   GET/SCAN:   index lookup -> device read.
+class E2KvStore {
+ public:
+  /// Builds the device/controller/model/engine stack. Seed() +
+  /// Bootstrap() must run before operations.
+  static StatusOr<std::unique_ptr<E2KvStore>> Create(
+      const StoreConfig& config);
+
+  /// Seeds device segments with initial content ("old data"), cycling
+  /// through `contents` items resized to the segment width.
+  void Seed(const workload::BitDataset& contents);
+
+  /// Trains the model on the seeded contents and populates the DAP.
+  Status Bootstrap();
+
+  /// Inserts or updates `key`. The value may be narrower than a segment.
+  Status Put(uint64_t key, const BitVector& value);
+
+  StatusOr<BitVector> Get(uint64_t key);
+
+  Status Delete(uint64_t key);
+
+  /// Up to `count` key-value pairs with key >= `start`, in key order.
+  std::vector<std::pair<uint64_t, BitVector>> Scan(uint64_t start,
+                                                   size_t count);
+
+  size_t size() const { return tree_.size(); }
+
+  // --- Introspection for experiments ---
+  nvm::NvmDevice& device() { return *device_; }
+  nvm::MemoryController& controller() { return *ctrl_; }
+  PlacementEngine& engine() { return *engine_; }
+  E2Model& model() { return *model_; }
+  nvm::EnergyMeter& meter() { return meter_; }
+  const index::RbTree& tree() const { return tree_; }
+  const StoreConfig& config() const { return config_; }
+
+ private:
+  explicit E2KvStore(const StoreConfig& config);
+
+  StoreConfig config_;
+  nvm::EnergyMeter meter_;
+  std::unique_ptr<nvm::NvmDevice> device_;
+  schemes::Dcw scheme_;
+  std::unique_ptr<nvm::MemoryController> ctrl_;
+  std::unique_ptr<E2Model> model_;
+  std::unique_ptr<PlacementEngine> engine_;
+  index::RbTree tree_;
+  std::unordered_map<uint64_t, size_t> value_bits_;
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_STORE_H_

@@ -1,0 +1,155 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+
+namespace e2nvm::index {
+
+BpTreeKv::BpTreeKv(nvm::MemoryController* ctrl, const Config& config)
+    : ctrl_(ctrl), config_(config) {}
+
+StatusOr<uint64_t> BpTreeKv::AllocLeafSlots() {
+  if (!free_leaf_bases_.empty()) {
+    uint64_t base = free_leaf_bases_.back();
+    free_leaf_bases_.pop_back();
+    return base;
+  }
+  if (bump_ + config_.leaf_capacity > ctrl_->num_logical()) {
+    return Status::ResourceExhausted("B+Tree out of leaf segments");
+  }
+  uint64_t base = bump_;
+  bump_ += config_.leaf_capacity;
+  return base;
+}
+
+size_t BpTreeKv::FindLeaf(uint64_t key) const {
+  // Last leaf whose first key is <= key (or leaf 0).
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    uint64_t first =
+        leaves_[mid].keys.empty() ? 0 : leaves_[mid].keys.front();
+    if (first <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+void BpTreeKv::ShiftUp(Leaf& leaf, size_t pos) {
+  // Move entries [pos, n) one slot up, last first. Each move is a real
+  // differential NVM write of one value over another.
+  for (size_t j = leaf.keys.size(); j > pos; --j) {
+    BitVector moving =
+        ctrl_->Peek(leaf.base_slot + j - 1).Slice(0, config_.value_bits);
+    MergeWrite(*ctrl_, leaf.base_slot + j, moving);
+  }
+}
+
+void BpTreeKv::ShiftDown(Leaf& leaf, size_t pos) {
+  for (size_t j = pos; j + 1 < leaf.keys.size(); ++j) {
+    BitVector moving =
+        ctrl_->Peek(leaf.base_slot + j + 1).Slice(0, config_.value_bits);
+    MergeWrite(*ctrl_, leaf.base_slot + j, moving);
+  }
+}
+
+Status BpTreeKv::SplitLeaf(size_t leaf_idx) {
+  E2_ASSIGN_OR_RETURN(uint64_t new_base, AllocLeafSlots());
+  Leaf& old_leaf = leaves_[leaf_idx];
+  size_t half = old_leaf.keys.size() / 2;
+  Leaf new_leaf;
+  new_leaf.base_slot = new_base;
+  // Physically copy the upper half into the new leaf's slots.
+  for (size_t j = half; j < old_leaf.keys.size(); ++j) {
+    BitVector moving =
+        ctrl_->Peek(old_leaf.base_slot + j).Slice(0, config_.value_bits);
+    MergeWrite(*ctrl_, new_base + (j - half), moving);
+    new_leaf.keys.push_back(old_leaf.keys[j]);
+  }
+  old_leaf.keys.resize(half);
+  leaves_.insert(leaves_.begin() + static_cast<std::ptrdiff_t>(leaf_idx) + 1,
+                 std::move(new_leaf));
+  return Status::Ok();
+}
+
+Status BpTreeKv::Put(uint64_t key, const BitVector& value) {
+  if (value.size() != config_.value_bits) {
+    return Status::InvalidArgument("value width mismatch");
+  }
+  if (leaves_.empty()) {
+    E2_ASSIGN_OR_RETURN(uint64_t base, AllocLeafSlots());
+    leaves_.push_back(Leaf{base, {}});
+  }
+  size_t li = FindLeaf(key);
+  Leaf* leaf = &leaves_[li];
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it != leaf->keys.end() && *it == key) {
+    // Update in place: no movement.
+    size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+    MergeWrite(*ctrl_, leaf->base_slot + pos, value);
+    return Status::Ok();
+  }
+  if (leaf->keys.size() == config_.leaf_capacity) {
+    E2_RETURN_IF_ERROR(SplitLeaf(li));
+    li = FindLeaf(key);
+    leaf = &leaves_[li];
+    it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  }
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  ShiftUp(*leaf, pos);
+  MergeWrite(*ctrl_, leaf->base_slot + pos, value);
+  leaf->keys.insert(it, key);
+  ++size_;
+  return Status::Ok();
+}
+
+StatusOr<BitVector> BpTreeKv::Get(uint64_t key) {
+  if (leaves_.empty()) return Status::NotFound("empty tree");
+  const Leaf& leaf = leaves_[FindLeaf(key)];
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it == leaf.keys.end() || *it != key) {
+    return Status::NotFound("key not found");
+  }
+  size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+  return ctrl_->Read(leaf.base_slot + pos).Slice(0, config_.value_bits);
+}
+
+Status BpTreeKv::Delete(uint64_t key) {
+  if (leaves_.empty()) return Status::NotFound("empty tree");
+  size_t li = FindLeaf(key);
+  Leaf& leaf = leaves_[li];
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it == leaf.keys.end() || *it != key) {
+    return Status::NotFound("key not found");
+  }
+  size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+  ShiftDown(leaf, pos);
+  leaf.keys.erase(it);
+  --size_;
+  if (leaf.keys.empty() && leaves_.size() > 1) {
+    free_leaf_bases_.push_back(leaf.base_slot);
+    leaves_.erase(leaves_.begin() + static_cast<std::ptrdiff_t>(li));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<uint64_t, BitVector>> BpTreeKv::Scan(uint64_t start,
+                                                           size_t count) {
+  std::vector<std::pair<uint64_t, BitVector>> out;
+  if (leaves_.empty()) return out;
+  for (size_t li = FindLeaf(start); li < leaves_.size() && out.size() < count;
+       ++li) {
+    const Leaf& leaf = leaves_[li];
+    for (size_t j = 0; j < leaf.keys.size() && out.size() < count; ++j) {
+      if (leaf.keys[j] < start) continue;
+      out.emplace_back(
+          leaf.keys[j],
+          ctrl_->Read(leaf.base_slot + j).Slice(0, config_.value_bits));
+    }
+  }
+  return out;
+}
+
+}  // namespace e2nvm::index

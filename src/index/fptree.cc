@@ -1,0 +1,156 @@
+#include "index/fptree.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace e2nvm::index {
+
+FpTreeKv::FpTreeKv(nvm::MemoryController* ctrl, const Config& config)
+    : ctrl_(ctrl), config_(config) {}
+
+uint8_t FpTreeKv::Fingerprint(uint64_t key) {
+  return static_cast<uint8_t>(Fnv1a64(&key, sizeof(key)) & 0xFF);
+}
+
+StatusOr<uint64_t> FpTreeKv::AllocLeafSlots() {
+  if (!free_leaf_bases_.empty()) {
+    uint64_t base = free_leaf_bases_.back();
+    free_leaf_bases_.pop_back();
+    return base;
+  }
+  if (bump_ + config_.leaf_capacity > ctrl_->num_logical()) {
+    return Status::ResourceExhausted("FPTree out of leaf segments");
+  }
+  uint64_t base = bump_;
+  bump_ += config_.leaf_capacity;
+  return base;
+}
+
+size_t FpTreeKv::FindLeaf(uint64_t key) const {
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (leaves_[mid].min_key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+Status FpTreeKv::SplitLeaf(size_t leaf_idx) {
+  E2_ASSIGN_OR_RETURN(uint64_t new_base, AllocLeafSlots());
+  Leaf& old_leaf = leaves_[leaf_idx];
+
+  // Median key splits the unsorted leaf.
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+    if (old_leaf.bitmap[i]) keys.push_back(old_leaf.slot_keys[i]);
+  }
+  std::sort(keys.begin(), keys.end());
+  uint64_t median = keys[keys.size() / 2];
+
+  Leaf new_leaf;
+  new_leaf.base_slot = new_base;
+  new_leaf.min_key = median;
+  new_leaf.bitmap.assign(config_.leaf_capacity, false);
+  new_leaf.fps.assign(config_.leaf_capacity, 0);
+  new_leaf.slot_keys.assign(config_.leaf_capacity, 0);
+
+  size_t next = 0;
+  for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+    if (!old_leaf.bitmap[i] || old_leaf.slot_keys[i] < median) continue;
+    // Copy the value segment into the new leaf (a real NVM write), then
+    // clear the old slot's bitmap bit (no movement in the old leaf).
+    BitVector moving =
+        ctrl_->Peek(old_leaf.base_slot + i).Slice(0, config_.value_bits);
+    MergeWrite(*ctrl_, new_base + next, moving);
+    new_leaf.bitmap[next] = true;
+    new_leaf.fps[next] = Fingerprint(old_leaf.slot_keys[i]);
+    new_leaf.slot_keys[next] = old_leaf.slot_keys[i];
+    ++next;
+    old_leaf.bitmap[i] = false;
+  }
+  leaves_.insert(leaves_.begin() + static_cast<std::ptrdiff_t>(leaf_idx) + 1,
+                 std::move(new_leaf));
+  return Status::Ok();
+}
+
+Status FpTreeKv::Put(uint64_t key, const BitVector& value) {
+  if (value.size() != config_.value_bits) {
+    return Status::InvalidArgument("value width mismatch");
+  }
+  if (leaves_.empty()) {
+    E2_ASSIGN_OR_RETURN(uint64_t base, AllocLeafSlots());
+    Leaf leaf;
+    leaf.base_slot = base;
+    leaf.min_key = 0;
+    leaf.bitmap.assign(config_.leaf_capacity, false);
+    leaf.fps.assign(config_.leaf_capacity, 0);
+    leaf.slot_keys.assign(config_.leaf_capacity, 0);
+    leaves_.push_back(std::move(leaf));
+  }
+  size_t li = FindLeaf(key);
+  Leaf* leaf = &leaves_[li];
+  uint8_t fp = Fingerprint(key);
+
+  // Fingerprint-guided search for an existing entry.
+  for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+    if (leaf->bitmap[i] && leaf->fps[i] == fp &&
+        leaf->slot_keys[i] == key) {
+      MergeWrite(*ctrl_, leaf->base_slot + i, value);  // In-place update.
+      return Status::Ok();
+    }
+  }
+  // First free slot; split if full.
+  auto first_free = [&]() -> std::optional<size_t> {
+    for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+      if (!leaf->bitmap[i]) return i;
+    }
+    return std::nullopt;
+  };
+  auto slot = first_free();
+  if (!slot) {
+    E2_RETURN_IF_ERROR(SplitLeaf(li));
+    li = FindLeaf(key);
+    leaf = &leaves_[li];
+    slot = first_free();
+    if (!slot) return Status::Internal("no free slot after split");
+  }
+  MergeWrite(*ctrl_, leaf->base_slot + *slot, value);
+  leaf->bitmap[*slot] = true;
+  leaf->fps[*slot] = fp;
+  leaf->slot_keys[*slot] = key;
+  ++size_;
+  return Status::Ok();
+}
+
+StatusOr<BitVector> FpTreeKv::Get(uint64_t key) {
+  if (leaves_.empty()) return Status::NotFound("empty tree");
+  const Leaf& leaf = leaves_[FindLeaf(key)];
+  uint8_t fp = Fingerprint(key);
+  for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+    if (leaf.bitmap[i] && leaf.fps[i] == fp && leaf.slot_keys[i] == key) {
+      return ctrl_->Read(leaf.base_slot + i).Slice(0, config_.value_bits);
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+Status FpTreeKv::Delete(uint64_t key) {
+  if (leaves_.empty()) return Status::NotFound("empty tree");
+  Leaf& leaf = leaves_[FindLeaf(key)];
+  uint8_t fp = Fingerprint(key);
+  for (size_t i = 0; i < config_.leaf_capacity; ++i) {
+    if (leaf.bitmap[i] && leaf.fps[i] == fp && leaf.slot_keys[i] == key) {
+      leaf.bitmap[i] = false;  // Bitmap clear; no value movement.
+      --size_;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+}  // namespace e2nvm::index

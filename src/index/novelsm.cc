@@ -1,0 +1,201 @@
+#include "index/novelsm.h"
+
+#include <algorithm>
+
+namespace e2nvm::index {
+
+NoveLsmKv::NoveLsmKv(nvm::MemoryController* ctrl, const Config& config)
+    : ctrl_(ctrl), config_(config) {
+  memtable_base_ = bump_;
+  bump_ += config_.memtable_entries;
+  memtable_slot_used_.assign(config_.memtable_entries, false);
+}
+
+StatusOr<uint64_t> NoveLsmKv::AllocRegion(size_t slots) {
+  auto it = free_regions_.lower_bound(slots);
+  if (it != free_regions_.end()) {
+    uint64_t base = it->second;
+    size_t cap = it->first;
+    free_regions_.erase(it);
+    if (cap > slots) {
+      free_regions_.emplace(cap - slots, base + slots);
+    }
+    return base;
+  }
+  if (bump_ + slots > ctrl_->num_logical()) {
+    return Status::ResourceExhausted("NoveLSM out of run segments");
+  }
+  uint64_t base = bump_;
+  bump_ += slots;
+  return base;
+}
+
+void NoveLsmKv::FreeRegion(uint64_t base, size_t slots) {
+  if (slots > 0) free_regions_.emplace(slots, base);
+}
+
+Status NoveLsmKv::Put(uint64_t key, const BitVector& value) {
+  if (value.size() != config_.value_bits) {
+    return Status::InvalidArgument("value width mismatch");
+  }
+  auto it = memtable_.find(key);
+  size_t slot;
+  if (it != memtable_.end()) {
+    slot = it->second.first;  // Overwrite the memtable entry in place.
+    it->second.second = false;
+  } else {
+    if (memtable_.size() == config_.memtable_entries) {
+      E2_RETURN_IF_ERROR(Flush());
+    }
+    // First free memtable slot.
+    slot = 0;
+    while (slot < config_.memtable_entries && memtable_slot_used_[slot]) {
+      ++slot;
+    }
+    memtable_slot_used_[slot] = true;
+    memtable_[key] = {slot, false};
+  }
+  MergeWrite(*ctrl_, memtable_base_ + slot, value);
+  return Status::Ok();
+}
+
+Status NoveLsmKv::Flush() {
+  ++flushes_;
+  // Write memtable entries (sorted by key — std::map order) into a new run.
+  size_t live = 0;
+  for (const auto& [k, v] : memtable_) {
+    if (!v.second) ++live;
+  }
+  size_t entries = memtable_.size();
+  E2_ASSIGN_OR_RETURN(uint64_t base, AllocRegion(entries));
+  Run run;
+  run.base_slot = base;
+  run.capacity = entries;
+  size_t pos = 0;
+  for (const auto& [key, sv] : memtable_) {
+    BitVector value = ctrl_->Peek(memtable_base_ + sv.first)
+                          .Slice(0, config_.value_bits);
+    MergeWrite(*ctrl_, base + pos, value);
+    run.keys.push_back(key);
+    run.tombstone.push_back(sv.second);
+    ++pos;
+  }
+  (void)live;
+  memtable_.clear();
+  std::fill(memtable_slot_used_.begin(), memtable_slot_used_.end(), false);
+  runs_.push_back(std::move(run));
+  if (runs_.size() > config_.max_runs) {
+    E2_RETURN_IF_ERROR(Compact());
+  }
+  return Status::Ok();
+}
+
+Status NoveLsmKv::Compact() {
+  ++compactions_;
+  // Newest-wins merge of all runs.
+  std::map<uint64_t, std::pair<BitVector, bool>> merged;
+  for (const Run& run : runs_) {  // Oldest first; later runs overwrite.
+    for (size_t i = 0; i < run.keys.size(); ++i) {
+      merged[run.keys[i]] = {
+          ctrl_->Peek(run.base_slot + i).Slice(0, config_.value_bits),
+          run.tombstone[i]};
+    }
+  }
+  // Drop tombstones at the bottom level.
+  for (auto it = merged.begin(); it != merged.end();) {
+    if (it->second.second) {
+      it = merged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  E2_ASSIGN_OR_RETURN(uint64_t base, AllocRegion(merged.size()));
+  Run out;
+  out.base_slot = base;
+  out.capacity = merged.size();
+  size_t pos = 0;
+  for (auto& [key, vb] : merged) {
+    MergeWrite(*ctrl_, base + pos, vb.first);
+    out.keys.push_back(key);
+    out.tombstone.push_back(false);
+    ++pos;
+  }
+  for (const Run& run : runs_) {
+    FreeRegion(run.base_slot, run.capacity);
+  }
+  runs_.clear();
+  runs_.push_back(std::move(out));
+  return Status::Ok();
+}
+
+StatusOr<BitVector> NoveLsmKv::Get(uint64_t key) {
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (it->second.second) return Status::NotFound("deleted");
+    return ctrl_->Read(memtable_base_ + it->second.first)
+        .Slice(0, config_.value_bits);
+  }
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    const Run& run = *rit;
+    auto kit = std::lower_bound(run.keys.begin(), run.keys.end(), key);
+    if (kit != run.keys.end() && *kit == key) {
+      size_t pos = static_cast<size_t>(kit - run.keys.begin());
+      if (run.tombstone[pos]) return Status::NotFound("deleted");
+      return ctrl_->Read(run.base_slot + pos)
+          .Slice(0, config_.value_bits);
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+Status NoveLsmKv::Delete(uint64_t key) {
+  // LSM delete = tombstone write in the memtable. Real LSMs write blind
+  // tombstones; for interface parity with the other structures we first
+  // verify the key is live (a DRAM-side metadata check, no device read).
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (it->second.second) return Status::NotFound("already deleted");
+    it->second.second = true;
+    return Status::Ok();
+  }
+  bool live = false;
+  for (auto rit = runs_.rbegin(); rit != runs_.rend() && !live; ++rit) {
+    auto kit = std::lower_bound(rit->keys.begin(), rit->keys.end(), key);
+    if (kit != rit->keys.end() && *kit == key) {
+      size_t pos = static_cast<size_t>(kit - rit->keys.begin());
+      if (rit->tombstone[pos]) break;  // Newest version is a tombstone.
+      live = true;
+    }
+  }
+  if (!live) return Status::NotFound("key not found");
+  if (memtable_.size() == config_.memtable_entries) {
+    E2_RETURN_IF_ERROR(Flush());
+  }
+  size_t slot = 0;
+  while (slot < config_.memtable_entries && memtable_slot_used_[slot]) {
+    ++slot;
+  }
+  memtable_slot_used_[slot] = true;
+  memtable_[key] = {slot, true};
+  return Status::Ok();
+}
+
+size_t NoveLsmKv::size() const {
+  // Approximate: distinct keys across memtable and runs minus tombstones.
+  std::map<uint64_t, bool> seen;
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    for (size_t i = 0; i < rit->keys.size(); ++i) {
+      seen.emplace(rit->keys[i], rit->tombstone[i]);
+    }
+  }
+  for (const auto& [k, sv] : memtable_) {
+    seen[k] = sv.second;
+  }
+  size_t n = 0;
+  for (const auto& [k, dead] : seen) {
+    if (!dead) ++n;
+  }
+  return n;
+}
+
+}  // namespace e2nvm::index

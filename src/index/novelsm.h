@@ -1,0 +1,73 @@
+#ifndef E2NVM_INDEX_NOVELSM_H_
+#define E2NVM_INDEX_NOVELSM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/nvm_index.h"
+#include "index/value_placer.h"
+#include "nvm/controller.h"
+
+namespace e2nvm::index {
+
+/// NoveLSM-style LSM tree (Kannan et al. [25]): a *persistent NVM
+/// memtable* absorbs writes in place; when it fills it is flushed into a
+/// sorted immutable run on NVM, and when too many runs accumulate they
+/// are merge-compacted into one. Flush and compaction physically rewrite
+/// value segments — LSM write amplification made visible as bit flips.
+///
+/// Regions (memtable and runs) are fixed-size groups of segments managed
+/// by a free-list, so compaction reuses retired regions and overwrites
+/// their stale contents differentially, as on a real device.
+class NoveLsmKv : public NvmKvIndex {
+ public:
+  struct Config {
+    size_t memtable_entries = 64;
+    size_t max_runs = 4;  // Compaction trigger.
+    size_t value_bits = 2048;
+  };
+
+  NoveLsmKv(nvm::MemoryController* ctrl, const Config& config);
+
+  std::string_view name() const override { return "NoveLSM"; }
+  Status Put(uint64_t key, const BitVector& value) override;
+  StatusOr<BitVector> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  size_t size() const override;
+
+  uint64_t flushes() const { return flushes_; }
+  uint64_t compactions() const { return compactions_; }
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  struct Run {
+    uint64_t base_slot;
+    size_t capacity;
+    std::vector<uint64_t> keys;        // Sorted.
+    std::vector<bool> tombstone;       // Parallel to keys.
+  };
+
+  StatusOr<uint64_t> AllocRegion(size_t slots);
+  void FreeRegion(uint64_t base, size_t slots);
+  Status Flush();
+  Status Compact();
+
+  nvm::MemoryController* ctrl_;
+  Config config_;
+
+  // Persistent memtable: key -> slot within the memtable region.
+  uint64_t memtable_base_ = 0;
+  std::map<uint64_t, std::pair<size_t, bool>> memtable_;  // slot, tombstone
+  std::vector<bool> memtable_slot_used_;
+
+  std::vector<Run> runs_;  // Newest last.
+  uint64_t bump_ = 0;
+  std::multimap<size_t, uint64_t> free_regions_;  // size -> base
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace e2nvm::index
+
+#endif  // E2NVM_INDEX_NOVELSM_H_

@@ -1,0 +1,45 @@
+#ifndef E2NVM_INDEX_NVM_INDEX_H_
+#define E2NVM_INDEX_NVM_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bitvec.h"
+#include "common/status.h"
+
+namespace e2nvm::index {
+
+/// Common interface of the NVM-resident key-value structures compared in
+/// Fig 12 (B+-Tree [9], Path Hashing [54], FP-Tree [45], WiscKey [35],
+/// NoveLSM [25]). Each implementation exists in two modes:
+///
+///  - *native*: values live inline in the structure's own NVM layout,
+///    so structural maintenance (sorted-leaf shifting, splits, log
+///    appends, LSM flush/compaction) rewrites value segments — the write
+///    pattern that determines each structure's bit-flip profile;
+///  - *augmented* ("plugged into E2-NVM"): the structure keeps key ->
+///    address pointers in DRAM and delegates every value write to a
+///    ValuePlacer, so E2-NVM chooses a similar-content segment and
+///    structural maintenance moves only pointers.
+class NvmKvIndex {
+ public:
+  virtual ~NvmKvIndex() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Inserts or updates.
+  virtual Status Put(uint64_t key, const BitVector& value) = 0;
+
+  /// Point lookup.
+  virtual StatusOr<BitVector> Get(uint64_t key) = 0;
+
+  /// Removes a key.
+  virtual Status Delete(uint64_t key) = 0;
+
+  /// Number of live keys.
+  virtual size_t size() const = 0;
+};
+
+}  // namespace e2nvm::index
+
+#endif  // E2NVM_INDEX_NVM_INDEX_H_

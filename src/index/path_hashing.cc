@@ -1,0 +1,85 @@
+#include "index/path_hashing.h"
+
+#include "common/rng.h"
+
+namespace e2nvm::index {
+
+size_t PathHashingKv::TotalCells(const Config& config) {
+  size_t total = 0;
+  for (size_t l = 0; l < config.levels; ++l) {
+    size_t cells = config.root_cells >> l;
+    if (cells == 0) break;
+    total += cells;
+  }
+  return total;
+}
+
+PathHashingKv::PathHashingKv(nvm::MemoryController* ctrl,
+                             const Config& config)
+    : ctrl_(ctrl), config_(config) {
+  size_t offset = 0;
+  for (size_t l = 0; l < config_.levels; ++l) {
+    size_t cells = config_.root_cells >> l;
+    if (cells == 0) {
+      config_.levels = l;
+      break;
+    }
+    level_offset_.push_back(offset);
+    offset += cells;
+  }
+  cells_.resize(offset);
+}
+
+size_t PathHashingKv::Candidate(uint64_t key, size_t level) const {
+  uint64_t salted = key ^ (0x9E3779B97F4A7C15ull * (level + 1));
+  uint64_t h = Fnv1a64(&salted, sizeof(salted));
+  size_t cells = config_.root_cells >> level;
+  return level_offset_[level] + (h & (cells - 1));
+}
+
+std::optional<size_t> PathHashingKv::FindCell(uint64_t key) const {
+  for (size_t l = 0; l < config_.levels; ++l) {
+    size_t c = Candidate(key, l);
+    if (cells_[c].occupied && cells_[c].key == key) return c;
+  }
+  return std::nullopt;
+}
+
+Status PathHashingKv::Put(uint64_t key, const BitVector& value) {
+  if (value.size() != config_.value_bits) {
+    return Status::InvalidArgument("value width mismatch");
+  }
+  // Update in place if present.
+  if (auto cell = FindCell(key)) {
+    MergeWrite(*ctrl_, *cell, value);
+    return Status::Ok();
+  }
+  // First unoccupied candidate along the path.
+  for (size_t l = 0; l < config_.levels; ++l) {
+    size_t c = Candidate(key, l);
+    if (!cells_[c].occupied) {
+      cells_[c].occupied = true;
+      cells_[c].key = key;
+      MergeWrite(*ctrl_, c, value);
+      ++size_;
+      return Status::Ok();
+    }
+  }
+  return Status::ResourceExhausted("path hashing: all candidates occupied");
+}
+
+StatusOr<BitVector> PathHashingKv::Get(uint64_t key) {
+  auto cell = FindCell(key);
+  if (!cell) return Status::NotFound("key not found");
+  return ctrl_->Read(*cell).Slice(0, config_.value_bits);
+}
+
+Status PathHashingKv::Delete(uint64_t key) {
+  auto cell = FindCell(key);
+  if (!cell) return Status::NotFound("key not found");
+  cells_[*cell].occupied = false;  // Flag reset only; no movement.
+  --size_;
+  return Status::Ok();
+}
+
+}  // namespace e2nvm::index

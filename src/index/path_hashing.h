@@ -1,0 +1,63 @@
+#ifndef E2NVM_INDEX_PATH_HASHING_H_
+#define E2NVM_INDEX_PATH_HASHING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "index/nvm_index.h"
+#include "index/value_placer.h"
+#include "nvm/controller.h"
+
+namespace e2nvm::index {
+
+/// Path Hashing (Zuo & Hua [54]): a write-friendly NVM hash scheme. The
+/// table is an inverted complete binary tree of cells: a key hashes to a
+/// root-level cell and, on collision, may fall through to one of the
+/// log-depth "path" cells below it. No insertion ever moves an existing
+/// item (unlike cuckoo displacement), which is exactly its write-friendly
+/// property: each PUT writes one value segment.
+///
+/// Levels: level 0 has `root_cells` cells; level l has root_cells >> l,
+/// down to `levels - 1`. A key's candidate at level l is derived from a
+/// per-level hash; the first unoccupied candidate wins.
+class PathHashingKv : public NvmKvIndex {
+ public:
+  struct Config {
+    size_t root_cells = 1024;  // Power of two.
+    size_t levels = 5;
+    size_t value_bits = 2048;
+  };
+
+  PathHashingKv(nvm::MemoryController* ctrl, const Config& config);
+
+  std::string_view name() const override { return "PathHashing"; }
+  Status Put(uint64_t key, const BitVector& value) override;
+  StatusOr<BitVector> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  size_t size() const override { return size_; }
+
+  /// Total cells across levels (device must have at least this many
+  /// logical segments).
+  static size_t TotalCells(const Config& config);
+
+ private:
+  struct Cell {
+    bool occupied = false;
+    uint64_t key = 0;
+  };
+
+  /// Global cell index of `key`'s candidate at `level`.
+  size_t Candidate(uint64_t key, size_t level) const;
+  std::optional<size_t> FindCell(uint64_t key) const;
+
+  nvm::MemoryController* ctrl_;
+  Config config_;
+  std::vector<Cell> cells_;
+  std::vector<size_t> level_offset_;
+  size_t size_ = 0;
+};
+
+}  // namespace e2nvm::index
+
+#endif  // E2NVM_INDEX_PATH_HASHING_H_

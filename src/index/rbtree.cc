@@ -1,0 +1,347 @@
+#include "index/rbtree.h"
+
+#include <utility>
+
+namespace e2nvm::index {
+
+RbTree::~RbTree() { DestroySubtree(root_); }
+
+RbTree::RbTree(RbTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+RbTree& RbTree::operator=(RbTree&& other) noexcept {
+  if (this != &other) {
+    DestroySubtree(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void RbTree::DestroySubtree(Node* n) {
+  if (n == nullptr) return;
+  DestroySubtree(n->left);
+  DestroySubtree(n->right);
+  delete n;
+}
+
+RbTree::Node* RbTree::Find(uint64_t key) const {
+  Node* cur = root_;
+  while (cur != nullptr) {
+    if (key == cur->key) return cur;
+    cur = key < cur->key ? cur->left : cur->right;
+  }
+  return nullptr;
+}
+
+void RbTree::RotateLeft(Node* x) {
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTree::RotateRight(Node* x) {
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+bool RbTree::Put(uint64_t key, uint64_t value) {
+  Node* parent = nullptr;
+  Node* cur = root_;
+  while (cur != nullptr) {
+    parent = cur;
+    if (key == cur->key) {
+      cur->value = value;
+      return false;
+    }
+    cur = key < cur->key ? cur->left : cur->right;
+  }
+  Node* z = new Node{key, value};
+  z->parent = parent;
+  if (parent == nullptr) {
+    root_ = z;
+  } else if (key < parent->key) {
+    parent->left = z;
+  } else {
+    parent->right = z;
+  }
+  ++size_;
+  InsertFixup(z);
+  return true;
+}
+
+void RbTree::InsertFixup(Node* z) {
+  while (z->parent != nullptr && z->parent->color == kRed) {
+    Node* gp = z->parent->parent;
+    if (z->parent == gp->left) {
+      Node* uncle = gp->right;
+      if (uncle != nullptr && uncle->color == kRed) {
+        z->parent->color = kBlack;
+        uncle->color = kBlack;
+        gp->color = kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          RotateLeft(z);
+        }
+        z->parent->color = kBlack;
+        gp->color = kRed;
+        RotateRight(gp);
+      }
+    } else {
+      Node* uncle = gp->left;
+      if (uncle != nullptr && uncle->color == kRed) {
+        z->parent->color = kBlack;
+        uncle->color = kBlack;
+        gp->color = kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          RotateRight(z);
+        }
+        z->parent->color = kBlack;
+        gp->color = kRed;
+        RotateLeft(gp);
+      }
+    }
+  }
+  root_->color = kBlack;
+}
+
+std::optional<uint64_t> RbTree::Get(uint64_t key) const {
+  Node* n = Find(key);
+  if (n == nullptr) return std::nullopt;
+  return n->value;
+}
+
+RbTree::Node* RbTree::Minimum(Node* n) {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+void RbTree::Transplant(Node* u, Node* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) v->parent = u->parent;
+}
+
+std::optional<uint64_t> RbTree::Erase(uint64_t key) {
+  Node* z = Find(key);
+  if (z == nullptr) return std::nullopt;
+  uint64_t out = z->value;
+
+  Node* y = z;
+  Color y_original = y->color;
+  Node* x = nullptr;
+  Node* x_parent = nullptr;
+  if (z->left == nullptr) {
+    x = z->right;
+    x_parent = z->parent;
+    Transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    x = z->left;
+    x_parent = z->parent;
+    Transplant(z, z->left);
+  } else {
+    y = Minimum(z->right);
+    y_original = y->color;
+    x = y->right;
+    if (y->parent == z) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent;
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->color = z->color;
+  }
+  delete z;
+  --size_;
+  if (y_original == kBlack) EraseFixup(x, x_parent);
+  return out;
+}
+
+void RbTree::EraseFixup(Node* x, Node* x_parent) {
+  while (x != root_ && (x == nullptr || x->color == kBlack)) {
+    if (x_parent == nullptr) break;
+    if (x == x_parent->left) {
+      Node* w = x_parent->right;
+      if (w != nullptr && w->color == kRed) {
+        w->color = kBlack;
+        x_parent->color = kRed;
+        RotateLeft(x_parent);
+        w = x_parent->right;
+      }
+      if (w == nullptr) {
+        x = x_parent;
+        x_parent = x->parent;
+        continue;
+      }
+      bool left_black = w->left == nullptr || w->left->color == kBlack;
+      bool right_black = w->right == nullptr || w->right->color == kBlack;
+      if (left_black && right_black) {
+        w->color = kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (right_black) {
+          if (w->left != nullptr) w->left->color = kBlack;
+          w->color = kRed;
+          RotateRight(w);
+          w = x_parent->right;
+        }
+        w->color = x_parent->color;
+        x_parent->color = kBlack;
+        if (w->right != nullptr) w->right->color = kBlack;
+        RotateLeft(x_parent);
+        x = root_;
+        break;
+      }
+    } else {
+      Node* w = x_parent->left;
+      if (w != nullptr && w->color == kRed) {
+        w->color = kBlack;
+        x_parent->color = kRed;
+        RotateRight(x_parent);
+        w = x_parent->left;
+      }
+      if (w == nullptr) {
+        x = x_parent;
+        x_parent = x->parent;
+        continue;
+      }
+      bool left_black = w->left == nullptr || w->left->color == kBlack;
+      bool right_black = w->right == nullptr || w->right->color == kBlack;
+      if (left_black && right_black) {
+        w->color = kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (left_black) {
+          if (w->right != nullptr) w->right->color = kBlack;
+          w->color = kRed;
+          RotateLeft(w);
+          w = x_parent->left;
+        }
+        w->color = x_parent->color;
+        x_parent->color = kBlack;
+        if (w->left != nullptr) w->left->color = kBlack;
+        RotateRight(x_parent);
+        x = root_;
+        break;
+      }
+    }
+  }
+  if (x != nullptr) x->color = kBlack;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> RbTree::Scan(
+    uint64_t start, size_t count) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(count);
+  // Iterative in-order from the first node >= start.
+  std::vector<const Node*> stack;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    if (cur->key >= start) {
+      stack.push_back(cur);
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  while (!stack.empty() && out.size() < count) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    out.emplace_back(n->key, n->value);
+    cur = n->right;
+    while (cur != nullptr) {
+      stack.push_back(cur);
+      cur = cur->left;
+    }
+  }
+  return out;
+}
+
+void RbTree::ForEach(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  std::vector<const Node*> stack;
+  const Node* cur = root_;
+  while (cur != nullptr || !stack.empty()) {
+    while (cur != nullptr) {
+      stack.push_back(cur);
+      cur = cur->left;
+    }
+    const Node* n = stack.back();
+    stack.pop_back();
+    fn(n->key, n->value);
+    cur = n->right;
+  }
+}
+
+size_t RbTree::MemoryFootprintBytes() const {
+  return size_ * sizeof(Node);
+}
+
+int RbTree::CheckSubtree(const Node* n, bool* ok) const {
+  if (n == nullptr) return 1;  // Null leaves are black.
+  if (n->color == kRed) {
+    if ((n->left != nullptr && n->left->color == kRed) ||
+        (n->right != nullptr && n->right->color == kRed)) {
+      *ok = false;  // Red-red violation.
+    }
+  }
+  if (n->left != nullptr && n->left->key >= n->key) *ok = false;
+  if (n->right != nullptr && n->right->key <= n->key) *ok = false;
+  int lh = CheckSubtree(n->left, ok);
+  int rh = CheckSubtree(n->right, ok);
+  if (lh != rh) *ok = false;
+  return lh + (n->color == kBlack ? 1 : 0);
+}
+
+bool RbTree::CheckInvariants() const {
+  if (root_ == nullptr) return true;
+  if (root_->color != kBlack) return false;
+  bool ok = true;
+  CheckSubtree(root_, &ok);
+  return ok;
+}
+
+}  // namespace e2nvm::index

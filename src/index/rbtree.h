@@ -1,0 +1,85 @@
+#ifndef E2NVM_INDEX_RBTREE_H_
+#define E2NVM_INDEX_RBTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace e2nvm::index {
+
+/// A left-leaning-free classic red-black tree mapping uint64 keys to
+/// uint64 values — the DRAM "Data index" of the paper's KV store (Fig 3,
+/// Algorithm 1 line 7: "RB-Tree.put(D, A)").
+///
+/// Implemented from scratch (insert, erase with standard double-black
+/// fix-ups, ordered scans) rather than wrapping std::map so that the
+/// index's node count and byte footprint are observable for the memory
+/// overhead analysis (Fig 7).
+class RbTree {
+ public:
+  RbTree() = default;
+  ~RbTree();
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+  RbTree(RbTree&& other) noexcept;
+  RbTree& operator=(RbTree&& other) noexcept;
+
+  /// Inserts or overwrites; returns true if the key was new.
+  bool Put(uint64_t key, uint64_t value);
+
+  /// Looks a key up.
+  std::optional<uint64_t> Get(uint64_t key) const;
+
+  /// Removes a key; returns its value if present.
+  std::optional<uint64_t> Erase(uint64_t key);
+
+  bool Contains(uint64_t key) const { return Get(key).has_value(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// In-order visit of up to `count` pairs with key >= `start` (SCAN).
+  std::vector<std::pair<uint64_t, uint64_t>> Scan(uint64_t start,
+                                                  size_t count) const;
+
+  /// Visits every pair in order.
+  void ForEach(
+      const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  /// Approximate DRAM footprint (Fig 7): nodes * sizeof(Node).
+  size_t MemoryFootprintBytes() const;
+
+  /// Validates red-black invariants (tests): root is black, no red-red
+  /// edges, equal black heights. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  enum Color : uint8_t { kRed, kBlack };
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    Color color = kRed;
+  };
+
+  Node* Find(uint64_t key) const;
+  void RotateLeft(Node* x);
+  void RotateRight(Node* x);
+  void InsertFixup(Node* z);
+  void EraseFixup(Node* x, Node* x_parent);
+  void Transplant(Node* u, Node* v);
+  static Node* Minimum(Node* n);
+  void DestroySubtree(Node* n);
+  int CheckSubtree(const Node* n, bool* ok) const;
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace e2nvm::index
+
+#endif  // E2NVM_INDEX_RBTREE_H_

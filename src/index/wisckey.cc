@@ -1,0 +1,84 @@
+#include "index/wisckey.h"
+
+namespace e2nvm::index {
+
+WisckeyKv::WisckeyKv(nvm::MemoryController* ctrl, const Config& config)
+    : ctrl_(ctrl), config_(config) {
+  slot_owner_.assign(config_.log_slots, kFree);
+}
+
+StatusOr<uint64_t> WisckeyKv::NextSlot() {
+  if (live_ahead_ >= config_.log_slots) {
+    E2_RETURN_IF_ERROR(CollectGarbage());
+    if (live_ahead_ >= config_.log_slots) {
+      return Status::ResourceExhausted("value log full of live data");
+    }
+  }
+  uint64_t slot = head_;
+  head_ = (head_ + 1) % config_.log_slots;
+  ++live_ahead_;
+  return slot;
+}
+
+Status WisckeyKv::CollectGarbage() {
+  ++gc_passes_;
+  // Reclaim the oldest region; live values found there are re-appended
+  // (the WiscKey vLog GC protocol).
+  std::vector<std::pair<uint64_t, BitVector>> relocate;
+  size_t region = std::min<size_t>(config_.gc_region, config_.log_slots);
+  for (size_t i = 0; i < region; ++i) {
+    uint64_t slot = (tail_ + i) % config_.log_slots;
+    uint64_t owner = slot_owner_[slot];
+    if (owner != kFree) {
+      auto it = key_to_slot_.find(owner);
+      if (it != key_to_slot_.end() && it->second == slot) {
+        relocate.emplace_back(
+            owner, ctrl_->Peek(slot).Slice(0, config_.value_bits));
+      }
+      slot_owner_[slot] = kFree;
+    }
+  }
+  tail_ = (tail_ + region) % config_.log_slots;
+  live_ahead_ -= std::min<uint64_t>(live_ahead_, region);
+
+  for (auto& [key, value] : relocate) {
+    E2_ASSIGN_OR_RETURN(uint64_t slot, NextSlot());
+    MergeWrite(*ctrl_, slot, value);
+    slot_owner_[slot] = key;
+    key_to_slot_[key] = slot;
+    ++gc_relocations_;
+  }
+  return Status::Ok();
+}
+
+Status WisckeyKv::Put(uint64_t key, const BitVector& value) {
+  if (value.size() != config_.value_bits) {
+    return Status::InvalidArgument("value width mismatch");
+  }
+  E2_ASSIGN_OR_RETURN(uint64_t slot, NextSlot());
+  MergeWrite(*ctrl_, slot, value);
+  // The previous version's slot (if any) becomes garbage implicitly.
+  auto it = key_to_slot_.find(key);
+  if (it != key_to_slot_.end()) {
+    slot_owner_[it->second] = kFree;
+  }
+  slot_owner_[slot] = key;
+  key_to_slot_[key] = slot;
+  return Status::Ok();
+}
+
+StatusOr<BitVector> WisckeyKv::Get(uint64_t key) {
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return Status::NotFound("key not found");
+  return ctrl_->Read(it->second).Slice(0, config_.value_bits);
+}
+
+Status WisckeyKv::Delete(uint64_t key) {
+  auto it = key_to_slot_.find(key);
+  if (it == key_to_slot_.end()) return Status::NotFound("key not found");
+  slot_owner_[it->second] = kFree;
+  key_to_slot_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace e2nvm::index

@@ -1,0 +1,60 @@
+#ifndef E2NVM_INDEX_WISCKEY_H_
+#define E2NVM_INDEX_WISCKEY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/nvm_index.h"
+#include "index/value_placer.h"
+#include "nvm/controller.h"
+
+namespace e2nvm::index {
+
+/// WiscKey-style key-value separation (Lu et al. [35]): keys live in a
+/// DRAM index, values are appended to a circular value log on NVM.
+/// A PUT appends one value segment at the head; updates leave garbage
+/// behind; when the log runs out of clean space, garbage collection
+/// reclaims the oldest `gc_region` slots, *re-appending* any still-live
+/// values found there (that relocation is WiscKey's write-amplification
+/// source).
+class WisckeyKv : public NvmKvIndex {
+ public:
+  struct Config {
+    size_t log_slots = 4096;  // Must fit in ctrl's logical space.
+    size_t gc_region = 256;   // Slots reclaimed per GC pass.
+    size_t value_bits = 2048;
+  };
+
+  WisckeyKv(nvm::MemoryController* ctrl, const Config& config);
+
+  std::string_view name() const override { return "WiscKey"; }
+  Status Put(uint64_t key, const BitVector& value) override;
+  StatusOr<BitVector> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  size_t size() const override { return key_to_slot_.size(); }
+
+  uint64_t gc_passes() const { return gc_passes_; }
+  uint64_t gc_relocations() const { return gc_relocations_; }
+
+ private:
+  /// Advances head, garbage-collecting if it catches the tail.
+  StatusOr<uint64_t> NextSlot();
+  Status CollectGarbage();
+
+  nvm::MemoryController* ctrl_;
+  Config config_;
+  std::unordered_map<uint64_t, uint64_t> key_to_slot_;
+  std::vector<uint64_t> slot_owner_;  // Slot -> key (or kFree).
+  uint64_t head_ = 0;  // Next append position.
+  uint64_t tail_ = 0;  // Oldest un-reclaimed position.
+  uint64_t live_ahead_ = 0;  // Appends since tail (occupancy of the ring).
+  uint64_t gc_passes_ = 0;
+  uint64_t gc_relocations_ = 0;
+
+  static constexpr uint64_t kFree = ~uint64_t{0};
+};
+
+}  // namespace e2nvm::index
+
+#endif  // E2NVM_INDEX_WISCKEY_H_

@@ -1,0 +1,169 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace e2nvm::ml {
+
+double KMeans::DistSq(const float* a, const float* b, size_t dim) const {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+void KMeans::InitPlusPlus(const Matrix& x, Rng& rng) {
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  centroids_ = Matrix(config_.k, dim);
+
+  // First centroid: uniform random sample.
+  size_t first = rng.NextBounded(n);
+  centroids_.CopyRowFrom(x, first, 0);
+
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  for (size_t c = 1; c < config_.k; ++c) {
+    // Update distances to the nearest chosen centroid.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = DistSq(x.Row(i), centroids_.Row(c - 1), dim);
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    // Sample proportional to squared distance.
+    size_t chosen = n - 1;
+    if (total > 0.0) {
+      double r = rng.NextDouble() * total;
+      double cum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cum += d2[i];
+        if (cum >= r) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextBounded(n);
+    }
+    centroids_.CopyRowFrom(x, chosen, c);
+  }
+}
+
+Status KMeans::Fit(const Matrix& x) {
+  if (x.rows() < config_.k) {
+    return Status::InvalidArgument("fewer samples than clusters");
+  }
+  if (config_.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  Rng rng(config_.seed);
+  InitPlusPlus(x, rng);
+
+  std::vector<size_t> assign(n, 0);
+  double prev_sse = std::numeric_limits<double>::max();
+  iters_run_ = 0;
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    ++iters_run_;
+    // Assignment step.
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      size_t best_c = 0;
+      for (size_t c = 0; c < config_.k; ++c) {
+        double d = DistSq(x.Row(i), centroids_.Row(c), dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+      sse += best;
+    }
+    // Update step.
+    Matrix sums(config_.k, dim);
+    std::vector<size_t> counts(config_.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      float* srow = sums.Row(assign[i]);
+      const float* xrow = x.Row(i);
+      for (size_t d = 0; d < dim; ++d) srow[d] += xrow[d];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < config_.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random sample.
+        centroids_.CopyRowFrom(x, rng.NextBounded(n), c);
+        continue;
+      }
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      float* crow = centroids_.Row(c);
+      const float* srow = sums.Row(c);
+      for (size_t d = 0; d < dim; ++d) crow[d] = srow[d] * inv;
+    }
+    if (prev_sse - sse < config_.tol * std::max(prev_sse, 1.0)) break;
+    prev_sse = sse;
+  }
+  return Status::Ok();
+}
+
+size_t KMeans::Predict(const float* v, size_t dim) const {
+  double best = std::numeric_limits<double>::max();
+  size_t best_c = 0;
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    double d = DistSq(v, centroids_.Row(c), dim);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+std::vector<size_t> KMeans::PredictBatch(const Matrix& x) const {
+  std::vector<size_t> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = Predict(x.Row(i), x.cols());
+  }
+  return out;
+}
+
+double KMeans::Sse(const Matrix& x) const {
+  double sse = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      best = std::min(best, DistSq(x.Row(i), centroids_.Row(c), x.cols()));
+    }
+    sse += best;
+  }
+  return sse;
+}
+
+size_t FindElbow(const std::vector<double>& sse) {
+  if (sse.size() < 3) return sse.empty() ? 1 : sse.size();
+  // Distance of each point to the chord from (1, sse[0]) to (n, sse[n-1]),
+  // with both axes normalized to [0,1] so scale doesn't bias the knee.
+  const double n = static_cast<double>(sse.size() - 1);
+  const double y0 = sse.front();
+  const double yn = sse.back();
+  const double yrange = std::max(std::abs(y0 - yn), 1e-12);
+  double best_d = -1.0;
+  size_t best_k = 1;
+  for (size_t i = 0; i < sse.size(); ++i) {
+    double xs = static_cast<double>(i) / n;
+    double ys = (sse[i] - yn) / yrange;  // 1 at start, 0 at end (decreasing).
+    // Chord runs from (0,1) to (1,0): distance ∝ |xs + ys - 1|.
+    double d = std::abs(xs + ys - 1.0);
+    if (d > best_d) {
+      best_d = d;
+      best_k = i + 1;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace e2nvm::ml

@@ -1,0 +1,83 @@
+#ifndef E2NVM_ML_KMEANS_H_
+#define E2NVM_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace e2nvm::ml {
+
+/// K-means configuration.
+struct KMeansConfig {
+  size_t k = 10;
+  int max_iters = 50;
+  /// Stop when the relative SSE improvement falls below this.
+  double tol = 1e-4;
+  uint64_t seed = 42;
+};
+
+/// Lloyd's K-means with k-means++ seeding. Used in three places:
+///  - on the VAE latent space (the E2-NVM model);
+///  - on raw bit vectors (the PNW "K-means alone" baseline);
+///  - on PCA projections (the PNW "PCA+K-means" baseline).
+class KMeans {
+ public:
+  explicit KMeans(const KMeansConfig& config) : config_(config) {}
+
+  /// Fits on `x` (rows are samples). Requires x.rows() >= k.
+  Status Fit(const Matrix& x);
+
+  /// True once Fit succeeded.
+  bool fitted() const { return !centroids_.empty(); }
+
+  /// Index of the nearest centroid to `v` (length dim()).
+  size_t Predict(const float* v, size_t dim) const;
+
+  /// Predicts every row of `x`.
+  std::vector<size_t> PredictBatch(const Matrix& x) const;
+
+  /// Sum of squared distances of rows of `x` to their nearest centroid —
+  /// the elbow-method objective (paper Eq. 1).
+  double Sse(const Matrix& x) const;
+
+  const Matrix& centroids() const { return centroids_; }
+  size_t k() const { return config_.k; }
+  size_t dim() const { return centroids_.cols(); }
+  int iters_run() const { return iters_run_; }
+
+  /// Multiply-accumulates for one Predict call (CPU energy model).
+  double PredictFlops() const {
+    return 3.0 * static_cast<double>(config_.k) *
+           static_cast<double>(dim());
+  }
+  /// Multiply-accumulates of the completed Fit (for latency/energy accounting).
+  double FitFlops(size_t n) const {
+    return 3.0 * static_cast<double>(n) * static_cast<double>(config_.k) *
+           static_cast<double>(dim()) * static_cast<double>(iters_run_ + 1);
+  }
+
+  /// Replaces the centroids (used by joint fine-tuning when centroids are
+  /// re-estimated from fresh latent codes).
+  void SetCentroids(Matrix centroids) { centroids_ = std::move(centroids); }
+
+ private:
+  double DistSq(const float* a, const float* b, size_t dim) const;
+  void InitPlusPlus(const Matrix& x, Rng& rng);
+
+  KMeansConfig config_;
+  Matrix centroids_;  // k x dim
+  int iters_run_ = 0;
+};
+
+/// Given SSE values for K = 1..n (index 0 -> K=1), returns the K at the
+/// "knee": the point with maximum distance from the chord connecting the
+/// first and last points (the standard kneedle construction the paper's
+/// elbow method eyeballs). Returns a 1-based K.
+size_t FindElbow(const std::vector<double>& sse);
+
+}  // namespace e2nvm::ml
+
+#endif  // E2NVM_ML_KMEANS_H_

@@ -1,0 +1,81 @@
+#ifndef E2NVM_ML_LSTM_H_
+#define E2NVM_ML_LSTM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/layers.h"
+#include "ml/matrix.h"
+
+namespace e2nvm::ml {
+
+/// LSTM sequence-regression model configuration. E2-NVM's learned padding
+/// (§4.1.3, Fig 6) slides a 64-bit window over the data, treated here as
+/// 8 timesteps of 8 features, and predicts the next 8 bits with a linear
+/// head trained under MSE — matching the paper's Keras snippet
+/// (LSTM(10) + Dense(linear), loss='mse', optimizer='adam').
+struct LstmConfig {
+  size_t input_size = 8;    // Features per timestep.
+  size_t timesteps = 8;     // Window = input_size * timesteps bits.
+  size_t hidden_size = 10;  // The paper's LSTM(10).
+  size_t output_size = 8;   // Bits predicted per step.
+  AdamConfig adam;
+  uint64_t seed = 42;
+};
+
+/// A single-layer LSTM (Hochreiter & Schmidhuber) with full BPTT and a
+/// linear dense head, trained with MSE. Inputs are flattened sequences:
+/// a row of the input matrix holds timesteps * input_size values in time
+/// order.
+class Lstm {
+ public:
+  explicit Lstm(const LstmConfig& config);
+
+  const LstmConfig& config() const { return config_; }
+
+  /// Runs the model on flattened sequences (batch x T*input) and returns
+  /// predictions (batch x output).
+  Matrix Predict(const Matrix& x);
+
+  /// Convenience: predicts for a single flattened window.
+  std::vector<float> PredictOne(const std::vector<float>& window);
+
+  /// One optimization step on (x, y); returns the batch MSE.
+  double TrainBatch(const Matrix& x, const Matrix& y);
+
+  /// Epoch loop over the full dataset with mini-batches; returns the
+  /// per-epoch training MSE curve.
+  std::vector<double> Train(const Matrix& x, const Matrix& y, int epochs,
+                            size_t batch_size, uint64_t shuffle_seed = 7);
+
+  /// Multiply-accumulates per PredictOne (CPU energy model).
+  double PredictFlops() const;
+
+  size_t ParamCount() const;
+
+ private:
+  struct StepCache {
+    Matrix concat;  // batch x (hidden + input)
+    Matrix i, f, o, g;
+    Matrix c, tanh_c;
+    Matrix c_prev;
+  };
+
+  /// Forward over all timesteps, filling caches when `train` is true.
+  Matrix RunForward(const Matrix& x, bool train);
+
+  LstmConfig config_;
+  Rng rng_;
+  ParamBlock w_;  // (hidden+input) x 4*hidden, gate order [i f o g]
+  ParamBlock b_;  // 1 x 4*hidden
+  std::unique_ptr<Dense> head_;
+  std::vector<StepCache> caches_;
+  Matrix last_h_;
+  int step_ = 0;
+};
+
+}  // namespace e2nvm::ml
+
+#endif  // E2NVM_ML_LSTM_H_

@@ -1,0 +1,114 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace e2nvm::ml {
+
+void Matrix::XavierInit(Rng& rng, size_t fan_in, size_t fan_out) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (auto& v : data_) {
+    v = (rng.NextFloat() * 2.0f - 1.0f) * limit;
+  }
+}
+
+void Matrix::CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
+  assert(src.cols() == cols_);
+  std::memcpy(Row(dst_row), src.Row(src_row), cols_ * sizeof(float));
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void AddInPlace(Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void Axpy(Matrix& a, const Matrix& b, float scale) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += scale * b.data()[i];
+}
+
+void AddRowVector(Matrix& a, const std::vector<float>& bias) {
+  assert(bias.size() == a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.Row(i);
+    for (size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+std::vector<float> ColSums(const Matrix& a) {
+  std::vector<float> s(a.cols(), 0.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.Row(i);
+    for (size_t j = 0; j < a.cols(); ++j) s[j] += row[j];
+  }
+  return s;
+}
+
+double FrobeniusSq(const Matrix& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += static_cast<double>(v) * v;
+  return s;
+}
+
+}  // namespace e2nvm::ml

@@ -1,0 +1,94 @@
+#ifndef E2NVM_ML_MATRIX_H_
+#define E2NVM_ML_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+
+/// Dense row-major float matrix — the tensor type of the ML substrate.
+/// Sized for this library's models (inputs up to a few thousand features,
+/// batches of a few hundred), so a straightforward cache-friendly
+/// implementation is sufficient; no BLAS dependency.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Builds from explicit data (size must be rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Xavier/Glorot uniform initialization for a (out x in)-shaped weight.
+  void XavierInit(Rng& rng, size_t fan_in, size_t fan_out);
+
+  /// Copies row `src_row` of `src` into row `dst_row` of *this
+  /// (cols must match).
+  void CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Shapes: (m x k) * (n x k) -> (m x n).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. Shapes: (k x m) * (k x n) -> (m x n).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// Elementwise a += b (same shape).
+void AddInPlace(Matrix& a, const Matrix& b);
+
+/// Elementwise a += scale * b (same shape).
+void Axpy(Matrix& a, const Matrix& b, float scale);
+
+/// Adds a row vector `bias` (1 x n) to every row of `a` (m x n).
+void AddRowVector(Matrix& a, const std::vector<float>& bias);
+
+/// Elementwise Hadamard product c = a .* b.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Column sums of `a` -> vector of length cols (bias gradients).
+std::vector<float> ColSums(const Matrix& a);
+
+/// Squared Frobenius norm.
+double FrobeniusSq(const Matrix& a);
+
+}  // namespace e2nvm::ml
+
+#endif  // E2NVM_ML_MATRIX_H_

@@ -1,0 +1,103 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+
+Status Pca::Fit(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  if (n < 2) return Status::InvalidArgument("PCA needs >= 2 samples");
+  size_t c = std::min(config_.num_components, std::min(n, dim));
+
+  mean_.assign(dim, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    for (size_t d = 0; d < dim; ++d) mean_[d] += row[d];
+  }
+  for (size_t d = 0; d < dim; ++d) mean_[d] /= static_cast<float>(n);
+
+  components_ = Matrix(c, dim);
+  eigenvalues_.assign(c, 0.0);
+  Rng rng(config_.seed);
+
+  // Power iteration with deflation. The centered matrix-vector product
+  // C v = (1/n) Xc^T (Xc v) is evaluated implicitly:
+  //   Xc v = X v - (mean . v) * 1_n
+  //   Xc^T u = X^T u - mean * sum(u)
+  std::vector<double> v(dim), u(n), w(dim);
+  for (size_t comp = 0; comp < c; ++comp) {
+    for (auto& e : v) e = rng.NextGaussian();
+    double lambda = 0.0;
+    for (int iter = 0; iter < config_.power_iters; ++iter) {
+      // Deflate: remove projections on earlier components.
+      for (size_t p = 0; p < comp; ++p) {
+        const float* prow = components_.Row(p);
+        double dot = 0.0;
+        for (size_t d = 0; d < dim; ++d) dot += v[d] * prow[d];
+        for (size_t d = 0; d < dim; ++d) v[d] -= dot * prow[d];
+      }
+      // u = Xc v.
+      double mean_dot_v = 0.0;
+      for (size_t d = 0; d < dim; ++d) mean_dot_v += mean_[d] * v[d];
+      for (size_t i = 0; i < n; ++i) {
+        const float* row = x.Row(i);
+        double s = 0.0;
+        for (size_t d = 0; d < dim; ++d) s += row[d] * v[d];
+        u[i] = s - mean_dot_v;
+      }
+      // w = Xc^T u / n.
+      double sum_u = 0.0;
+      for (size_t i = 0; i < n; ++i) sum_u += u[i];
+      std::fill(w.begin(), w.end(), 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const float* row = x.Row(i);
+        const double ui = u[i];
+        if (ui == 0.0) continue;
+        for (size_t d = 0; d < dim; ++d) w[d] += ui * row[d];
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        w[d] = (w[d] - sum_u * mean_[d]) / static_cast<double>(n);
+      }
+      // Normalize; the norm estimates the eigenvalue.
+      double norm = 0.0;
+      for (double e : w) norm += e * e;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      lambda = norm;
+      for (size_t d = 0; d < dim; ++d) v[d] = w[d] / norm;
+    }
+    eigenvalues_[comp] = lambda;
+    float* crow = components_.Row(comp);
+    for (size_t d = 0; d < dim; ++d) crow[d] = static_cast<float>(v[d]);
+  }
+  return Status::Ok();
+}
+
+Matrix Pca::Transform(const Matrix& x) const {
+  Matrix out(x.rows(), components_.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    auto proj = TransformOne(x.Row(i), x.cols());
+    for (size_t cidx = 0; cidx < proj.size(); ++cidx) {
+      out(i, cidx) = proj[cidx];
+    }
+  }
+  return out;
+}
+
+std::vector<float> Pca::TransformOne(const float* v, size_t dim) const {
+  std::vector<float> out(components_.rows(), 0.0f);
+  for (size_t c = 0; c < components_.rows(); ++c) {
+    const float* crow = components_.Row(c);
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      s += (v[d] - mean_[d]) * crow[d];
+    }
+    out[c] = static_cast<float>(s);
+  }
+  return out;
+}
+
+}  // namespace e2nvm::ml

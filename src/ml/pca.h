@@ -1,0 +1,67 @@
+#ifndef E2NVM_ML_PCA_H_
+#define E2NVM_ML_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace e2nvm::ml {
+
+/// Principal component analysis via power iteration with deflation on the
+/// *implicit* centered covariance (the covariance matrix is never formed,
+/// so feature dimensionalities up to the paper's 16384 stay tractable).
+///
+/// This is the dimensionality-reduction front-end of the PNW baseline
+/// ("PCA + K-means", Fig 4).
+struct PcaConfig {
+  size_t num_components = 16;
+  int power_iters = 30;
+  uint64_t seed = 42;
+};
+
+class Pca {
+ public:
+  explicit Pca(const PcaConfig& config) : config_(config) {}
+
+  /// Fits components on `x` (rows are samples).
+  Status Fit(const Matrix& x);
+
+  bool fitted() const { return !components_.empty(); }
+
+  /// Projects rows of `x` onto the fitted components -> (n x c).
+  Matrix Transform(const Matrix& x) const;
+
+  /// Projects a single vector.
+  std::vector<float> TransformOne(const float* v, size_t dim) const;
+
+  /// (c x dim) matrix of principal directions, ordered by eigenvalue.
+  const Matrix& components() const { return components_; }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<double>& explained_variance() const {
+    return eigenvalues_;
+  }
+
+  /// Multiply-accumulates of one TransformOne (CPU energy model).
+  double TransformFlops() const {
+    return 2.0 * static_cast<double>(config_.num_components) *
+           static_cast<double>(mean_.size());
+  }
+  /// Multiply-accumulates of the completed Fit.
+  double FitFlops(size_t n) const {
+    return 4.0 * static_cast<double>(config_.num_components) *
+           static_cast<double>(config_.power_iters) * static_cast<double>(n) *
+           static_cast<double>(mean_.size());
+  }
+
+ private:
+  PcaConfig config_;
+  Matrix components_;  // c x dim
+  std::vector<float> mean_;
+  std::vector<double> eigenvalues_;
+};
+
+}  // namespace e2nvm::ml
+
+#endif  // E2NVM_ML_PCA_H_

@@ -1,0 +1,243 @@
+#include "ml/vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace e2nvm::ml {
+
+namespace {
+constexpr float kLogvarMin = -8.0f;
+constexpr float kLogvarMax = 8.0f;
+
+double BceSum(const Matrix& probs, const Matrix& x) {
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    float p = std::clamp(probs.data()[i], 1e-7f, 1.0f - 1e-7f);
+    float t = x.data()[i];
+    loss -= static_cast<double>(t) * std::log(p) +
+            (1.0 - static_cast<double>(t)) * std::log(1.0f - p);
+  }
+  return loss;
+}
+}  // namespace
+
+Vae::Vae(const VaeConfig& config) : config_(config), rng_(config.seed) {
+  encoder_body_.Add(
+      std::make_unique<Dense>(config.input_dim, config.hidden_dim, rng_));
+  encoder_body_.Add(std::make_unique<Relu>());
+  mu_head_ =
+      std::make_unique<Dense>(config.hidden_dim, config.latent_dim, rng_);
+  logvar_head_ =
+      std::make_unique<Dense>(config.hidden_dim, config.latent_dim, rng_);
+  decoder_.Add(
+      std::make_unique<Dense>(config.latent_dim, config.hidden_dim, rng_));
+  decoder_.Add(std::make_unique<Relu>());
+  decoder_.Add(
+      std::make_unique<Dense>(config.hidden_dim, config.input_dim, rng_));
+}
+
+void Vae::EncodeForward(const Matrix& x, Matrix* mu, Matrix* logvar) {
+  Matrix h = encoder_body_.Forward(x);
+  *mu = mu_head_->Forward(h);
+  *logvar = logvar_head_->Forward(h);
+  for (auto& v : logvar->data()) v = std::clamp(v, kLogvarMin, kLogvarMax);
+}
+
+Matrix Vae::EncodeMu(const Matrix& x) {
+  Matrix mu, logvar;
+  EncodeForward(x, &mu, &logvar);
+  return mu;
+}
+
+std::vector<float> Vae::EncodeOne(const std::vector<float>& x) {
+  E2_CHECK(x.size() == config_.input_dim, "EncodeOne dim mismatch");
+  Matrix xm(1, config_.input_dim, x);
+  Matrix mu = EncodeMu(xm);
+  return mu.data();
+}
+
+Matrix Vae::Decode(const Matrix& z) {
+  Matrix logits = decoder_.Forward(z);
+  Matrix probs(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs.data()[i] = SigmoidScalar(logits.data()[i]);
+  }
+  return probs;
+}
+
+Vae::BatchLoss Vae::TrainBatch(const Matrix& x, const VaeTrainOptions& opts) {
+  const size_t batch = x.rows();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  // ---- Forward ----
+  Matrix mu, logvar;
+  EncodeForward(x, &mu, &logvar);
+
+  // Reparameterization: z = mu + exp(logvar/2) * eps, eps ~ N(0, I).
+  Matrix eps(batch, config_.latent_dim);
+  for (auto& e : eps.data()) e = static_cast<float>(rng_.NextGaussian());
+  Matrix sigma(batch, config_.latent_dim);
+  Matrix z(batch, config_.latent_dim);
+  for (size_t i = 0; i < z.size(); ++i) {
+    sigma.data()[i] = std::exp(0.5f * logvar.data()[i]);
+    z.data()[i] = mu.data()[i] + sigma.data()[i] * eps.data()[i];
+  }
+
+  Matrix logits = decoder_.Forward(z);
+  Matrix probs(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs.data()[i] = SigmoidScalar(logits.data()[i]);
+  }
+
+  BatchLoss loss;
+  loss.recon = BceSum(probs, x) / static_cast<double>(batch);
+  double kl = 0.0;
+  for (size_t i = 0; i < mu.size(); ++i) {
+    float m = mu.data()[i];
+    float lv = logvar.data()[i];
+    kl += -0.5 * (1.0 + lv - m * m - std::exp(lv));
+  }
+  loss.kl = config_.beta * kl / static_cast<double>(batch);
+
+  // ---- Backward ----
+  // d(BCE with logits)/dlogits = (p - x), averaged over the batch.
+  Matrix dlogits(probs.rows(), probs.cols());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    dlogits.data()[i] = (probs.data()[i] - x.data()[i]) * inv_batch;
+  }
+  Matrix dz = decoder_.Backward(dlogits);
+
+  // Optional joint K-means term: cluster_weight * ||z - c||^2.
+  if (opts.centroids != nullptr && opts.assignments != nullptr &&
+      opts.cluster_weight > 0.0f) {
+    const Matrix& cents = *opts.centroids;
+    const auto& assign = *opts.assignments;
+    E2_CHECK(assign.size() == batch, "assignment/batch size mismatch");
+    double closs = 0.0;
+    for (size_t i = 0; i < batch; ++i) {
+      const float* crow = cents.Row(assign[i]);
+      for (size_t d = 0; d < config_.latent_dim; ++d) {
+        float diff = z(i, d) - crow[d];
+        closs += static_cast<double>(diff) * diff;
+        dz(i, d) += opts.cluster_weight * 2.0f * diff * inv_batch;
+      }
+    }
+    loss.cluster = opts.cluster_weight * closs / static_cast<double>(batch);
+  }
+
+  // Gradients wrt mu and logvar: z = mu + sigma * eps.
+  Matrix dmu = dz;  // dz/dmu = 1.
+  Matrix dlogvar(batch, config_.latent_dim);
+  for (size_t i = 0; i < dz.size(); ++i) {
+    dlogvar.data()[i] =
+        dz.data()[i] * eps.data()[i] * 0.5f * sigma.data()[i];
+  }
+  // KL gradients: dKL/dmu = mu, dKL/dlogvar = 0.5 (e^logvar - 1).
+  const float beta_scale = config_.beta * inv_batch;
+  for (size_t i = 0; i < dmu.size(); ++i) {
+    dmu.data()[i] += beta_scale * mu.data()[i];
+    dlogvar.data()[i] +=
+        beta_scale * 0.5f * (std::exp(logvar.data()[i]) - 1.0f);
+  }
+
+  Matrix dh = mu_head_->Backward(dmu);
+  AddInPlace(dh, logvar_head_->Backward(dlogvar));
+  encoder_body_.Backward(dh);
+
+  // ---- Update ----
+  ++step_;
+  encoder_body_.Step(config_.adam, step_);
+  mu_head_->Step(config_.adam, step_);
+  logvar_head_->Step(config_.adam, step_);
+  decoder_.Step(config_.adam, step_);
+  encoder_body_.ZeroGrad();
+  mu_head_->ZeroGrad();
+  logvar_head_->ZeroGrad();
+  decoder_.ZeroGrad();
+  return loss;
+}
+
+double Vae::EvalLoss(const Matrix& x) {
+  Matrix mu, logvar;
+  EncodeForward(x, &mu, &logvar);
+  Matrix probs = Decode(mu);  // eps = 0: z = mu.
+  double recon = BceSum(probs, x) / static_cast<double>(x.rows());
+  double kl = 0.0;
+  for (size_t i = 0; i < mu.size(); ++i) {
+    float m = mu.data()[i];
+    float lv = logvar.data()[i];
+    kl += -0.5 * (1.0 + lv - m * m - std::exp(lv));
+  }
+  return recon + config_.beta * kl / static_cast<double>(x.rows());
+}
+
+TrainHistory Vae::Train(const Matrix& x, const VaeTrainOptions& opts) {
+  TrainHistory history;
+  const size_t n = x.rows();
+  Rng shuffle_rng(opts.shuffle_seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  shuffle_rng.Shuffle(order);
+
+  size_t val_n = static_cast<size_t>(
+      static_cast<double>(n) * opts.validation_fraction);
+  val_n = std::min(val_n, n > 1 ? n - 1 : size_t{0});
+  size_t train_n = n - val_n;
+
+  Matrix val(val_n, x.cols());
+  for (size_t i = 0; i < val_n; ++i) {
+    val.CopyRowFrom(x, order[train_n + i], i);
+  }
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < train_n; start += opts.batch_size) {
+      size_t bs = std::min(opts.batch_size, train_n - start);
+      Matrix batch(bs, x.cols());
+      for (size_t i = 0; i < bs; ++i) {
+        batch.CopyRowFrom(x, order[start + i], i);
+      }
+      // The joint-clustering option needs per-batch assignments, which the
+      // caller supplies only for full-batch fine-tuning (see E2Model);
+      // inside this generic loop we train the pure ELBO.
+      VaeTrainOptions batch_opts = opts;
+      batch_opts.centroids = nullptr;
+      batch_opts.assignments = nullptr;
+      BatchLoss l = TrainBatch(batch, batch_opts);
+      epoch_loss += l.total();
+      ++batches;
+      history.flops += TrainStepFlops(bs);
+    }
+    history.train_loss.push_back(batches ? epoch_loss / batches : 0.0);
+    history.val_loss.push_back(val_n > 0 ? EvalLoss(val)
+                                         : history.train_loss.back());
+  }
+  return history;
+}
+
+double Vae::PredictFlops() const {
+  double enc = 2.0 * static_cast<double>(config_.input_dim) *
+                   static_cast<double>(config_.hidden_dim) +
+               2.0 * static_cast<double>(config_.hidden_dim) *
+                   static_cast<double>(config_.latent_dim);
+  return enc;
+}
+
+double Vae::TrainStepFlops(size_t batch) const {
+  double fwd = encoder_body_.ForwardFlops(batch) +
+               mu_head_->ForwardFlops(batch) +
+               logvar_head_->ForwardFlops(batch) +
+               decoder_.ForwardFlops(batch);
+  return 3.0 * fwd;  // Forward + backward ~= 3x forward MACs.
+}
+
+size_t Vae::ParamCount() const {
+  return encoder_body_.ParamCount() + mu_head_->ParamCount() +
+         logvar_head_->ParamCount() + decoder_.ParamCount();
+}
+
+}  // namespace e2nvm::ml

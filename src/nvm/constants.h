@@ -1,0 +1,68 @@
+#ifndef E2NVM_NVM_CONSTANTS_H_
+#define E2NVM_NVM_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace e2nvm::nvm {
+
+/// Physical cost parameters of a PCM-class (Optane / 3D XPoint) device.
+///
+/// Defaults follow the figures quoted in the paper's introduction:
+/// flipping one PCM bit costs ~50 pJ vs ~1 pJ/bit for a DRAM page write,
+/// and PCM endurance is on the order of 1e8-1e9 writes per cell.
+/// RESET (1->0, amorphization) draws more current than SET on real PCM;
+/// the defaults reflect a mild asymmetry.
+struct PcmParams {
+  /// Energy to program one bit 0 -> 1 (SET), picojoules.
+  double set_energy_pj = 50.0;
+  /// Energy to program one bit 1 -> 0 (RESET), picojoules.
+  double reset_energy_pj = 60.0;
+  /// Energy to read one bit, picojoules.
+  double read_energy_pj = 2.0;
+  /// Fixed peripheral/array overhead per *dirty* 64-byte cache line
+  /// written (row drivers, write buffers), picojoules. Clean lines are
+  /// skipped by the controller (paper §2.2).
+  double line_overhead_pj = 250.0;
+  /// Fixed energy per write *request* (command decode, row activation,
+  /// charge pumps), picojoules. This floor is why the paper measures
+  /// "up to 56%" savings rather than savings proportional to the flip
+  /// reduction alone.
+  double request_overhead_pj = 50'000.0;
+
+  /// Controller latency charged per dirty cache line written, ns.
+  double write_ns_per_line = 90.0;
+  /// Fixed latency per write request (queueing + command), ns.
+  double write_base_ns = 60.0;
+  /// Latency per cache line read, ns (Optane read ≈ 300 ns / 4 lines).
+  double read_ns_per_line = 75.0;
+
+  /// Cell endurance: writes before a cell becomes unreliable.
+  uint64_t endurance_writes = 100'000'000;  // 1e8 (paper: 1e8-1e9)
+
+  /// DRAM comparison point, used by the energy meter for DAP/index
+  /// bookkeeping traffic.
+  double dram_energy_pj_per_bit = 1.0;
+
+  /// Energy per floating-point multiply-accumulate of the compute device
+  /// running the models, picojoules. Used to cost model training and
+  /// prediction (Figs 8, 16, 18). The paper trains and serves its models
+  /// on NVIDIA Tesla K80/K20m GPUs; GPU-class dense math lands around
+  /// 0.05-0.3 pJ/FLOP, and the default follows that setup. (A scalar CPU
+  /// would be ~2 pJ/FLOP — set this accordingly to model a CPU-only
+  /// deployment; note that at CPU energy costs the per-write prediction
+  /// can exceed the flip savings, which is exactly why the paper leans on
+  /// accelerator inference.)
+  double cpu_energy_pj_per_flop = 0.05;
+  /// Model-compute throughput used to convert FLOPs to simulated seconds
+  /// (K80-class sustained throughput).
+  double cpu_flops_per_second = 1.0e10;
+};
+
+/// CPU cache line size: the unit at which the memory controller decides
+/// whether a line is dirty.
+inline constexpr size_t kCacheLineBits = 64 * 8;
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_CONSTANTS_H_

@@ -1,0 +1,86 @@
+#ifndef E2NVM_NVM_CONTROLLER_H_
+#define E2NVM_NVM_CONTROLLER_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/bitvec.h"
+#include "nvm/device.h"
+#include "nvm/wear_leveler.h"
+#include "nvm/write_scheme.h"
+
+namespace e2nvm::nvm {
+
+/// The memory controller of the system model (§2.1): intercepts every
+/// operation to NVM, applies a hardware write scheme, and optionally runs
+/// Start-Gap wear leveling underneath the software layer.
+///
+/// Software (E2-NVM, the KV store, the indexes) addresses *logical*
+/// segments; the controller owns the logical -> physical mapping. This
+/// mirrors the paper's setup where the wear-leveling period psi is a
+/// property of the (emulated) controller that software cannot control.
+class MemoryController {
+ public:
+  /// Takes shared ownership of nothing: `device` and `scheme` must outlive
+  /// the controller. If `psi > 0`, Start-Gap leveling is enabled and the
+  /// device must have been created with one extra physical segment
+  /// (num_logical + 1).
+  MemoryController(NvmDevice* device, WriteScheme* scheme, size_t num_logical,
+                   uint64_t psi)
+      : device_(device), scheme_(scheme), num_logical_(num_logical) {
+    if (psi > 0) {
+      leveler_.emplace(num_logical, psi);
+    }
+  }
+
+  size_t num_logical() const { return num_logical_; }
+  size_t segment_bits() const { return device_->segment_bits(); }
+
+  /// Logical read through the mapping (charges device read costs) and the
+  /// scheme's decode.
+  BitVector Read(size_t logical) {
+    size_t pa = Physical(logical);
+    return scheme_->Decode(pa, device_->ReadSegment(pa));
+  }
+
+  /// Zero-cost logical content inspection (software bookkeeping).
+  BitVector Peek(size_t logical) const {
+    size_t pa = Physical(logical);
+    return scheme_->Decode(pa, device_->PeekSegment(pa));
+  }
+
+  /// Logical write through the scheme; advances wear leveling (scheme
+  /// aux state migrates with the moved cells).
+  WriteResult Write(size_t logical, const BitVector& data) {
+    size_t pa = Physical(logical);
+    WriteResult r = device_->WriteSegment(pa, data, *scheme_);
+    if (leveler_) leveler_->OnWrite(*device_, scheme_);
+    return r;
+  }
+
+  /// Seeds a logical segment without cost accounting (load phase).
+  void Seed(size_t logical, const BitVector& content) {
+    device_->SeedSegment(Physical(logical), content);
+  }
+
+  size_t Physical(size_t logical) const {
+    return leveler_ ? leveler_->Map(logical) : logical;
+  }
+
+  NvmDevice& device() { return *device_; }
+  const NvmDevice& device() const { return *device_; }
+  WriteScheme& scheme() { return *scheme_; }
+  const StartGapLeveler* leveler() const {
+    return leveler_ ? &*leveler_ : nullptr;
+  }
+
+ private:
+  NvmDevice* device_;
+  WriteScheme* scheme_;
+  size_t num_logical_;
+  std::optional<StartGapLeveler> leveler_;
+};
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_CONTROLLER_H_

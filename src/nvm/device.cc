@@ -1,0 +1,156 @@
+#include "nvm/device.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace e2nvm::nvm {
+
+NvmDevice::NvmDevice(const DeviceConfig& config, EnergyMeter* meter)
+    : config_(config),
+      segments_(config.num_segments, BitVector(config.segment_bits)),
+      seg_writes_(config.num_segments, 0),
+      model_(config.pcm),
+      meter_(meter != nullptr ? meter : &own_meter_) {
+  if (config_.track_bit_wear) {
+    bit_wear_.assign(config_.num_segments * config_.segment_bits, 0);
+  }
+}
+
+const BitVector& NvmDevice::ReadSegment(size_t seg) {
+  E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
+  ++stats_.reads;
+  meter_->Charge(EnergyDomain::kPmemRead,
+                 model_.ReadPj(config_.segment_bits));
+  size_t lines = (config_.segment_bits + kCacheLineBits - 1) / kCacheLineBits;
+  meter_->AdvanceTime(model_.ReadNs(lines));
+  return segments_[seg];
+}
+
+void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
+                             size_t* set_bits, size_t* reset_bits) {
+  BitVector& cells = segments_[seg];
+  size_t sets = 0;
+  size_t resets = 0;
+  const auto& old_words = cells.words();
+  const auto& new_words = stored.words();
+  for (size_t w = 0; w < old_words.size(); ++w) {
+    uint64_t diff = old_words[w] ^ new_words[w];
+    if (diff == 0) continue;
+    sets += static_cast<size_t>(std::popcount(diff & new_words[w]));
+    resets += static_cast<size_t>(std::popcount(diff & old_words[w]));
+    if (config_.track_bit_wear) {
+      uint64_t d = diff;
+      while (d != 0) {
+        int bit = std::countr_zero(d);
+        d &= d - 1;
+        size_t idx = seg * config_.segment_bits + w * 64 +
+                     static_cast<size_t>(bit);
+        if (idx < bit_wear_.size()) ++bit_wear_[idx];
+      }
+    }
+  }
+  cells = stored;
+  *set_bits = sets;
+  *reset_bits = resets;
+}
+
+WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
+                                    WriteScheme& scheme) {
+  E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
+  E2_CHECK(data.size() == config_.segment_bits,
+           "data size %zu != segment bits %zu", data.size(),
+           config_.segment_bits);
+  const BitVector& old = segments_[seg];
+  WriteResult result = scheme.Write(seg, old, data);
+  E2_CHECK(result.stored.size() == config_.segment_bits,
+           "scheme %s produced wrong stored size",
+           std::string(scheme.name()).c_str());
+
+  size_t set_bits = 0;
+  size_t reset_bits = 0;
+  size_t dirty =
+      result.stored.DirtyLines(old, kCacheLineBits);
+  CommitStored(seg, result.stored, &set_bits, &reset_bits);
+
+  ++stats_.writes;
+  ++seg_writes_[seg];
+  stats_.data_bits_flipped += result.data_bits_flipped;
+  stats_.aux_bits_flipped += result.aux_bits_flipped;
+  stats_.set_transitions += set_bits;
+  stats_.reset_transitions += reset_bits;
+  stats_.dirty_lines += dirty;
+  stats_.logical_bits_written += data.size();
+
+  // Aux flips happen in metadata cells; charge them at SET cost and fold
+  // into the write energy.
+  double pj = model_.WritePj(set_bits, reset_bits, dirty) +
+              static_cast<double>(result.aux_bits_flipped) *
+                  config_.pcm.set_energy_pj;
+  meter_->Charge(EnergyDomain::kPmemWrite, pj);
+  meter_->AdvanceTime(model_.WriteNs(dirty));
+  return result;
+}
+
+void NvmDevice::SeedSegment(size_t seg, const BitVector& content) {
+  E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
+  E2_CHECK(content.size() == config_.segment_bits,
+           "seed size %zu != segment bits %zu", content.size(),
+           config_.segment_bits);
+  segments_[seg] = content;
+}
+
+void NvmDevice::MigrateSegment(size_t src, size_t dst) {
+  E2_CHECK(src < segments_.size() && dst < segments_.size(),
+           "migrate out of range");
+  const BitVector stored = segments_[src];
+  const BitVector& old = segments_[dst];
+  size_t flips = stored.HammingDistance(old);
+  size_t dirty = stored.DirtyLines(old, kCacheLineBits);
+  size_t set_bits = 0;
+  size_t reset_bits = 0;
+  CommitStored(dst, stored, &set_bits, &reset_bits);
+  ++stats_.writes;
+  ++seg_writes_[dst];
+  stats_.data_bits_flipped += flips;
+  stats_.set_transitions += set_bits;
+  stats_.reset_transitions += reset_bits;
+  stats_.dirty_lines += dirty;
+  meter_->Charge(EnergyDomain::kPmemWrite,
+                 model_.WritePj(set_bits, reset_bits, dirty) +
+                     model_.ReadPj(config_.segment_bits));
+  meter_->AdvanceTime(model_.WriteNs(dirty));
+}
+
+void NvmDevice::ResetStats() { stats_ = DeviceStats{}; }
+
+Histogram NvmDevice::SegmentWriteHistogram() const {
+  Histogram h;
+  for (uint64_t c : seg_writes_) h.Add(c);
+  return h;
+}
+
+StatusOr<Histogram> NvmDevice::BitWearHistogram() const {
+  if (!config_.track_bit_wear) {
+    return Status::FailedPrecondition(
+        "device created without track_bit_wear");
+  }
+  Histogram h;
+  for (uint32_t c : bit_wear_) h.Add(c);
+  return h;
+}
+
+uint64_t NvmDevice::MaxCellWear() const {
+  if (config_.track_bit_wear) {
+    uint32_t mx = 0;
+    for (uint32_t c : bit_wear_) mx = std::max(mx, c);
+    return mx;
+  }
+  // Without per-bit tracking, a segment write is an upper bound on any
+  // cell's wear within it.
+  uint64_t mx = 0;
+  for (uint64_t c : seg_writes_) mx = std::max(mx, c);
+  return mx;
+}
+
+}  // namespace e2nvm::nvm

@@ -1,0 +1,148 @@
+#ifndef E2NVM_NVM_DEVICE_H_
+#define E2NVM_NVM_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "nvm/constants.h"
+#include "nvm/energy.h"
+#include "nvm/write_scheme.h"
+
+namespace e2nvm::nvm {
+
+/// Configuration of a simulated NVM device.
+struct DeviceConfig {
+  /// Number of fixed-size memory segments.
+  size_t num_segments = 1024;
+  /// Bits per segment (the paper's motivating block is 256 B = 2048 bits).
+  size_t segment_bits = 2048;
+  /// Track per-bit flip counts (needed by the Fig 19 wear CDFs; costs
+  /// 4 bytes per cell).
+  bool track_bit_wear = false;
+  /// Physical cost parameters.
+  PcmParams pcm;
+};
+
+/// Aggregate device statistics.
+struct DeviceStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t data_bits_flipped = 0;
+  uint64_t aux_bits_flipped = 0;
+  uint64_t set_transitions = 0;    // 0 -> 1 programs
+  uint64_t reset_transitions = 0;  // 1 -> 0 programs
+  uint64_t dirty_lines = 0;
+  uint64_t logical_bits_written = 0;  // Payload size of every write summed.
+
+  uint64_t total_bits_flipped() const {
+    return data_bits_flipped + aux_bits_flipped;
+  }
+  /// The paper's headline metric: average bit updates per write (Fig 2)
+  /// or per written data bit (Fig 12).
+  double FlipsPerWrite() const {
+    return writes ? static_cast<double>(total_bits_flipped()) /
+                        static_cast<double>(writes)
+                  : 0.0;
+  }
+  double FlipsPerDataBit() const {
+    return logical_bits_written
+               ? static_cast<double>(total_bits_flipped()) /
+                     static_cast<double>(logical_bits_written)
+               : 0.0;
+  }
+};
+
+/// A simulated PCM/Optane device: an array of fixed-size bit segments with
+/// per-segment write counters, optional per-bit wear tracking, and energy /
+/// latency accounting through an EnergyMeter.
+///
+/// This is the substitution for the paper's real Optane DIMM: the paper
+/// itself measures bit flips on an *emulated* device (§5.2, "bit flip
+/// reduction ... cannot be measured using the real device") and shows
+/// (Fig 1) that Optane energy is monotone in flips, which is precisely the
+/// coupling this model implements.
+class NvmDevice {
+ public:
+  /// Creates a device with all cells zero. The meter is optional; if null,
+  /// an internal meter is used.
+  explicit NvmDevice(const DeviceConfig& config,
+                     EnergyMeter* meter = nullptr);
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  size_t num_segments() const { return config_.num_segments; }
+  size_t segment_bits() const { return config_.segment_bits; }
+  const DeviceConfig& config() const { return config_; }
+
+  /// Reads segment `seg`, charging read energy and latency.
+  const BitVector& ReadSegment(size_t seg);
+
+  /// Zero-cost inspection of a segment's content — used for software
+  /// bookkeeping that would live in DRAM copies (training snapshots), not
+  /// for the datapath.
+  const BitVector& PeekSegment(size_t seg) const {
+    return segments_[seg];
+  }
+
+  /// Writes `data` to segment `seg` through `scheme`, updating storage,
+  /// flip counters, per-bit wear, and charging energy/latency.
+  /// `data.size()` must equal segment_bits().
+  WriteResult WriteSegment(size_t seg, const BitVector& data,
+                           WriteScheme& scheme);
+
+  /// Seeds a segment's cells without counting flips or energy (device
+  /// initialization; the paper's "load phase" content).
+  void SeedSegment(size_t seg, const BitVector& content);
+
+  /// Copies segment `src`'s raw cells onto segment `dst` differentially,
+  /// counting flips/energy (used by wear-leveling gap moves).
+  void MigrateSegment(size_t src, size_t dst);
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// Per-segment write counts (Fig 19's "maximum update addresses" CDF).
+  const std::vector<uint64_t>& segment_write_counts() const {
+    return seg_writes_;
+  }
+
+  /// Histogram of per-segment write counts.
+  Histogram SegmentWriteHistogram() const;
+
+  /// Histogram of per-bit flip counts; requires track_bit_wear.
+  StatusOr<Histogram> BitWearHistogram() const;
+
+  /// Highest per-cell flip count seen (endurance headroom check).
+  uint64_t MaxCellWear() const;
+
+  /// Fraction of device endurance consumed by the most-worn cell.
+  double LifetimeConsumed() const {
+    return static_cast<double>(MaxCellWear()) /
+           static_cast<double>(config_.pcm.endurance_writes);
+  }
+
+  EnergyMeter& meter() { return *meter_; }
+  const EnergyModel& energy_model() const { return model_; }
+
+ private:
+  /// Applies `stored` to the segment cells, counting transitions and wear.
+  void CommitStored(size_t seg, const BitVector& stored,
+                    size_t* set_bits, size_t* reset_bits);
+
+  DeviceConfig config_;
+  std::vector<BitVector> segments_;
+  std::vector<uint64_t> seg_writes_;
+  std::vector<uint32_t> bit_wear_;  // Flattened [seg * segment_bits + bit].
+  DeviceStats stats_;
+  EnergyModel model_;
+  EnergyMeter own_meter_;
+  EnergyMeter* meter_;
+};
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_DEVICE_H_

@@ -1,0 +1,130 @@
+#ifndef E2NVM_NVM_ENERGY_H_
+#define E2NVM_NVM_ENERGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nvm/constants.h"
+
+namespace e2nvm::nvm {
+
+/// Energy accounting domains, mirroring the RAPL domains the paper samples
+/// with `perf` (package, DRAM, and we separate PMem writes/reads and the
+/// CPU cost of the ML models).
+enum class EnergyDomain : int {
+  kPmemWrite = 0,
+  kPmemRead = 1,
+  kDram = 2,
+  kCpuModel = 3,  // VAE/K-means/LSTM training + prediction
+  kNumDomains = 4,
+};
+
+/// A RAPL-style accumulating energy meter. Components charge picojoules to
+/// domains; experiments snapshot or sample the meter to produce the
+/// energy series of Figs 1, 7, 8, 11, 13, 16, 18.
+///
+/// The meter also carries a simulated clock (nanoseconds) so timeline
+/// experiments (Fig 16) can plot cumulative energy against simulated time.
+class EnergyMeter {
+ public:
+  /// Adds `pj` picojoules to `domain`.
+  void Charge(EnergyDomain domain, double pj) {
+    pj_[static_cast<int>(domain)] += pj;
+  }
+
+  /// Advances the simulated clock.
+  void AdvanceTime(double ns) { now_ns_ += ns; }
+
+  double now_ns() const { return now_ns_; }
+
+  /// Energy of one domain, picojoules.
+  double DomainPj(EnergyDomain domain) const {
+    return pj_[static_cast<int>(domain)];
+  }
+
+  /// Total "package" energy across all domains, picojoules.
+  double TotalPj() const {
+    double s = 0;
+    for (double v : pj_) s += v;
+    return s;
+  }
+
+  /// Total energy in millijoules, convenient for printing.
+  double TotalMj() const { return TotalPj() * 1e-9; }
+
+  void Reset() {
+    for (double& v : pj_) v = 0;
+    now_ns_ = 0;
+  }
+
+  /// Records a (time, cumulative total energy) sample, for timelines.
+  void Sample() { samples_.emplace_back(now_ns_, TotalPj()); }
+  const std::vector<std::pair<double, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  double pj_[static_cast<int>(EnergyDomain::kNumDomains)] = {0, 0, 0, 0};
+  double now_ns_ = 0;
+  std::vector<std::pair<double, double>> samples_;
+};
+
+/// Converts device events to energy/latency using PcmParams. Stateless;
+/// shared by the device and by software-layer components that need to
+/// charge CPU/DRAM costs.
+class EnergyModel {
+ public:
+  explicit EnergyModel(PcmParams params) : p_(params) {}
+
+  const PcmParams& params() const { return p_; }
+
+  /// Energy of one write request that flips `set_bits` 0->1, `reset_bits`
+  /// 1->0 and dirties `dirty_lines` cache lines. Picojoules. Includes the
+  /// fixed per-request overhead.
+  double WritePj(size_t set_bits, size_t reset_bits,
+                 size_t dirty_lines) const {
+    return p_.request_overhead_pj +
+           static_cast<double>(set_bits) * p_.set_energy_pj +
+           static_cast<double>(reset_bits) * p_.reset_energy_pj +
+           static_cast<double>(dirty_lines) * p_.line_overhead_pj;
+  }
+
+  /// Energy of reading `bits` cells. Picojoules.
+  double ReadPj(size_t bits) const {
+    return static_cast<double>(bits) * p_.read_energy_pj;
+  }
+
+  /// Latency of a write dirtying `dirty_lines` lines. Nanoseconds.
+  double WriteNs(size_t dirty_lines) const {
+    return p_.write_base_ns +
+           static_cast<double>(dirty_lines) * p_.write_ns_per_line;
+  }
+
+  /// Latency of reading `lines` cache lines. Nanoseconds.
+  double ReadNs(size_t lines) const {
+    return static_cast<double>(lines) * p_.read_ns_per_line;
+  }
+
+  /// DRAM bookkeeping traffic energy (DAP updates, index writes).
+  double DramPj(size_t bits) const {
+    return static_cast<double>(bits) * p_.dram_energy_pj_per_bit;
+  }
+
+  /// CPU energy for `flops` floating-point operations (model math).
+  double CpuPj(double flops) const {
+    return flops * p_.cpu_energy_pj_per_flop;
+  }
+
+  /// CPU time for `flops` floating-point operations, nanoseconds.
+  double CpuNs(double flops) const {
+    return flops / p_.cpu_flops_per_second * 1e9;
+  }
+
+ private:
+  PcmParams p_;
+};
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_ENERGY_H_

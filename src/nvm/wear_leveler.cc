@@ -1,0 +1,30 @@
+#include "nvm/wear_leveler.h"
+
+namespace e2nvm::nvm {
+
+bool StartGapLeveler::OnWrite(NvmDevice& device, WriteScheme* scheme) {
+  if (psi_ == 0) return false;
+  ++writes_;
+  if (writes_ % psi_ != 0) return false;
+  MoveGap(device, scheme);
+  return true;
+}
+
+void StartGapLeveler::MoveGap(NvmDevice& device, WriteScheme* scheme) {
+  ++moves_;
+  if (gap_ == 0) {
+    // Wrap: the logical segment living at physical slot n_ moves into
+    // slot 0 and the start register advances one step.
+    device.MigrateSegment(/*src=*/n_, /*dst=*/0);
+    if (scheme != nullptr) scheme->OnMigrate(n_, 0);
+    gap_ = n_;
+    start_ = (start_ + 1) % n_;
+  } else {
+    // The segment just below the gap slides up into it.
+    device.MigrateSegment(/*src=*/gap_ - 1, /*dst=*/gap_);
+    if (scheme != nullptr) scheme->OnMigrate(gap_ - 1, gap_);
+    gap_ -= 1;
+  }
+}
+
+}  // namespace e2nvm::nvm

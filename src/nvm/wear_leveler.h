@@ -1,0 +1,65 @@
+#ifndef E2NVM_NVM_WEAR_LEVELER_H_
+#define E2NVM_NVM_WEAR_LEVELER_H_
+
+#include <cstdint>
+
+#include "nvm/device.h"
+
+namespace e2nvm::nvm {
+
+/// Start-Gap wear leveling (Qureshi et al., MICRO'09), the style of
+/// rotation the paper assumes the proprietary controller performs: "a
+/// memory segment swap every psi write operations, typically on the order
+/// of 10s of writes" (§2.1).
+///
+/// The device exposes N+1 physical segments for N logical ones; the extra
+/// slot is the *gap*. Every `psi` logical writes the gap moves one slot
+/// (a segment's cells are physically copied into the gap — this copy costs
+/// real bit flips, which is why very small psi hurts every scheme in
+/// Fig 2). After the gap traverses all slots, the start register advances,
+/// slowly rotating the whole address space over the physical cells.
+class StartGapLeveler {
+ public:
+  /// `num_logical`: logical segments (device must have num_logical + 1
+  /// physical segments). `psi`: writes between gap moves; psi == 0
+  /// disables leveling.
+  StartGapLeveler(size_t num_logical, uint64_t psi)
+      : n_(num_logical), psi_(psi), gap_(num_logical) {}
+
+  /// Maps a logical segment to its current physical slot.
+  size_t Map(size_t logical) const {
+    size_t pa = (logical + start_) % n_;
+    if (pa >= gap_) ++pa;
+    return pa;
+  }
+
+  /// Notifies the leveler of one completed logical write; performs a gap
+  /// move on `device` when the period elapses. `scheme` (optional) is
+  /// told about the migration so per-segment aux state follows the cells.
+  /// Returns true if a move happened.
+  bool OnWrite(NvmDevice& device, WriteScheme* scheme = nullptr);
+
+  /// Forces a gap move regardless of the period (tests).
+  void ForceMove(NvmDevice& device, WriteScheme* scheme = nullptr) {
+    MoveGap(device, scheme);
+  }
+
+  uint64_t psi() const { return psi_; }
+  size_t gap() const { return gap_; }
+  size_t start() const { return start_; }
+  uint64_t moves() const { return moves_; }
+
+ private:
+  void MoveGap(NvmDevice& device, WriteScheme* scheme);
+
+  size_t n_;
+  uint64_t psi_;
+  size_t start_ = 0;
+  size_t gap_;  // In [0, n_]; physical slot currently unmapped.
+  uint64_t writes_ = 0;
+  uint64_t moves_ = 0;
+};
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_WEAR_LEVELER_H_

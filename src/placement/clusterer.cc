@@ -1,0 +1,32 @@
+#include "placement/clusterer.h"
+
+namespace e2nvm::placement {
+
+Status RawKMeansClusterer::Train(const ml::Matrix& contents) {
+  E2_RETURN_IF_ERROR(kmeans_.Fit(contents));
+  train_flops_ = kmeans_.FitFlops(contents.rows());
+  return Status::Ok();
+}
+
+size_t RawKMeansClusterer::PredictCluster(
+    const std::vector<float>& features) {
+  return kmeans_.Predict(features.data(), features.size());
+}
+
+Status PcaKMeansClusterer::Train(const ml::Matrix& contents) {
+  E2_RETURN_IF_ERROR(pca_.Fit(contents));
+  ml::Matrix projected = pca_.Transform(contents);
+  E2_RETURN_IF_ERROR(kmeans_.Fit(projected));
+  train_flops_ =
+      pca_.FitFlops(contents.rows()) + kmeans_.FitFlops(contents.rows());
+  return Status::Ok();
+}
+
+size_t PcaKMeansClusterer::PredictCluster(
+    const std::vector<float>& features) {
+  std::vector<float> projected =
+      pca_.TransformOne(features.data(), features.size());
+  return kmeans_.Predict(projected.data(), projected.size());
+}
+
+}  // namespace e2nvm::placement

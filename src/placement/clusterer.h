@@ -1,0 +1,145 @@
+#ifndef E2NVM_PLACEMENT_CLUSTERER_H_
+#define E2NVM_PLACEMENT_CLUSTERER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/kmeans.h"
+#include "ml/matrix.h"
+#include "ml/pca.h"
+
+namespace e2nvm::placement {
+
+/// The common abstraction behind every memory-aware placement policy in
+/// the paper: a model trained on the bit contents of memory segments that
+/// maps any content vector to a cluster of similar contents.
+///
+/// Implementations:
+///  - SingleClusterer     — k=1; degenerates to arbitrary placement (the
+///                          Fig 10 "k=1" baseline, equivalent to plain DCW);
+///  - RawKMeansClusterer  — PNW [26] mode 1: K-means directly on bits;
+///  - PcaKMeansClusterer  — PNW [26] mode 2: PCA then K-means;
+///  - core::E2Model       — the paper's contribution: VAE + K-means,
+///                          optionally jointly fine-tuned.
+class ContentClusterer {
+ public:
+  virtual ~ContentClusterer() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Trains (or re-trains) on segment contents, one row per segment.
+  virtual Status Train(const ml::Matrix& contents) = 0;
+
+  /// Maps a content vector (0/1 floats, length = input dim) to a cluster.
+  virtual size_t PredictCluster(const std::vector<float>& features) = 0;
+
+  virtual size_t num_clusters() const = 0;
+
+  /// Multiply-accumulates of one PredictCluster call (prediction-latency
+  /// and CPU-energy accounting, Figs 4 and 10).
+  virtual double PredictFlops() const = 0;
+
+  /// Multiply-accumulates consumed by the most recent Train call.
+  virtual double LastTrainFlops() const = 0;
+};
+
+/// k = 1: every segment is in the single cluster; placement degenerates to
+/// "first free address".
+class SingleClusterer : public ContentClusterer {
+ public:
+  std::string_view name() const override { return "single"; }
+  Status Train(const ml::Matrix& contents) override {
+    return Status::Ok();
+  }
+  size_t PredictCluster(const std::vector<float>& features) override {
+    return 0;
+  }
+  size_t num_clusters() const override { return 1; }
+  double PredictFlops() const override { return 0; }
+  double LastTrainFlops() const override { return 0; }
+};
+
+/// PNW mode 1: K-means directly on the raw bit features. Accurate but its
+/// cost scales linearly with the bit width, which is why the paper finds
+/// it infeasible beyond a few thousand features (Fig 4).
+class RawKMeansClusterer : public ContentClusterer {
+ public:
+  RawKMeansClusterer(size_t k, uint64_t seed = 42, int max_iters = 50,
+                     double tol = 1e-4)
+      : kmeans_({.k = k, .max_iters = max_iters, .tol = tol,
+                 .seed = seed}) {}
+
+  std::string_view name() const override { return "PNW-kmeans"; }
+  Status Train(const ml::Matrix& contents) override;
+  size_t PredictCluster(const std::vector<float>& features) override;
+  size_t num_clusters() const override { return kmeans_.k(); }
+  double PredictFlops() const override { return kmeans_.PredictFlops(); }
+  double LastTrainFlops() const override { return train_flops_; }
+
+ private:
+  ml::KMeans kmeans_;
+  double train_flops_ = 0;
+};
+
+/// DATACON-style placement (Song et al. [48]): the memory controller
+/// redirects each write toward regions whose cells are predominantly
+/// zeros or predominantly ones, matching the incoming content's polarity.
+/// Modeled as a density clusterer: `k` buckets over the fraction of 1
+/// bits. Training is trivial (no model), prediction is a popcount — the
+/// cheapest possible content-awareness, and the natural midpoint between
+/// arbitrary placement and PNW/E2-NVM.
+class DensityClusterer : public ContentClusterer {
+ public:
+  explicit DensityClusterer(size_t k = 2) : k_(k) {}
+
+  std::string_view name() const override { return "DATACON"; }
+  Status Train(const ml::Matrix& contents) override {
+    return Status::Ok();
+  }
+  size_t PredictCluster(const std::vector<float>& features) override {
+    double ones = 0;
+    for (float f : features) ones += f >= 0.5f ? 1.0 : 0.0;
+    double frac = features.empty()
+                      ? 0.0
+                      : ones / static_cast<double>(features.size());
+    size_t bucket = static_cast<size_t>(frac * static_cast<double>(k_));
+    return bucket >= k_ ? k_ - 1 : bucket;
+  }
+  size_t num_clusters() const override { return k_; }
+  double PredictFlops() const override { return 2.0; }  // A popcount.
+  double LastTrainFlops() const override { return 0; }
+
+ private:
+  size_t k_;
+};
+
+/// PNW mode 2: PCA to `components` dimensions, then K-means in the
+/// projected space. Cheaper at high dimensionality but loses information
+/// (more bit flips than mode 1 — the Fig 4 trade-off).
+class PcaKMeansClusterer : public ContentClusterer {
+ public:
+  PcaKMeansClusterer(size_t k, size_t components, uint64_t seed = 42,
+                     int max_iters = 50)
+      : pca_({.num_components = components, .seed = seed}),
+        kmeans_({.k = k, .max_iters = max_iters, .seed = seed}) {}
+
+  std::string_view name() const override { return "PNW-pca"; }
+  Status Train(const ml::Matrix& contents) override;
+  size_t PredictCluster(const std::vector<float>& features) override;
+  size_t num_clusters() const override { return kmeans_.k(); }
+  double PredictFlops() const override {
+    return pca_.TransformFlops() + kmeans_.PredictFlops();
+  }
+  double LastTrainFlops() const override { return train_flops_; }
+
+ private:
+  ml::Pca pca_;
+  ml::KMeans kmeans_;
+  double train_flops_ = 0;
+};
+
+}  // namespace e2nvm::placement
+
+#endif  // E2NVM_PLACEMENT_CLUSTERER_H_

@@ -1,0 +1,100 @@
+#include "pmem/allocator.h"
+
+#include <bit>
+#include <cstring>
+
+namespace e2nvm::pmem {
+
+namespace {
+constexpr uint64_t kAllocatedBit = 1;
+
+uint64_t* ChunkHeaderAt(Pool* pool, PoolOffset payload) {
+  return pool->As<uint64_t>(payload - Allocator::kChunkHeaderBytes);
+}
+}  // namespace
+
+Allocator::Allocator(Pool* pool)
+    : pool_(pool), state_off_(pool->header()->heap_state) {
+  auto* s = state();
+  if (s->initialized != 1) {
+    std::memset(s, 0, sizeof(HeapState));
+    s->initialized = 1;
+    s->bump = state_off_ + sizeof(HeapState);
+    // Align bump to 32 bytes for tidy chunk placement.
+    s->bump = (s->bump + 31) & ~PoolOffset{31};
+    s->heap_end = pool->size();
+    pool->Persist(state_off_, sizeof(HeapState));
+  }
+}
+
+int Allocator::ClassFor(size_t payload) {
+  if (payload < kMinChunk) payload = kMinChunk;
+  // Round up to a power of two, then take log2 relative to kMinChunk.
+  size_t rounded = std::bit_ceil(payload);
+  int c = std::countr_zero(rounded) - std::countr_zero(kMinChunk);
+  return c;
+}
+
+StatusOr<PoolOffset> Allocator::Alloc(size_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  int c = ClassFor(size);
+  if (c >= kNumClasses) {
+    return Status::InvalidArgument("allocation too large for any class");
+  }
+  auto* s = state();
+  size_t payload = ClassSize(c);
+  PoolOffset result = kNullOffset;
+  if (s->free_lists[c] != kNullOffset) {
+    // Pop the head of the class free list.
+    result = s->free_lists[c];
+    PoolOffset next = *pool_->As<PoolOffset>(result);
+    s->free_lists[c] = next;
+  } else {
+    size_t chunk = kChunkHeaderBytes + payload;
+    if (s->bump + chunk > s->heap_end) {
+      return Status::ResourceExhausted("pool heap exhausted");
+    }
+    PoolOffset header_off = s->bump;
+    s->bump += chunk;
+    *pool_->As<uint64_t>(header_off) = chunk;  // size, not yet allocated
+    result = header_off + kChunkHeaderBytes;
+  }
+  uint64_t* hdr = ChunkHeaderAt(pool_, result);
+  *hdr |= kAllocatedBit;
+  s->allocated_bytes += payload;
+  s->live_objects += 1;
+  pool_->Persist(result - kChunkHeaderBytes, kChunkHeaderBytes);
+  pool_->Persist(state_off_, sizeof(HeapState));
+  return result;
+}
+
+Status Allocator::Free(PoolOffset off) {
+  if (off == kNullOffset || off < state_off_ + sizeof(HeapState)) {
+    return Status::InvalidArgument("free of invalid offset");
+  }
+  uint64_t* hdr = ChunkHeaderAt(pool_, off);
+  if ((*hdr & kAllocatedBit) == 0) {
+    return Status::FailedPrecondition("double free detected");
+  }
+  size_t chunk = *hdr & ~kAllocatedBit;
+  size_t payload = chunk - kChunkHeaderBytes;
+  int c = ClassFor(payload);
+  *hdr &= ~kAllocatedBit;
+  auto* s = state();
+  // Push onto the class free list.
+  *pool_->As<PoolOffset>(off) = s->free_lists[c];
+  s->free_lists[c] = off;
+  s->allocated_bytes -= payload;
+  s->live_objects -= 1;
+  pool_->Persist(off - kChunkHeaderBytes, kChunkHeaderBytes + 8);
+  pool_->Persist(state_off_, sizeof(HeapState));
+  return Status::Ok();
+}
+
+size_t Allocator::UsableSize(PoolOffset off) const {
+  const uint64_t* hdr =
+      pool_->As<const uint64_t>(off - kChunkHeaderBytes);
+  return (*hdr & ~kAllocatedBit) - kChunkHeaderBytes;
+}
+
+}  // namespace e2nvm::pmem

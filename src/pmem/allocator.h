@@ -1,0 +1,80 @@
+#ifndef E2NVM_PMEM_ALLOCATOR_H_
+#define E2NVM_PMEM_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "pmem/pool.h"
+
+namespace e2nvm::pmem {
+
+/// A persistent segregated-fit allocator over a Pool, the analogue of
+/// libpmemobj's object allocator. All allocator state (bump pointer and
+/// per-class free lists) lives *inside* the pool, so a reopened pool
+/// resumes allocation where it left off.
+///
+/// Design:
+///  - Sizes are rounded up to power-of-two classes starting at 32 bytes.
+///  - Every chunk is preceded by an 8-byte header holding the chunk size
+///    (including header) with the low bit as the allocated flag.
+///  - Free chunks thread an intrusive singly-linked list through their
+///    first payload word (offset of next free chunk).
+///
+/// Thread-compatibility: the allocator itself is not synchronized; callers
+/// (the KV store) serialize allocation, matching the paper's single
+/// allocator path.
+class Allocator {
+ public:
+  /// Number of power-of-two size classes: class i serves 32 << i bytes.
+  static constexpr int kNumClasses = 26;  // up to 1 GiB chunks
+  static constexpr size_t kMinChunk = 32;
+  static constexpr size_t kChunkHeaderBytes = 8;
+
+  /// Persistent allocator state (lives at pool->header()->heap_state).
+  struct HeapState {
+    uint64_t initialized;
+    PoolOffset bump;               // Next never-allocated byte.
+    PoolOffset heap_end;           // One past the last usable byte.
+    PoolOffset free_lists[kNumClasses];
+    uint64_t allocated_bytes;      // Live payload bytes (rounded).
+    uint64_t live_objects;
+  };
+
+  /// Attaches to (and if necessary formats) the heap of `pool`.
+  explicit Allocator(Pool* pool);
+
+  /// Allocates at least `size` payload bytes; returns the payload offset.
+  StatusOr<PoolOffset> Alloc(size_t size);
+
+  /// Frees a payload offset previously returned by Alloc.
+  Status Free(PoolOffset off);
+
+  /// Payload capacity of an allocated offset (its class size).
+  size_t UsableSize(PoolOffset off) const;
+
+  uint64_t allocated_bytes() const { return state()->allocated_bytes; }
+  uint64_t live_objects() const { return state()->live_objects; }
+  /// Bytes remaining in the never-allocated region.
+  uint64_t BumpRemaining() const {
+    return state()->heap_end - state()->bump;
+  }
+
+  /// Size class index for a payload size; exposed for tests.
+  static int ClassFor(size_t payload);
+  /// Payload bytes served by class `c`.
+  static size_t ClassSize(int c) { return kMinChunk << c; }
+
+ private:
+  HeapState* state() { return pool_->As<HeapState>(state_off_); }
+  const HeapState* state() const {
+    return pool_->As<const HeapState>(state_off_);
+  }
+
+  Pool* pool_;
+  PoolOffset state_off_;
+};
+
+}  // namespace e2nvm::pmem
+
+#endif  // E2NVM_PMEM_ALLOCATOR_H_

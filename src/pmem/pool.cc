@@ -1,0 +1,165 @@
+#include "pmem/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "pmem/tx.h"
+
+namespace e2nvm::pmem {
+
+Pool::~Pool() {
+  if (!closed_) Close();
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::unique_ptr<Pool>> Pool::Create(const std::string& path,
+                                             const std::string& layout,
+                                             size_t size) {
+  if (size < kHeaderBytes + TxLog::kLogBytes + 4096) {
+    return Status::InvalidArgument("pool size too small");
+  }
+  if (layout.size() >= sizeof(Header::layout)) {
+    return Status::InvalidArgument("layout name too long");
+  }
+  struct stat st;
+  if (stat(path.c_str(), &st) == 0) {
+    return Status::AlreadyExists("pool file exists: " + path);
+  }
+  std::unique_ptr<Pool> pool(new Pool());
+  E2_RETURN_IF_ERROR(pool->MapFile(path, size, /*create=*/true));
+  pool->InitHeader(layout, size);
+  return pool;
+}
+
+StatusOr<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
+                                           const std::string& layout) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("pool file not found: " + path);
+  }
+  std::unique_ptr<Pool> pool(new Pool());
+  E2_RETURN_IF_ERROR(
+      pool->MapFile(path, static_cast<size_t>(st.st_size), /*create=*/false));
+  E2_RETURN_IF_ERROR(pool->ValidateHeader(layout));
+  pool->layout_ = layout;
+  pool->recovered_ = pool->header()->clean_shutdown == 0;
+  pool->RunRecovery();
+  pool->header()->clean_shutdown = 0;
+  pool->Persist(0, sizeof(Header));
+  return pool;
+}
+
+StatusOr<std::unique_ptr<Pool>> Pool::CreateAnonymous(
+    const std::string& layout, size_t size) {
+  if (size < kHeaderBytes + TxLog::kLogBytes + 4096) {
+    return Status::InvalidArgument("pool size too small");
+  }
+  if (layout.size() >= sizeof(Header::layout)) {
+    return Status::InvalidArgument("layout name too long");
+  }
+  std::unique_ptr<Pool> pool(new Pool());
+  void* mem = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::ResourceExhausted("mmap failed for anonymous pool");
+  }
+  pool->base_ = mem;
+  pool->size_ = size;
+  pool->anonymous_ = true;
+  pool->InitHeader(layout, size);
+  return pool;
+}
+
+Status Pool::MapFile(const std::string& path, size_t size, bool create) {
+  int flags = create ? (O_RDWR | O_CREAT | O_EXCL) : O_RDWR;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Internal("open failed for pool file: " + path);
+  }
+  if (create && ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return Status::Internal("ftruncate failed for pool file");
+  }
+  void* mem =
+      mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mem == MAP_FAILED) {
+    ::close(fd);
+    return Status::ResourceExhausted("mmap failed for pool file");
+  }
+  base_ = mem;
+  size_ = size;
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void Pool::InitHeader(const std::string& layout, size_t size) {
+  layout_ = layout;
+  auto* h = header();
+  std::memset(h, 0, sizeof(Header));
+  h->magic = Header::kMagic;
+  h->version = kVersion;
+  std::strncpy(h->layout, layout.c_str(), sizeof(h->layout) - 1);
+  h->pool_size = size;
+  h->root = kNullOffset;
+  h->clean_shutdown = 0;
+  h->tx_log = kHeaderBytes;
+  h->heap_state = kHeaderBytes + TxLog::kLogBytes;
+  TxLog::InitAt(*this, h->tx_log);
+  Persist(0, sizeof(Header));
+}
+
+Status Pool::ValidateHeader(const std::string& layout) const {
+  const auto* h = header();
+  if (h->magic != Header::kMagic) {
+    return Status::DataLoss("bad pool magic");
+  }
+  if (h->version != kVersion) {
+    return Status::FailedPrecondition("unsupported pool version");
+  }
+  if (h->pool_size != size_) {
+    return Status::DataLoss("pool size mismatch with file size");
+  }
+  if (layout != h->layout) {
+    return Status::InvalidArgument("layout mismatch: pool has '" +
+                                   std::string(h->layout) + "'");
+  }
+  return Status::Ok();
+}
+
+void Pool::RunRecovery() {
+  TxLog log(this, header()->tx_log);
+  log.Recover();
+}
+
+void Pool::Close() {
+  if (closed_ || base_ == nullptr) return;
+  header()->clean_shutdown = 1;
+  Persist(0, sizeof(Header));
+  if (!anonymous_ && fd_ >= 0) {
+    msync(base_, size_, MS_SYNC);
+  }
+  closed_ = true;
+}
+
+void Pool::set_root(PoolOffset off) {
+  header()->root = off;
+  Persist(offsetof(Header, root) , sizeof(PoolOffset));
+}
+
+void Pool::Persist(PoolOffset off, size_t len) {
+  flush_tracker_.FlushRange(Direct(off), len);
+  flush_tracker_.Fence();
+}
+
+}  // namespace e2nvm::pmem

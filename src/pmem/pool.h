@@ -1,0 +1,135 @@
+#ifndef E2NVM_PMEM_POOL_H_
+#define E2NVM_PMEM_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "pmem/persist.h"
+
+namespace e2nvm::pmem {
+
+/// Byte offset inside a pool. Offset 0 is reserved (the header), so 0 doubles
+/// as the null offset, mirroring PMDK's OID semantics.
+using PoolOffset = uint64_t;
+inline constexpr PoolOffset kNullOffset = 0;
+
+/// A persistent memory pool: a fixed-size byte region with a recoverable
+/// header, modeled after PMDK's `pmemobj` pools. The region is backed either
+/// by a memory-mapped file (`Create`/`Open` with a path) or by anonymous
+/// memory (`CreateAnonymous`, for tests and simulation where no file system
+/// persistence is needed).
+///
+/// All intra-pool references are PoolOffsets, never raw pointers, so a pool
+/// file reopened at a different base address remains valid — the same
+/// discipline PMDK imposes.
+class Pool {
+ public:
+  /// In-pool header, stored at offset 0. 4 KiB reserved.
+  struct Header {
+    static constexpr uint64_t kMagic = 0xE2B17F11AE2B17F1ull;
+    uint64_t magic;
+    uint64_t version;
+    char layout[32];       // User-chosen layout name, checked on Open.
+    uint64_t pool_size;    // Total bytes including header.
+    PoolOffset root;       // User root object, kNullOffset if unset.
+    uint64_t clean_shutdown;  // 1 if Close() completed; 0 while open.
+    PoolOffset heap_state;    // Allocator persistent state.
+    PoolOffset tx_log;        // Transaction undo log region.
+  };
+  static constexpr size_t kHeaderBytes = 4096;
+  static constexpr uint64_t kVersion = 1;
+
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Creates a new pool file of `size` bytes at `path` with the given layout
+  /// name. Fails if the file exists.
+  static StatusOr<std::unique_ptr<Pool>> Create(const std::string& path,
+                                                const std::string& layout,
+                                                size_t size);
+
+  /// Opens an existing pool file, validating magic/layout, and runs crash
+  /// recovery (rolls back any uncommitted transaction found in the log).
+  static StatusOr<std::unique_ptr<Pool>> Open(const std::string& path,
+                                              const std::string& layout);
+
+  /// Creates a pool backed by anonymous memory (no file). Contents survive
+  /// only as long as the process; used by the device simulator and tests.
+  static StatusOr<std::unique_ptr<Pool>> CreateAnonymous(
+      const std::string& layout, size_t size);
+
+  /// Flushes the header and marks clean shutdown. Called by the destructor
+  /// if not called explicitly.
+  void Close();
+
+  /// Total pool size in bytes (including the header).
+  size_t size() const { return size_; }
+  const std::string& layout() const { return layout_; }
+  /// True if Open() detected an unclean shutdown (recovery ran).
+  bool recovered() const { return recovered_; }
+
+  /// Translates an offset to a pointer. Requires off < size().
+  void* Direct(PoolOffset off) {
+    return static_cast<uint8_t*>(base_) + off;
+  }
+  const void* Direct(PoolOffset off) const {
+    return static_cast<const uint8_t*>(base_) + off;
+  }
+
+  /// Typed accessor: Pool::As<T>(off) — caller asserts T lives at off.
+  template <typename T>
+  T* As(PoolOffset off) {
+    return reinterpret_cast<T*>(Direct(off));
+  }
+  template <typename T>
+  const T* As(PoolOffset off) const {
+    return reinterpret_cast<const T*>(Direct(off));
+  }
+
+  /// Translates a pointer inside the mapping back to an offset.
+  PoolOffset OffsetOf(const void* ptr) const {
+    return static_cast<PoolOffset>(static_cast<const uint8_t*>(ptr) -
+                                   static_cast<const uint8_t*>(base_));
+  }
+
+  /// Root object management (PMDK pmemobj_root analogue).
+  PoolOffset root() const { return header()->root; }
+  void set_root(PoolOffset off);
+
+  /// Persists [off, off+len): counts the flush in the tracker and issues a
+  /// fence. This is the moral equivalent of pmem_persist().
+  void Persist(PoolOffset off, size_t len);
+
+  /// The persistence-cost tracker for this pool.
+  FlushTracker& flush_tracker() { return flush_tracker_; }
+  const FlushTracker& flush_tracker() const { return flush_tracker_; }
+
+  Header* header() { return As<Header>(0); }
+  const Header* header() const { return As<const Header>(0); }
+
+ private:
+  Pool() = default;
+
+  Status MapFile(const std::string& path, size_t size, bool create);
+  void InitHeader(const std::string& layout, size_t size);
+  Status ValidateHeader(const std::string& layout) const;
+  void RunRecovery();
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  int fd_ = -1;
+  bool anonymous_ = false;
+  bool closed_ = false;
+  bool recovered_ = false;
+  std::string layout_;
+  FlushTracker flush_tracker_;
+};
+
+}  // namespace e2nvm::pmem
+
+#endif  // E2NVM_PMEM_POOL_H_

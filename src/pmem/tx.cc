@@ -1,0 +1,94 @@
+#include "pmem/tx.h"
+
+#include <cstring>
+#include <vector>
+
+namespace e2nvm::pmem {
+
+namespace {
+constexpr size_t Align8(size_t n) { return (n + 7) & ~size_t{7}; }
+}  // namespace
+
+void TxLog::InitAt(Pool& pool, PoolOffset off) {
+  auto* h = pool.As<LogHeader>(off);
+  h->state = kIdle;
+  h->num_entries = 0;
+  h->bytes_used = sizeof(LogHeader);
+  pool.Persist(off, sizeof(LogHeader));
+}
+
+Status TxLog::Begin() {
+  if (hdr()->state == kActive) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  hdr()->state = kActive;
+  hdr()->num_entries = 0;
+  hdr()->bytes_used = sizeof(LogHeader);
+  pool_->Persist(log_off_, sizeof(LogHeader));
+  return Status::Ok();
+}
+
+Status TxLog::Snapshot(PoolOffset off, size_t len) {
+  if (hdr()->state != kActive) {
+    return Status::FailedPrecondition("snapshot outside a transaction");
+  }
+  size_t need = sizeof(EntryHeader) + Align8(len);
+  if (hdr()->bytes_used + need > kLogBytes) {
+    return Status::ResourceExhausted("tx undo log full");
+  }
+  PoolOffset entry_off = log_off_ + hdr()->bytes_used;
+  auto* eh = pool_->As<EntryHeader>(entry_off);
+  eh->offset = off;
+  eh->len = len;
+  std::memcpy(pool_->Direct(entry_off + sizeof(EntryHeader)),
+              pool_->Direct(off), len);
+  // Persist the image before publishing it via the header update: the
+  // entry must be durable before a crash can observe num_entries+1.
+  pool_->Persist(entry_off, sizeof(EntryHeader) + len);
+  hdr()->bytes_used += need;
+  hdr()->num_entries += 1;
+  pool_->Persist(log_off_, sizeof(LogHeader));
+  return Status::Ok();
+}
+
+void TxLog::Commit() {
+  if (hdr()->state != kActive) return;
+  hdr()->state = kIdle;
+  hdr()->num_entries = 0;
+  hdr()->bytes_used = sizeof(LogHeader);
+  pool_->Persist(log_off_, sizeof(LogHeader));
+}
+
+void TxLog::Abort() {
+  if (hdr()->state != kActive) return;
+  ApplyUndoReverse();
+  Commit();
+}
+
+bool TxLog::Recover() {
+  if (hdr()->state != kActive) return false;
+  ApplyUndoReverse();
+  Commit();
+  return true;
+}
+
+void TxLog::ApplyUndoReverse() {
+  // Walk entries forward collecting their offsets, then restore in reverse
+  // so overlapping snapshots resolve to the oldest image.
+  std::vector<PoolOffset> entries;
+  entries.reserve(hdr()->num_entries);
+  PoolOffset cur = log_off_ + sizeof(LogHeader);
+  for (uint64_t i = 0; i < hdr()->num_entries; ++i) {
+    entries.push_back(cur);
+    const auto* eh = pool_->As<EntryHeader>(cur);
+    cur += sizeof(EntryHeader) + Align8(eh->len);
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const auto* eh = pool_->As<EntryHeader>(*it);
+    std::memcpy(pool_->Direct(eh->offset),
+                pool_->Direct(*it + sizeof(EntryHeader)), eh->len);
+    pool_->Persist(eh->offset, eh->len);
+  }
+}
+
+}  // namespace e2nvm::pmem

@@ -1,0 +1,138 @@
+#ifndef E2NVM_PMEM_TX_H_
+#define E2NVM_PMEM_TX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "pmem/pool.h"
+
+namespace e2nvm::pmem {
+
+/// The persistent undo log that backs transactions, living at a fixed
+/// offset inside the pool. The log has three states:
+///   kIdle      — no transaction in flight;
+///   kActive    — a transaction is logging undo images;
+///   (committed is not a persistent state: commit atomically returns the
+///    log to kIdle after the data writes are persisted).
+///
+/// Crash semantics: if a pool is opened and the log is kActive, the
+/// transaction did not commit, and Recover() applies the undo images in
+/// reverse order — exactly PMDK's libpmemobj undo-log protocol.
+class TxLog {
+ public:
+  static constexpr size_t kLogBytes = 256 * 1024;
+
+  enum State : uint64_t { kIdle = 0, kActive = 1 };
+
+  /// Persistent log header, stored at the log offset inside the pool.
+  struct LogHeader {
+    uint64_t state;
+    uint64_t num_entries;
+    uint64_t bytes_used;  // Includes this header.
+  };
+
+  /// Per-entry header, followed by `len` bytes of undo image.
+  struct EntryHeader {
+    uint64_t offset;  // Pool offset the image restores.
+    uint64_t len;
+  };
+
+  /// Wraps the log region of `pool` at `log_off` (usually
+  /// pool->header()->tx_log).
+  TxLog(Pool* pool, PoolOffset log_off) : pool_(pool), log_off_(log_off) {}
+
+  /// Formats an empty log at `off` in `pool`. Called once at pool creation.
+  static void InitAt(Pool& pool, PoolOffset off);
+
+  /// Marks a transaction active. Fails if one is already active (the log is
+  /// single-writer; the store serializes transactions).
+  Status Begin();
+
+  /// Snapshots [off, off+len) into the log so it can be undone. Must be
+  /// called *before* mutating that range. Fails if the log is full.
+  Status Snapshot(PoolOffset off, size_t len);
+
+  /// Commits: persists all data writes are assumed done by the caller; the
+  /// log is truncated and returned to kIdle.
+  void Commit();
+
+  /// Aborts: re-applies undo images in reverse order, then truncates.
+  void Abort();
+
+  /// Crash recovery: if the log is kActive, behaves like Abort().
+  /// Returns true if a rollback was performed.
+  bool Recover();
+
+  bool active() const { return hdr()->state == kActive; }
+  uint64_t num_entries() const { return hdr()->num_entries; }
+  /// Bytes of log capacity still free.
+  size_t FreeBytes() const { return kLogBytes - hdr()->bytes_used; }
+
+ private:
+  LogHeader* hdr() { return pool_->As<LogHeader>(log_off_); }
+  const LogHeader* hdr() const { return pool_->As<const LogHeader>(log_off_); }
+  void ApplyUndoReverse();
+
+  Pool* pool_;
+  PoolOffset log_off_;
+};
+
+/// RAII transaction over a pool's undo log, the analogue of PMDK's
+/// TX_BEGIN/TX_ADD/TX_END. Usage:
+///
+///   Transaction tx(pool);
+///   E2_RETURN_IF_ERROR(tx.Begin());
+///   E2_RETURN_IF_ERROR(tx.AddRange(off, len));   // before writing
+///   ... mutate pool bytes at [off, off+len) ...
+///   tx.Commit();                                  // or let dtor abort
+///
+/// If the Transaction is destroyed without Commit(), the mutation is rolled
+/// back — matching libpmemobj's abort-on-scope-exit behavior.
+class Transaction {
+ public:
+  explicit Transaction(Pool* pool)
+      : pool_(pool), log_(pool, pool->header()->tx_log) {}
+
+  ~Transaction() {
+    if (began_ && !committed_) log_.Abort();
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Status Begin() {
+    E2_RETURN_IF_ERROR(log_.Begin());
+    began_ = true;
+    return Status::Ok();
+  }
+
+  /// Registers [off, off+len) for undo; call before mutating.
+  Status AddRange(PoolOffset off, size_t len) {
+    return log_.Snapshot(off, len);
+  }
+
+  /// Persists the mutated ranges and commits the transaction.
+  void Commit() {
+    log_.Commit();
+    committed_ = true;
+  }
+
+  /// Explicit rollback.
+  void Abort() {
+    if (began_ && !committed_) {
+      log_.Abort();
+      committed_ = true;  // Prevent double-abort in dtor.
+    }
+  }
+
+ private:
+  Pool* pool_;
+  TxLog log_;
+  bool began_ = false;
+  bool committed_ = false;
+};
+
+}  // namespace e2nvm::pmem
+
+#endif  // E2NVM_PMEM_TX_H_

@@ -1,0 +1,286 @@
+#include "schemes/schemes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace e2nvm::schemes {
+
+using nvm::WriteResult;
+
+// ---------------------------------------------------------------- Naive --
+
+WriteResult NaiveWrite::Write(uint64_t segment_id, const BitVector& old,
+                              const BitVector& data) {
+  WriteResult r;
+  r.stored = data;
+  r.data_bits_flipped = old.HammingDistance(data);
+  r.bits_programmed = data.size();  // Every cell is driven.
+  return r;
+}
+
+// ------------------------------------------------------------------ DCW --
+
+WriteResult Dcw::Write(uint64_t segment_id, const BitVector& old,
+                       const BitVector& data) {
+  WriteResult r;
+  r.stored = data;
+  r.data_bits_flipped = old.HammingDistance(data);
+  r.bits_programmed = r.data_bits_flipped;  // Only differing cells.
+  return r;
+}
+
+// ------------------------------------------------------------------ FNW --
+
+WriteResult FlipNWrite::Write(uint64_t segment_id, const BitVector& old,
+                              const BitVector& data) {
+  E2_CHECK(old.size() == data.size(), "FNW size mismatch");
+  size_t num_words = (data.size() + word_bits_ - 1) / word_bits_;
+  auto& flags = flags_[segment_id];
+  flags.resize(num_words, false);
+
+  WriteResult r;
+  r.stored = BitVector(data.size());
+  for (size_t w = 0; w < num_words; ++w) {
+    size_t start = w * word_bits_;
+    size_t len = std::min(word_bits_, data.size() - start);
+    BitVector old_word = old.Slice(start, len);
+    BitVector new_word = data.Slice(start, len);
+    size_t flips_id = old_word.HammingDistance(new_word);
+    size_t flips_inv = len - flips_id;
+    // Include the cost of toggling the flag cell itself.
+    size_t cost_id = flips_id + (flags[w] ? 1u : 0u);
+    size_t cost_inv = flips_inv + (flags[w] ? 0u : 1u);
+    bool invert = cost_inv < cost_id;
+    if (invert != flags[w]) {
+      r.aux_bits_flipped += 1;
+      flags[w] = invert;
+    }
+    BitVector stored_word = invert ? new_word.Inverted() : new_word;
+    r.data_bits_flipped += old_word.HammingDistance(stored_word);
+    r.stored.Overlay(start, stored_word);
+  }
+  r.bits_programmed = r.data_bits_flipped + r.aux_bits_flipped;
+  return r;
+}
+
+BitVector FlipNWrite::Decode(uint64_t segment_id,
+                             const BitVector& stored) const {
+  auto it = flags_.find(segment_id);
+  if (it == flags_.end()) return stored;
+  const auto& flags = it->second;
+  BitVector out = stored;
+  for (size_t w = 0; w < flags.size(); ++w) {
+    if (!flags[w]) continue;
+    size_t start = w * word_bits_;
+    if (start >= stored.size()) break;
+    size_t len = std::min(word_bits_, stored.size() - start);
+    out.Overlay(start, stored.Slice(start, len).Inverted());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- MinShift --
+
+size_t MinShift::TagHamming(Tag a, Tag b) {
+  uint8_t xa = static_cast<uint8_t>(a.shift | (a.flipped ? 8 : 0));
+  uint8_t xb = static_cast<uint8_t>(b.shift | (b.flipped ? 8 : 0));
+  return static_cast<size_t>(std::popcount(
+      static_cast<unsigned>(xa ^ xb)));
+}
+
+WriteResult MinShift::Write(uint64_t segment_id, const BitVector& old,
+                            const BitVector& data) {
+  E2_CHECK(old.size() == data.size(), "MinShift size mismatch");
+  Tag& tag = tags_[segment_id];
+
+  Tag best_tag;
+  size_t best_cost = SIZE_MAX;
+  BitVector best_stored;
+  size_t max_shift = std::min(kMaxShift, data.size());
+  for (size_t s = 0; s < max_shift; ++s) {
+    BitVector rotated = data.RotatedLeft(s);
+    for (int f = 0; f < (try_flip_ ? 2 : 1); ++f) {
+      BitVector candidate = (f == 1) ? rotated.Inverted() : rotated;
+      Tag cand_tag{static_cast<uint8_t>(s), f == 1};
+      size_t cost =
+          old.HammingDistance(candidate) + TagHamming(tag, cand_tag);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tag = cand_tag;
+        best_stored = std::move(candidate);
+      }
+    }
+  }
+
+  WriteResult r;
+  r.stored = std::move(best_stored);
+  r.data_bits_flipped = old.HammingDistance(r.stored);
+  r.aux_bits_flipped = TagHamming(tag, best_tag);
+  r.bits_programmed = r.data_bits_flipped + r.aux_bits_flipped;
+  tag = best_tag;
+  return r;
+}
+
+BitVector MinShift::Decode(uint64_t segment_id,
+                           const BitVector& stored) const {
+  auto it = tags_.find(segment_id);
+  if (it == tags_.end()) return stored;
+  Tag tag = it->second;
+  BitVector out = tag.flipped ? stored.Inverted() : stored;
+  if (tag.shift != 0 && out.size() > 0) {
+    out = out.RotatedLeft(out.size() - (tag.shift % out.size()));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Captopril --
+
+WriteResult Captopril::Write(uint64_t segment_id, const BitVector& old,
+                             const BitVector& data) {
+  E2_CHECK(old.size() == data.size(), "Captopril size mismatch");
+  size_t num_words = (data.size() + word_bits_ - 1) / word_bits_;
+  SegState& st = state_[segment_id];
+  st.flags.resize(num_words, false);
+  st.word_wear.resize(num_words, 0);
+
+  // A word is "hot" if its accumulated flips exceed the segment median.
+  std::vector<uint32_t> sorted = st.word_wear;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  uint32_t median = sorted.empty() ? 0 : sorted[sorted.size() / 2];
+
+  WriteResult r;
+  r.stored = BitVector(data.size());
+  for (size_t w = 0; w < num_words; ++w) {
+    size_t start = w * word_bits_;
+    size_t len = std::min(word_bits_, data.size() - start);
+    BitVector old_word = old.Slice(start, len);
+    BitVector new_word = data.Slice(start, len);
+    size_t flips_id = old_word.HammingDistance(new_word);
+    size_t flips_inv = len - flips_id;
+    double weight =
+        st.word_wear[w] > median ? (1.0 + hot_penalty_) : 1.0;
+    double cost_id =
+        weight * static_cast<double>(flips_id) + (st.flags[w] ? 1.0 : 0.0);
+    double cost_inv = weight * static_cast<double>(flips_inv) +
+                      (st.flags[w] ? 0.0 : 1.0);
+    bool invert = cost_inv < cost_id;
+    if (invert != st.flags[w]) {
+      r.aux_bits_flipped += 1;
+      st.flags[w] = invert;
+    }
+    BitVector stored_word = invert ? new_word.Inverted() : new_word;
+    size_t flips = old_word.HammingDistance(stored_word);
+    st.word_wear[w] += static_cast<uint32_t>(flips);
+    r.data_bits_flipped += flips;
+    r.stored.Overlay(start, stored_word);
+  }
+  r.bits_programmed = r.data_bits_flipped + r.aux_bits_flipped;
+  return r;
+}
+
+BitVector Captopril::Decode(uint64_t segment_id,
+                            const BitVector& stored) const {
+  auto it = state_.find(segment_id);
+  if (it == state_.end()) return stored;
+  const auto& flags = it->second.flags;
+  BitVector out = stored;
+  for (size_t w = 0; w < flags.size(); ++w) {
+    if (!flags[w]) continue;
+    size_t start = w * word_bits_;
+    if (start >= stored.size()) break;
+    size_t len = std::min(word_bits_, stored.size() - start);
+    out.Overlay(start, stored.Slice(start, len).Inverted());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ FMR --
+
+BitVector FlipMirrorRotate::Apply(const BitVector& word, uint8_t enc) {
+  BitVector out = word;
+  if (enc & kMirror) {
+    BitVector mirrored(word.size());
+    for (size_t i = 0; i < word.size(); ++i) {
+      mirrored.Set(i, word.Get(word.size() - 1 - i));
+    }
+    out = mirrored;
+  }
+  if (enc & kFlip) out = out.Inverted();
+  return out;
+}
+
+size_t FlipMirrorRotate::TagHamming(uint8_t a, uint8_t b) {
+  return static_cast<size_t>(
+      std::popcount(static_cast<unsigned>((a ^ b) & 3)));
+}
+
+nvm::WriteResult FlipMirrorRotate::Write(uint64_t segment_id,
+                                         const BitVector& old,
+                                         const BitVector& data) {
+  E2_CHECK(old.size() == data.size(), "FMR size mismatch");
+  size_t num_words = (data.size() + word_bits_ - 1) / word_bits_;
+  auto& tags = tags_[segment_id];
+  tags.resize(num_words, kIdentity);
+
+  WriteResult r;
+  r.stored = BitVector(data.size());
+  for (size_t w = 0; w < num_words; ++w) {
+    size_t start = w * word_bits_;
+    size_t len = std::min(word_bits_, data.size() - start);
+    BitVector old_word = old.Slice(start, len);
+    BitVector new_word = data.Slice(start, len);
+    uint8_t best_enc = kIdentity;
+    size_t best_cost = SIZE_MAX;
+    BitVector best_stored;
+    for (uint8_t enc = 0; enc < 4; ++enc) {
+      BitVector candidate = Apply(new_word, enc);
+      size_t cost = old_word.HammingDistance(candidate) +
+                    TagHamming(tags[w], enc);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_enc = enc;
+        best_stored = std::move(candidate);
+      }
+    }
+    r.aux_bits_flipped += TagHamming(tags[w], best_enc);
+    tags[w] = best_enc;
+    r.data_bits_flipped += old_word.HammingDistance(best_stored);
+    r.stored.Overlay(start, best_stored);
+  }
+  r.bits_programmed = r.data_bits_flipped + r.aux_bits_flipped;
+  return r;
+}
+
+BitVector FlipMirrorRotate::Decode(uint64_t segment_id,
+                                   const BitVector& stored) const {
+  auto it = tags_.find(segment_id);
+  if (it == tags_.end()) return stored;
+  const auto& tags = it->second;
+  BitVector out = stored;
+  for (size_t w = 0; w < tags.size(); ++w) {
+    size_t start = w * word_bits_;
+    if (start >= stored.size()) break;
+    size_t len = std::min(word_bits_, stored.size() - start);
+    BitVector word = stored.Slice(start, len);
+    // Apply is an involution for each of the four encodings (mirror and
+    // complement commute and are self-inverse), so decode == re-apply.
+    out.Overlay(start, Apply(word, tags[w]));
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- Factory --
+
+std::unique_ptr<nvm::WriteScheme> MakeScheme(const std::string& name) {
+  if (name == "Naive") return std::make_unique<NaiveWrite>();
+  if (name == "DCW") return std::make_unique<Dcw>();
+  if (name == "FNW") return std::make_unique<FlipNWrite>();
+  if (name == "MinShift") return std::make_unique<MinShift>();
+  if (name == "Captopril") return std::make_unique<Captopril>();
+  if (name == "FMR") return std::make_unique<FlipMirrorRotate>();
+  return nullptr;
+}
+
+}  // namespace e2nvm::schemes

@@ -1,0 +1,145 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+
+namespace e2nvm::workload {
+
+namespace {
+constexpr uint64_t kTraceMagic = 0xE27A6CE07A6CE0ull;
+
+struct FileHeader {
+  uint64_t magic;
+  uint64_t count;
+};
+
+struct FileRecord {
+  uint8_t op;
+  uint8_t pad[3];
+  uint32_t version;
+  uint64_t key;
+  uint32_t scan_len;
+  uint32_t pad2;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status OpTrace::SaveTo(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  FileHeader hdr{kTraceMagic, records_.size()};
+  if (std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1) {
+    return Status::Internal("header write failed");
+  }
+  for (const TraceRecord& r : records_) {
+    FileRecord fr{};
+    fr.op = static_cast<uint8_t>(r.op);
+    fr.version = r.version;
+    fr.key = r.key;
+    fr.scan_len = r.scan_len;
+    if (std::fwrite(&fr, sizeof(fr), 1, f.get()) != 1) {
+      return Status::Internal("record write failed");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<OpTrace> OpTrace::LoadFrom(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  FileHeader hdr{};
+  if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1) {
+    return Status::DataLoss("truncated trace header");
+  }
+  if (hdr.magic != kTraceMagic) {
+    return Status::DataLoss("bad trace magic");
+  }
+  OpTrace trace;
+  trace.records_.reserve(hdr.count);
+  for (uint64_t i = 0; i < hdr.count; ++i) {
+    FileRecord fr{};
+    if (std::fread(&fr, sizeof(fr), 1, f.get()) != 1) {
+      return Status::DataLoss("truncated trace record");
+    }
+    if (fr.op > static_cast<uint8_t>(TraceOp::kScan)) {
+      return Status::DataLoss("corrupt trace op");
+    }
+    trace.records_.push_back(TraceRecord{static_cast<TraceOp>(fr.op),
+                                         fr.key, fr.version,
+                                         fr.scan_len});
+  }
+  return trace;
+}
+
+ReplayStats OpTrace::Replay(
+    const std::function<Status(uint64_t, uint32_t)>& put,
+    const std::function<Status(uint64_t)>& get,
+    const std::function<Status(uint64_t)>& del,
+    const std::function<Status(uint64_t, uint32_t)>& scan) const {
+  ReplayStats stats;
+  for (const TraceRecord& r : records_) {
+    Status s;
+    switch (r.op) {
+      case TraceOp::kPut:
+        s = put(r.key, r.version);
+        ++stats.puts;
+        break;
+      case TraceOp::kGet:
+        s = get(r.key);
+        ++stats.gets;
+        break;
+      case TraceOp::kDelete:
+        s = del(r.key);
+        ++stats.deletes;
+        break;
+      case TraceOp::kScan:
+        s = scan(r.key, r.scan_len);
+        ++stats.scans;
+        break;
+    }
+    if (!s.ok()) ++stats.failures;
+  }
+  return stats;
+}
+
+OpTrace OpTrace::RecordFromYcsb(YcsbGenerator& gen, size_t n) {
+  OpTrace trace;
+  std::map<uint64_t, uint32_t> versions;
+  for (size_t i = 0; i < n; ++i) {
+    YcsbOp op = gen.Next();
+    switch (op.type) {
+      case OpType::kRead:
+        trace.Append({TraceOp::kGet, op.key, 0, 0});
+        break;
+      case OpType::kScan:
+        trace.Append({TraceOp::kScan, op.key, 0,
+                      static_cast<uint32_t>(op.scan_len)});
+        break;
+      case OpType::kInsert:
+        trace.Append({TraceOp::kPut, op.key, 0, 0});
+        versions[op.key] = 0;
+        break;
+      case OpType::kReadModifyWrite:
+        trace.Append({TraceOp::kGet, op.key, 0, 0});
+        [[fallthrough]];
+      case OpType::kUpdate: {
+        uint32_t v =
+            versions.count(op.key) ? ++versions[op.key] : 0;
+        versions[op.key] = v;
+        trace.Append({TraceOp::kPut, op.key, v, 0});
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace e2nvm::workload

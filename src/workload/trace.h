@@ -1,0 +1,77 @@
+#ifndef E2NVM_WORKLOAD_TRACE_H_
+#define E2NVM_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/ycsb.h"
+
+namespace e2nvm::workload {
+
+/// Operation kinds captured in a trace.
+enum class TraceOp : uint8_t { kPut = 0, kGet = 1, kDelete = 2, kScan = 3 };
+
+/// One recorded operation. Values are not stored inline; they are
+/// re-materialized at replay time from (key, version) — the same
+/// convention YcsbGenerator::MakeValue uses — so traces stay compact and
+/// deterministic.
+struct TraceRecord {
+  TraceOp op;
+  uint64_t key;
+  uint32_t version;   // For kPut: the version written.
+  uint32_t scan_len;  // For kScan.
+};
+
+/// Aggregate outcome of a Replay call.
+struct ReplayStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t failures = 0;  // Operations whose callback returned !ok.
+  uint64_t total() const { return puts + gets + deletes + scans; }
+};
+
+/// A recordable, serializable, replayable operation trace — the glue for
+/// "run the same workload against N configurations" experiments and for
+/// capturing regressions. The on-disk format is a small binary header
+/// plus fixed-width records; loading validates magic and size.
+class OpTrace {
+ public:
+  OpTrace() = default;
+
+  void Append(TraceRecord record) { records_.push_back(record); }
+  void Clear() { records_.clear(); }
+
+  size_t size() const { return records_.size(); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Serializes to `path` (overwrites).
+  Status SaveTo(const std::string& path) const;
+
+  /// Loads a trace written by SaveTo.
+  static StatusOr<OpTrace> LoadFrom(const std::string& path);
+
+  /// Drives the trace through caller-provided operation callbacks; each
+  /// returns a Status, and failures are counted rather than aborting (a
+  /// replay against a smaller device may legitimately hit NotFound).
+  ReplayStats Replay(
+      const std::function<Status(uint64_t key, uint32_t version)>& put,
+      const std::function<Status(uint64_t key)>& get,
+      const std::function<Status(uint64_t key)>& del,
+      const std::function<Status(uint64_t key, uint32_t len)>& scan) const;
+
+  /// Records `n` operations from a YCSB generator, tracking per-key
+  /// versions so replayed PUT values match what the live run wrote.
+  static OpTrace RecordFromYcsb(YcsbGenerator& gen, size_t n);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace e2nvm::workload
+
+#endif  // E2NVM_WORKLOAD_TRACE_H_

@@ -1,0 +1,76 @@
+#ifndef E2NVM_WORKLOAD_YCSB_H_
+#define E2NVM_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace e2nvm::workload {
+
+/// The six YCSB core workloads (Cooper et al. [11]) used in Fig 11:
+///   A: 50% read / 50% update, Zipfian
+///   B: 95% read /  5% update, Zipfian
+///   C: 100% read,             Zipfian
+///   D: 95% read /  5% insert, latest
+///   E: 95% scan /  5% insert, Zipfian
+///   F: 50% read / 50% read-modify-write, Zipfian
+enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+/// One generated operation.
+struct YcsbOp {
+  OpType type;
+  uint64_t key;
+  size_t scan_len = 0;  // For kScan.
+};
+
+/// Generates YCSB operations and structured values. Values are derived
+/// from a per-key latent class (plus a version perturbation), so the value
+/// stream has the cluster structure E2-NVM exploits — the analogue of
+/// YCSB's field-structured records.
+class YcsbGenerator {
+ public:
+  struct Config {
+    YcsbWorkload workload = YcsbWorkload::kA;
+    uint64_t record_count = 10000;
+    size_t value_bits = 2048;
+    size_t num_value_classes = 16;
+    /// Per-write random perturbation applied to the class prototype.
+    double value_noise = 0.05;
+    size_t max_scan_len = 100;
+    uint64_t seed = 11;
+  };
+
+  explicit YcsbGenerator(const Config& config);
+
+  /// Next operation. Inserts extend the key space (workloads D and E).
+  YcsbOp Next();
+
+  /// Deterministic value for (key, version): version 0 is the load-phase
+  /// value; each update bumps the version.
+  BitVector MakeValue(uint64_t key, uint32_t version) const;
+
+  /// Keys currently in the database (load keys + inserts so far).
+  uint64_t current_records() const { return inserted_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  uint64_t ChooseExistingKey();
+
+  Config config_;
+  Rng rng_;
+  ScrambledZipfianGenerator zipf_;
+  LatestGenerator latest_;
+  uint64_t inserted_;
+};
+
+}  // namespace e2nvm::workload
+
+#endif  // E2NVM_WORKLOAD_YCSB_H_

@@ -1,0 +1,128 @@
+#include "core/address_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace e2nvm::core {
+namespace {
+
+TEST(AddressPoolTest, InsertAcquireFifo) {
+  DynamicAddressPool pool(3);
+  pool.Insert(1, 100);
+  pool.Insert(1, 101);
+  EXPECT_EQ(pool.FreeCount(1), 2u);
+  EXPECT_EQ(pool.Acquire(1).value(), 100u);  // First available (paper).
+  EXPECT_EQ(pool.Acquire(1).value(), 101u);
+  EXPECT_FALSE(pool.Acquire(1).has_value());  // Empty everywhere now.
+}
+
+TEST(AddressPoolTest, FallbackToLargestCluster) {
+  DynamicAddressPool pool(3);
+  pool.Insert(0, 1);
+  pool.Insert(2, 10);
+  pool.Insert(2, 11);
+  pool.Insert(2, 12);
+  // Cluster 1 empty: falls back to the largest (cluster 2).
+  auto a = pool.Acquire(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 10u);
+}
+
+TEST(AddressPoolTest, ExhaustionReturnsNullopt) {
+  DynamicAddressPool pool(2);
+  EXPECT_FALSE(pool.Acquire(0).has_value());
+  pool.Insert(0, 5);
+  EXPECT_TRUE(pool.Acquire(1).has_value());  // Fallback drains it.
+  EXPECT_FALSE(pool.Acquire(0).has_value());
+}
+
+TEST(AddressPoolTest, AcquireBestPicksMinHamming) {
+  DynamicAddressPool pool(1);
+  pool.Insert(0, 0);
+  pool.Insert(0, 1);
+  pool.Insert(0, 2);
+  std::vector<BitVector> contents = {
+      BitVector::FromString("11110000"),
+      BitVector::FromString("00000001"),
+      BitVector::FromString("11111111"),
+  };
+  BitVector target = BitVector::FromString("00000011");
+  auto best = pool.AcquireBest(0, target, [&](uint64_t addr) {
+    return contents[addr];
+  });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);  // Hamming 1 vs 5 and 6.
+  EXPECT_EQ(pool.TotalFree(), 2u);
+}
+
+TEST(AddressPoolTest, MinClusterFreeAndThresholds) {
+  DynamicAddressPool pool(3);
+  pool.Insert(0, 1);
+  pool.Insert(0, 2);
+  pool.Insert(1, 3);
+  EXPECT_EQ(pool.MinClusterFree(), 0u);  // Cluster 2 empty.
+  pool.Insert(2, 4);
+  EXPECT_EQ(pool.MinClusterFree(), 1u);
+}
+
+TEST(AddressPoolTest, AllFreeSnapshot) {
+  DynamicAddressPool pool(2);
+  pool.Insert(0, 7);
+  pool.Insert(1, 8);
+  pool.Insert(1, 9);
+  auto all = pool.AllFree();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<uint64_t>{7, 8, 9}));
+}
+
+TEST(AddressPoolTest, ClearEmpties) {
+  DynamicAddressPool pool(2);
+  pool.Insert(0, 1);
+  pool.Clear();
+  EXPECT_EQ(pool.TotalFree(), 0u);
+  EXPECT_FALSE(pool.Acquire(0).has_value());
+}
+
+TEST(AddressPoolTest, FootprintGrowsWithAddresses) {
+  DynamicAddressPool pool(4);
+  size_t base = pool.MemoryFootprintBytes();
+  for (uint64_t i = 0; i < 1000; ++i) pool.Insert(i % 4, i);
+  EXPECT_GE(pool.MemoryFootprintBytes(), base + 1000 * sizeof(uint64_t));
+}
+
+TEST(AddressPoolTest, ConcurrentInsertAcquireIsSafe) {
+  DynamicAddressPool pool(4);
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Insert(t, static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.TotalFree(), 4u * kPerThread);
+
+  std::atomic<int> acquired{0};
+  threads.clear();
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &acquired, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (pool.Acquire(t % 4).has_value()) {
+          acquired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(acquired.load(), 4 * kPerThread);
+  EXPECT_EQ(pool.TotalFree(), 0u);
+}
+
+}  // namespace
+}  // namespace e2nvm::core

@@ -1,0 +1,188 @@
+#include "placement/clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/e2_model.h"
+#include "workload/datasets.h"
+
+namespace e2nvm {
+namespace {
+
+/// Purity of predicted clusters against true labels: for each predicted
+/// cluster take its majority true label; purity = fraction matching.
+double Purity(placement::ContentClusterer& clusterer,
+              const workload::BitDataset& ds) {
+  std::map<size_t, std::map<int, int>> votes;
+  std::vector<size_t> preds(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    preds[i] = clusterer.PredictCluster(ds.items[i].ToFloats());
+    ++votes[preds[i]][ds.labels[i]];
+  }
+  size_t correct = 0;
+  std::map<size_t, int> majority;
+  for (auto& [c, v] : votes) {
+    int best = -1, best_count = -1;
+    for (auto& [label, count] : v) {
+      if (count > best_count) {
+        best = label;
+        best_count = count;
+      }
+    }
+    majority[c] = best;
+  }
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (majority[preds[i]] == ds.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+workload::BitDataset EasyDataset(size_t samples = 300, size_t dim = 256,
+                                 size_t classes = 5) {
+  workload::ProtoConfig cfg;
+  cfg.dim = dim;
+  cfg.num_classes = classes;
+  cfg.samples = samples;
+  cfg.noise = 0.04;
+  cfg.seed = 21;
+  return workload::MakeProtoDataset(cfg);
+}
+
+TEST(SingleClustererTest, AlwaysClusterZero) {
+  placement::SingleClusterer s;
+  EXPECT_EQ(s.num_clusters(), 1u);
+  EXPECT_EQ(s.PredictCluster(std::vector<float>(16, 0.f)), 0u);
+  EXPECT_TRUE(s.Train(ml::Matrix(4, 4)).ok());
+}
+
+TEST(DensityClustererTest, BucketsByPolarity) {
+  placement::DensityClusterer d(4);
+  EXPECT_EQ(d.num_clusters(), 4u);
+  EXPECT_EQ(d.PredictCluster(std::vector<float>(64, 0.0f)), 0u);
+  EXPECT_EQ(d.PredictCluster(std::vector<float>(64, 1.0f)), 3u);
+  std::vector<float> half(64, 0.0f);
+  for (size_t i = 0; i < 32; ++i) half[i] = 1.0f;
+  EXPECT_EQ(d.PredictCluster(half), 2u);
+  EXPECT_TRUE(d.Train(ml::Matrix(2, 2)).ok());
+}
+
+TEST(DensityClustererTest, SeparatesSparseFromDense) {
+  // Sparse vs dense contents land in different buckets — the DATACON
+  // zeros-region / ones-region redirection.
+  placement::DensityClusterer d(2);
+  std::vector<float> sparse(128, 0.0f);
+  sparse[0] = sparse[1] = 1.0f;
+  std::vector<float> dense(128, 1.0f);
+  dense[0] = dense[1] = 0.0f;
+  EXPECT_NE(d.PredictCluster(sparse), d.PredictCluster(dense));
+}
+
+TEST(RawKMeansClustererTest, HighPurityOnSeparatedData) {
+  auto ds = EasyDataset();
+  placement::RawKMeansClusterer c(5, 3);
+  ASSERT_TRUE(c.Train(ds.ToMatrix()).ok());
+  EXPECT_GT(Purity(c, ds), 0.9);
+  EXPECT_GT(c.LastTrainFlops(), 0.0);
+  EXPECT_GT(c.PredictFlops(), 0.0);
+}
+
+TEST(PcaKMeansClustererTest, GoodPurityDespiteProjection) {
+  auto ds = EasyDataset();
+  placement::PcaKMeansClusterer c(5, /*components=*/8, 3);
+  ASSERT_TRUE(c.Train(ds.ToMatrix()).ok());
+  EXPECT_GT(Purity(c, ds), 0.85);
+  // PCA+K-means prediction is cheaper than raw K-means prediction at high
+  // dimensionality? Not necessarily per call, but train must be counted.
+  EXPECT_GT(c.LastTrainFlops(), 0.0);
+}
+
+TEST(E2ModelTest, TrainsAndPredictsInRange) {
+  auto ds = EasyDataset(200);
+  core::E2ModelConfig cfg;
+  cfg.input_dim = ds.dim;
+  cfg.k = 5;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 8;
+  cfg.pretrain_epochs = 6;
+  core::E2Model model(cfg);
+  ASSERT_TRUE(model.Train(ds.ToMatrix()).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_LT(model.PredictCluster(ds.items[i].ToFloats()), 5u);
+  }
+  EXPECT_GT(model.LastTrainFlops(), 0.0);
+  EXPECT_FALSE(model.history().train_loss.empty());
+}
+
+TEST(E2ModelTest, HighPurityOnSeparatedData) {
+  auto ds = EasyDataset(400);
+  core::E2ModelConfig cfg;
+  cfg.input_dim = ds.dim;
+  cfg.k = 5;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 8;
+  cfg.pretrain_epochs = 10;
+  core::E2Model model(cfg);
+  ASSERT_TRUE(model.Train(ds.ToMatrix()).ok());
+  EXPECT_GT(Purity(model, ds), 0.85);
+}
+
+TEST(E2ModelTest, JointFinetuneFlagChangesTraining) {
+  auto ds = EasyDataset(200);
+  core::E2ModelConfig cfg;
+  cfg.input_dim = ds.dim;
+  cfg.k = 5;
+  cfg.pretrain_epochs = 4;
+  cfg.joint_finetune = false;
+  core::E2Model seq_model(cfg);
+  ASSERT_TRUE(seq_model.Train(ds.ToMatrix()).ok());
+  cfg.joint_finetune = true;
+  core::E2Model joint_model(cfg);
+  ASSERT_TRUE(joint_model.Train(ds.ToMatrix()).ok());
+  // Joint fine-tuning must cost extra training flops.
+  EXPECT_GT(joint_model.LastTrainFlops(), seq_model.LastTrainFlops());
+}
+
+TEST(E2ModelTest, RejectsBadGeometry) {
+  core::E2ModelConfig cfg;
+  cfg.input_dim = 64;
+  cfg.k = 50;
+  core::E2Model model(cfg);
+  ml::Matrix tiny(10, 64);
+  EXPECT_EQ(model.Train(tiny).code(), StatusCode::kInvalidArgument);
+  ml::Matrix wrong_dim(100, 32);
+  EXPECT_EQ(model.Train(wrong_dim).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(E2ModelTest, LatentSsePositiveAndDropsWithK) {
+  auto ds = EasyDataset(200);
+  double prev = 1e30;
+  for (size_t k : {2u, 5u}) {
+    core::E2ModelConfig cfg;
+    cfg.input_dim = ds.dim;
+    cfg.k = k;
+    cfg.pretrain_epochs = 4;
+    cfg.seed = 5;
+    core::E2Model model(cfg);
+    ASSERT_TRUE(model.Train(ds.ToMatrix()).ok());
+    double sse = model.LatentSse(ds.ToMatrix());
+    EXPECT_GT(sse, 0.0);
+    EXPECT_LT(sse, prev);
+    prev = sse;
+  }
+}
+
+TEST(E2ModelTest, RetrainReplacesModel) {
+  auto ds = EasyDataset(150);
+  core::E2ModelConfig cfg;
+  cfg.input_dim = ds.dim;
+  cfg.k = 3;
+  cfg.pretrain_epochs = 3;
+  core::E2Model model(cfg);
+  ASSERT_TRUE(model.Train(ds.ToMatrix()).ok());
+  // Second Train (re-training) must succeed from scratch.
+  ASSERT_TRUE(model.Train(ds.ToMatrix()).ok());
+  EXPECT_LT(model.PredictCluster(ds.items[0].ToFloats()), 3u);
+}
+
+}  // namespace
+}  // namespace e2nvm

@@ -1,0 +1,63 @@
+#include "core/elbow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2nvm::core {
+namespace {
+
+/// Latent-like blobs: `true_k` Gaussian clusters in `dim` dimensions.
+ml::Matrix Blobs(size_t true_k, size_t per, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  ml::Matrix centers(true_k, dim);
+  for (auto& v : centers.data()) {
+    v = static_cast<float>(rng.NextGaussian()) * 20.0f;
+  }
+  ml::Matrix x(true_k * per, dim);
+  for (size_t c = 0; c < true_k; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      for (size_t d = 0; d < dim; ++d) {
+        x(c * per + i, d) =
+            centers(c, d) + static_cast<float>(rng.NextGaussian());
+      }
+    }
+  }
+  return x;
+}
+
+TEST(ElbowTest, SseMonotoneDecreasing) {
+  ml::Matrix x = Blobs(4, 40, 6, 1);
+  ElbowResult r = SweepK(x, 1, 10);
+  ASSERT_EQ(r.ks.size(), 10u);
+  for (size_t i = 1; i < r.sse.size(); ++i) {
+    EXPECT_LE(r.sse[i], r.sse[i - 1] * 1.02) << "k=" << r.ks[i];
+  }
+}
+
+TEST(ElbowTest, FindsTrueClusterCount) {
+  ml::Matrix x = Blobs(5, 50, 8, 2);
+  ElbowResult r = SweepK(x, 1, 12);
+  // The knee should land near the true K (the paper reads K=6 off a
+  // CIFAR-10 curve; exactness isn't required, proximity is).
+  EXPECT_GE(r.best_k, 4u);
+  EXPECT_LE(r.best_k, 7u);
+}
+
+TEST(ElbowTest, HandlesTinyInputs) {
+  ml::Matrix x = Blobs(2, 3, 2, 3);  // 6 samples.
+  ElbowResult r = SweepK(x, 1, 10);
+  EXPECT_LE(r.ks.size(), 6u);  // Cannot exceed sample count.
+  EXPECT_GE(r.best_k, 1u);
+}
+
+TEST(ElbowTest, RangeRespected) {
+  ml::Matrix x = Blobs(3, 30, 4, 4);
+  ElbowResult r = SweepK(x, 2, 6);
+  ASSERT_FALSE(r.ks.empty());
+  EXPECT_EQ(r.ks.front(), 2u);
+  EXPECT_EQ(r.ks.back(), 6u);
+}
+
+}  // namespace
+}  // namespace e2nvm::core

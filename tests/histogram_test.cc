@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e2nvm {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.CdfAt(10), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, CdfMatchesPaperStyleReadout) {
+  // Mimic Fig 19's readout: P(X <= v).
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.CdfAt(10), 0.10);
+  EXPECT_DOUBLE_EQ(h.CdfAt(81), 0.81);
+  EXPECT_DOUBLE_EQ(h.CdfAt(100), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1000), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0), 0.0);
+}
+
+TEST(HistogramTest, QuantileInverseOfCdf) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Quantile(0.5), 50u);
+  EXPECT_EQ(h.Quantile(0.9), 90u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+  EXPECT_EQ(h.Quantile(0.01), 1u);
+}
+
+TEST(HistogramTest, AddNWeights) {
+  Histogram h;
+  h.AddN(5, 10);
+  h.AddN(10, 30);
+  EXPECT_EQ(h.count(), 40u);
+  EXPECT_DOUBLE_EQ(h.CdfAt(5), 0.25);
+  EXPECT_DOUBLE_EQ(h.Mean(), (5.0 * 10 + 10.0 * 30) / 40.0);
+}
+
+TEST(HistogramTest, MinMax) {
+  Histogram h;
+  h.Add(7);
+  h.Add(3);
+  h.Add(11);
+  EXPECT_EQ(h.Min(), 3u);
+  EXPECT_EQ(h.Max(), 11u);
+}
+
+TEST(HistogramTest, CdfSeriesMonotone) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(5);
+  h.Add(9);
+  auto series = h.CdfSeries();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].first, 1u);
+  EXPECT_DOUBLE_EQ(series[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].second, series[i - 1].second);
+    EXPECT_GT(series[i].first, series[i - 1].first);
+  }
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  Histogram h;
+  h.Add(4);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("max=4"), std::string::npos);
+}
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat rs;
+  rs.Add(1.0);
+  rs.Add(2.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 6.0);
+  EXPECT_EQ(rs.count(), 3u);
+}
+
+TEST(RunningStatTest, VarianceMatchesClosedForm) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(rs.Variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_NEAR(rs.Stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(RunningStatTest, EmptyIsSafe) {
+  RunningStat rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.Variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace e2nvm

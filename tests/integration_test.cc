@@ -1,0 +1,249 @@
+// End-to-end tests across module boundaries: the full store under a YCSB
+// mix with wear leveling, auto-retraining under distribution drift,
+// padding-enabled variable-size values, E2-vs-arbitrary end-to-end flip
+// comparison, and a pmem-pool-backed write-ahead log replayed into the
+// store after a simulated crash.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "core/store.h"
+#include "index/value_placer.h"
+#include "pmem/allocator.h"
+#include "pmem/pool.h"
+#include "pmem/tx.h"
+#include "workload/datasets.h"
+#include "workload/ycsb.h"
+
+namespace e2nvm {
+namespace {
+
+core::StoreConfig BaseConfig() {
+  core::StoreConfig cfg;
+  cfg.num_segments = 128;
+  cfg.segment_bits = 512;
+  cfg.model.k = 4;
+  cfg.model.hidden_dim = 32;
+  cfg.model.latent_dim = 6;
+  cfg.model.pretrain_epochs = 4;
+  cfg.model.finetune_rounds = 1;
+  return cfg;
+}
+
+workload::BitDataset Seeds(uint64_t seed = 1) {
+  workload::ProtoConfig pc;
+  pc.dim = 512;
+  pc.num_classes = 4;
+  pc.samples = 300;
+  pc.noise = 0.03;
+  pc.seed = seed;
+  return workload::MakeProtoDataset(pc);
+}
+
+TEST(IntegrationTest, YcsbMixOverFullStoreWithWearLeveling) {
+  core::StoreConfig cfg = BaseConfig();
+  cfg.psi = 8;
+  auto store = core::E2KvStore::Create(cfg);
+  ASSERT_TRUE(store.ok());
+  (*store)->Seed(Seeds());
+  ASSERT_TRUE((*store)->Bootstrap().ok());
+
+  workload::YcsbGenerator::Config yc;
+  yc.workload = workload::YcsbWorkload::kA;
+  yc.record_count = 40;
+  yc.value_bits = 512;
+  yc.num_value_classes = 4;
+  workload::YcsbGenerator gen(yc);
+  std::map<uint64_t, uint32_t> versions;
+  for (uint64_t k = 0; k < yc.record_count; ++k) {
+    ASSERT_TRUE((*store)->Put(k, gen.MakeValue(k, 0)).ok());
+    versions[k] = 0;
+  }
+  for (int op = 0; op < 500; ++op) {
+    workload::YcsbOp o = gen.Next();
+    if (o.type == workload::OpType::kRead) {
+      auto v = (*store)->Get(o.key);
+      ASSERT_TRUE(v.ok()) << o.key;
+      EXPECT_EQ(*v, gen.MakeValue(o.key, versions[o.key]));
+    } else {
+      uint32_t nv = ++versions[o.key];
+      ASSERT_TRUE((*store)->Put(o.key, gen.MakeValue(o.key, nv)).ok());
+    }
+  }
+  // Wear leveling rotated segments underneath without corrupting data.
+  ASSERT_NE((*store)->controller().leveler(), nullptr);
+  EXPECT_GT((*store)->controller().leveler()->moves(), 10u);
+  for (auto& [k, v] : versions) {
+    EXPECT_EQ((*store)->Get(k).value(), gen.MakeValue(k, v)) << k;
+  }
+}
+
+TEST(IntegrationTest, AutoRetrainFiresUnderDrift) {
+  core::StoreConfig cfg = BaseConfig();
+  cfg.auto_retrain = true;
+  cfg.retrain.min_free_per_cluster = 0;
+  cfg.retrain.window = 40;
+  cfg.retrain.baseline_writes = 40;
+  cfg.retrain.degradation_factor = 1.4;
+  auto store = core::E2KvStore::Create(cfg);
+  ASSERT_TRUE(store.ok());
+  (*store)->Seed(Seeds(1));
+  ASSERT_TRUE((*store)->Bootstrap().ok());
+
+  // Familiar content first, then a different distribution: the
+  // efficiency trigger must fire a retrain.
+  auto familiar = Seeds(1);
+  auto shifted = Seeds(999);  // Different prototypes.
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put(i, familiar.items[i % familiar.items.size()]).ok());
+  }
+  // Updates over a bounded key range keep the pool healthy (each update
+  // recycles the old address), so only the efficiency trigger can fire.
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(
+        (*store)
+            ->Put(1000 + (i % 30),
+                  shifted.items[i % shifted.items.size()])
+            .ok())
+        << i;
+  }
+  EXPECT_GE((*store)->engine().stats().retrains, 1u);
+}
+
+TEST(IntegrationTest, PaddedVariableSizeValuesEndToEnd) {
+  core::StoreConfig cfg = BaseConfig();
+  auto store = core::E2KvStore::Create(cfg);
+  ASSERT_TRUE(store.ok());
+  (*store)->Seed(Seeds(2));
+  ASSERT_TRUE((*store)->Bootstrap().ok());
+
+  core::Padder padder(core::PadType::kDatasetBased,
+                      core::PadLocation::kEnd, 512);
+  (*store)->engine().SetPadder(&padder, nullptr);
+
+  Rng rng(3);
+  for (uint64_t k = 0; k < 30; ++k) {
+    size_t bits = 64 + rng.NextBounded(448);
+    BitVector v(bits);
+    v.Randomize(rng);
+    ASSERT_TRUE((*store)->Put(k, v).ok()) << k;
+    auto got = (*store)->Get(k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v) << "width " << bits;
+  }
+}
+
+TEST(IntegrationTest, StoreBeatsArbitraryPlacementEndToEnd) {
+  auto ds = Seeds(4);
+  // E2 store.
+  auto store = core::E2KvStore::Create(BaseConfig());
+  ASSERT_TRUE(store.ok());
+  (*store)->Seed(ds);
+  ASSERT_TRUE((*store)->Bootstrap().ok());
+  (*store)->device().ResetStats();
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*store)->Put(k, ds.items[100 + k]).ok());
+  }
+  double e2_flips = (*store)->device().stats().FlipsPerWrite();
+
+  // Arbitrary placement over an identical device.
+  nvm::DeviceConfig dc;
+  dc.num_segments = 128;
+  dc.segment_bits = 512;
+  nvm::NvmDevice device(dc);
+  schemes::Dcw dcw;
+  nvm::MemoryController ctrl(&device, &dcw, 128, 0);
+  auto sized = workload::ResizeItems(ds, 512);
+  for (size_t i = 0; i < 128; ++i) {
+    ctrl.Seed(i, sized.items[i % sized.items.size()]);
+  }
+  index::ArbitraryPlacer arb(&ctrl, 0, 128);
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(arb.Place(ds.items[100 + k]).ok());
+  }
+  double arb_flips = device.stats().FlipsPerWrite();
+  EXPECT_LT(e2_flips, 0.5 * arb_flips)
+      << "E2=" << e2_flips << " arbitrary=" << arb_flips;
+}
+
+TEST(IntegrationTest, PmemWalSurvivesCrashAndReplaysIntoStore) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "e2nvm_wal_integration").string();
+  fs::remove(path);
+
+  // A tiny WAL format in a pmem pool: [count | (key, 64-byte value)...].
+  struct WalRecord {
+    uint64_t key;
+    uint8_t value[64];
+  };
+  constexpr int kRecords = 20;
+  pmem::PoolOffset data_off = 0;
+  {
+    auto pool = pmem::Pool::Create(path, "wal", 4 << 20);
+    ASSERT_TRUE(pool.ok());
+    pmem::Allocator alloc(pool->get());
+    data_off =
+        alloc.Alloc(8 + sizeof(WalRecord) * kRecords).value();
+    (*pool)->set_root(data_off);
+    auto* count = (*pool)->As<uint64_t>(data_off);
+    *count = 0;
+    (*pool)->Persist(data_off, 8);
+    Rng rng(9);
+    for (int i = 0; i < kRecords; ++i) {
+      // Each append is transactional: count bump + record are atomic.
+      pmem::Transaction tx(pool->get());
+      ASSERT_TRUE(tx.Begin().ok());
+      ASSERT_TRUE(tx.AddRange(data_off, 8).ok());
+      auto* rec = (*pool)->As<WalRecord>(data_off + 8 +
+                                         sizeof(WalRecord) * *count);
+      rec->key = static_cast<uint64_t>(i);
+      for (auto& b : rec->value) {
+        b = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+      (*pool)->Persist((*pool)->OffsetOf(rec), sizeof(WalRecord));
+      *count += 1;
+      (*pool)->Persist(data_off, 8);
+      tx.Commit();
+    }
+    // Crash in the middle of record kRecords+1: tx active, then the
+    // process "dies" (we copy the file image with the tx still open).
+    pmem::Transaction tx(pool->get());
+    ASSERT_TRUE(tx.Begin().ok());
+    ASSERT_TRUE(tx.AddRange(data_off, 8).ok());
+    *(*pool)->As<uint64_t>(data_off) = 9999;  // Torn update.
+    (*pool)->Persist(data_off, 8);
+    fs::copy_file(path, path + ".crash",
+                  fs::copy_options::overwrite_existing);
+    tx.Abort();
+    (*pool)->Close();
+  }
+
+  // Recover the crash image and replay into a fresh store.
+  auto pool = pmem::Pool::Open(path + ".crash", "wal");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_TRUE((*pool)->recovered());
+  data_off = (*pool)->root();
+  uint64_t count = *(*pool)->As<const uint64_t>(data_off);
+  ASSERT_EQ(count, static_cast<uint64_t>(kRecords));  // Rolled back.
+
+  auto store = core::E2KvStore::Create(BaseConfig());
+  ASSERT_TRUE(store.ok());
+  (*store)->Seed(Seeds(5));
+  ASSERT_TRUE((*store)->Bootstrap().ok());
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto* rec = (*pool)->As<const WalRecord>(
+        data_off + 8 + sizeof(WalRecord) * i);
+    BitVector v = BitVector::FromBytes(rec->value, sizeof(rec->value));
+    ASSERT_TRUE((*store)->Put(rec->key, v).ok());
+  }
+  EXPECT_EQ((*store)->size(), static_cast<size_t>(kRecords));
+  fs::remove(path);
+  fs::remove(path + ".crash");
+}
+
+}  // namespace
+}  // namespace e2nvm

@@ -1,0 +1,146 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D.
+Matrix MakeBlobs(size_t per_cluster, std::vector<size_t>* labels,
+                 uint64_t seed = 3) {
+  Rng rng(seed);
+  const float centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  Matrix x(per_cluster * 3, 2);
+  labels->clear();
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      size_t row = c * per_cluster + i;
+      x(row, 0) = centers[c][0] + static_cast<float>(rng.NextGaussian());
+      x(row, 1) = centers[c][1] + static_cast<float>(rng.NextGaussian());
+      labels->push_back(c);
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  KMeans km({.k = 5});
+  Matrix tiny(2, 3);
+  EXPECT_EQ(km.Fit(tiny).code(), StatusCode::kInvalidArgument);
+  KMeans zero({.k = 0});
+  Matrix x(10, 2);
+  EXPECT_FALSE(zero.Fit(x).ok());
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  std::vector<size_t> labels;
+  Matrix x = MakeBlobs(50, &labels);
+  KMeans km({.k = 3, .seed = 1});
+  ASSERT_TRUE(km.Fit(x).ok());
+  auto assign = km.PredictBatch(x);
+  // All points of a true cluster must map to the same predicted cluster,
+  // and different true clusters to different predicted ones.
+  std::vector<size_t> rep(3, SIZE_MAX);
+  for (size_t i = 0; i < assign.size(); ++i) {
+    size_t t = labels[i];
+    if (rep[t] == SIZE_MAX) rep[t] = assign[i];
+    EXPECT_EQ(assign[i], rep[t]) << "point " << i;
+  }
+  EXPECT_NE(rep[0], rep[1]);
+  EXPECT_NE(rep[1], rep[2]);
+  EXPECT_NE(rep[0], rep[2]);
+}
+
+TEST(KMeansTest, SseDecreasesWithK) {
+  std::vector<size_t> labels;
+  Matrix x = MakeBlobs(40, &labels);
+  double prev = 1e18;
+  for (size_t k : {1u, 2u, 3u, 6u}) {
+    KMeans km({.k = k, .seed = 7});
+    ASSERT_TRUE(km.Fit(x).ok());
+    double sse = km.Sse(x);
+    EXPECT_LT(sse, prev + 1e-9) << "k=" << k;
+    prev = sse;
+  }
+}
+
+TEST(KMeansTest, PredictConsistentWithCentroidDistance) {
+  std::vector<size_t> labels;
+  Matrix x = MakeBlobs(30, &labels);
+  KMeans km({.k = 3, .seed = 5});
+  ASSERT_TRUE(km.Fit(x).ok());
+  const Matrix& c = km.centroids();
+  float probe[2] = {9.5f, 10.5f};
+  size_t pred = km.Predict(probe, 2);
+  double best = 1e18;
+  size_t manual = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    double d = 0;
+    for (size_t j = 0; j < 2; ++j) {
+      d += (probe[j] - c(i, j)) * (probe[j] - c(i, j));
+    }
+    if (d < best) {
+      best = d;
+      manual = i;
+    }
+  }
+  EXPECT_EQ(pred, manual);
+}
+
+TEST(KMeansTest, DeterministicPerSeed) {
+  std::vector<size_t> labels;
+  Matrix x = MakeBlobs(30, &labels);
+  KMeans a({.k = 3, .seed = 9}), b({.k = 3, .seed = 9});
+  ASSERT_TRUE(a.Fit(x).ok());
+  ASSERT_TRUE(b.Fit(x).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_FLOAT_EQ(a.centroids()(i, j), b.centroids()(i, j));
+    }
+  }
+}
+
+TEST(KMeansTest, KEqualsNZeroSse) {
+  Matrix x(4, 2);
+  x(0, 0) = 0;
+  x(1, 0) = 1;
+  x(2, 0) = 2;
+  x(3, 0) = 3;
+  KMeans km({.k = 4, .max_iters = 100, .seed = 2});
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_NEAR(km.Sse(x), 0.0, 1e-6);
+}
+
+TEST(KMeansTest, FlopsAccountingPositive) {
+  std::vector<size_t> labels;
+  Matrix x = MakeBlobs(20, &labels);
+  KMeans km({.k = 3, .seed = 4});
+  ASSERT_TRUE(km.Fit(x).ok());
+  EXPECT_GT(km.PredictFlops(), 0.0);
+  EXPECT_GT(km.FitFlops(x.rows()), km.PredictFlops());
+  EXPECT_GT(km.iters_run(), 0);
+}
+
+TEST(FindElbowTest, DetectsSharpKnee) {
+  // SSE drops fast until K=4, then flattens: the knee is at K=4.
+  std::vector<double> sse = {1000, 600, 300, 100, 90, 82, 76, 71, 67};
+  EXPECT_EQ(FindElbow(sse), 4u);
+}
+
+TEST(FindElbowTest, LinearCurveHasNoStrongKnee) {
+  std::vector<double> sse = {100, 90, 80, 70, 60, 50};
+  size_t k = FindElbow(sse);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, 6u);
+}
+
+TEST(FindElbowTest, DegenerateInputs) {
+  EXPECT_EQ(FindElbow({}), 1u);
+  EXPECT_EQ(FindElbow({5.0}), 1u);
+  EXPECT_EQ(FindElbow({5.0, 4.0}), 2u);
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

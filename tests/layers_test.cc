@@ -1,0 +1,204 @@
+#include "ml/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e2nvm::ml {
+namespace {
+
+/// Numerical gradient check: perturbs each parameter/input and compares
+/// the finite-difference slope of a scalar loss L = sum(Y) against the
+/// analytic gradient from Backward(ones).
+double SumForward(Layer& layer, const Matrix& x) {
+  Matrix y = layer.Forward(x);
+  double s = 0;
+  for (float v : y.data()) s += v;
+  return s;
+}
+
+TEST(DenseTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  d.weights().value(0, 0) = 1;
+  d.weights().value(0, 1) = 2;
+  d.weights().value(1, 0) = 3;
+  d.weights().value(1, 1) = 4;
+  d.bias().value(0, 0) = 10;
+  d.bias().value(0, 1) = 20;
+  Matrix x(1, 2);
+  x(0, 0) = 1;
+  x(0, 1) = 1;
+  Matrix y = d.Forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(y(0, 1), 2 + 4 + 20);
+}
+
+TEST(DenseTest, GradientCheckWeights) {
+  Rng rng(2);
+  Dense d(3, 2, rng);
+  Matrix x(4, 3);
+  for (auto& v : x.data()) v = rng.NextFloat() - 0.5f;
+
+  // Analytic gradient of L = sum(Y).
+  d.Forward(x);
+  Matrix dy(4, 2);
+  dy.Fill(1.0f);
+  d.ZeroGrad();
+  Matrix dx = d.Backward(dy);
+
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      float orig = d.weights().value(i, j);
+      d.weights().value(i, j) = orig + eps;
+      double up = SumForward(d, x);
+      d.weights().value(i, j) = orig - eps;
+      double down = SumForward(d, x);
+      d.weights().value(i, j) = orig;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(d.weights().grad(i, j), numeric, 1e-2)
+          << "w(" << i << "," << j << ")";
+    }
+  }
+  // Input gradient: dL/dx = sum over outputs of W.
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t i = 0; i < 3; ++i) {
+      float expect =
+          d.weights().value(i, 0) + d.weights().value(i, 1);
+      EXPECT_NEAR(dx(r, i), expect, 1e-4);
+    }
+  }
+}
+
+TEST(DenseTest, BiasGradientIsBatchCount) {
+  Rng rng(3);
+  Dense d(2, 2, rng);
+  Matrix x(5, 2);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  d.Forward(x);
+  Matrix dy(5, 2);
+  dy.Fill(1.0f);
+  d.ZeroGrad();
+  d.Backward(dy);
+  EXPECT_FLOAT_EQ(d.bias().grad(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(d.bias().grad(0, 1), 5.0f);
+}
+
+template <typename ActT>
+void ActivationGradientCheck(uint64_t seed) {
+  Rng rng(seed);
+  ActT act;
+  Matrix x(3, 4);
+  for (auto& v : x.data()) v = 2.0f * rng.NextFloat() - 1.0f;
+  act.Forward(x);
+  Matrix dy(3, 4);
+  dy.Fill(1.0f);
+  Matrix dx = act.Backward(dy);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    Matrix xp = x, xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    ActT fresh;
+    double up = SumForward(fresh, xp);
+    double down = SumForward(fresh, xm);
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, 5e-3) << "elem " << i;
+  }
+}
+
+TEST(ActivationTest, SigmoidGradient) {
+  ActivationGradientCheck<Sigmoid>(4);
+}
+TEST(ActivationTest, TanhGradient) { ActivationGradientCheck<Tanh>(5); }
+
+TEST(ActivationTest, ReluForwardAndGradient) {
+  Relu relu;
+  Matrix x(1, 4);
+  x(0, 0) = -1;
+  x(0, 1) = 2;
+  x(0, 2) = 0;
+  x(0, 3) = 3;
+  Matrix y = relu.Forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0);
+  EXPECT_FLOAT_EQ(y(0, 1), 2);
+  EXPECT_FLOAT_EQ(y(0, 3), 3);
+  Matrix dy(1, 4);
+  dy.Fill(1.0f);
+  Matrix dx = relu.Backward(dy);
+  EXPECT_FLOAT_EQ(dx(0, 0), 0);
+  EXPECT_FLOAT_EQ(dx(0, 1), 1);
+  EXPECT_FLOAT_EQ(dx(0, 3), 1);
+}
+
+TEST(SigmoidTest, OutputsInUnitInterval) {
+  Sigmoid s;
+  Matrix x(1, 3);
+  x(0, 0) = -100;
+  x(0, 1) = 0;
+  x(0, 2) = 100;
+  Matrix y = s.Forward(x);
+  EXPECT_NEAR(y(0, 0), 0.0f, 1e-6);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.5f);
+  EXPECT_NEAR(y(0, 2), 1.0f, 1e-6);
+}
+
+TEST(AdamTest, StepReducesSimpleQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with Adam on a 1x1 ParamBlock.
+  ParamBlock w(1, 1);
+  w.value(0, 0) = 0.0f;
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  for (int t = 1; t <= 300; ++t) {
+    w.grad(0, 0) = 2.0f * (w.value(0, 0) - 3.0f);
+    w.Step(cfg, t);
+    w.ZeroGrad();
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0f, 0.05f);
+}
+
+TEST(SequentialTest, ComposesLayers) {
+  Rng rng(6);
+  Sequential seq;
+  seq.Add(std::make_unique<Dense>(4, 8, rng));
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<Dense>(8, 2, rng));
+  Matrix x(3, 4);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  Matrix y = seq.Forward(x);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(seq.ParamCount(), (4 * 8 + 8) + (8 * 2 + 2));
+  EXPECT_GT(seq.ForwardFlops(3), 0.0);
+}
+
+TEST(SequentialTest, LearnsLinearMap) {
+  // y = 2x: a single Dense should fit it quickly.
+  Rng rng(7);
+  Sequential seq;
+  seq.Add(std::make_unique<Dense>(1, 1, rng));
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  for (int t = 1; t <= 500; ++t) {
+    Matrix x(8, 1);
+    for (auto& v : x.data()) v = rng.NextFloat() * 2 - 1;
+    Matrix y = seq.Forward(x);
+    Matrix dy(8, 1);
+    double loss = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      float diff = y(i, 0) - 2.0f * x(i, 0);
+      loss += diff * diff;
+      dy(i, 0) = 2.0f * diff / 8.0f;
+    }
+    seq.ZeroGrad();
+    seq.Backward(dy);
+    seq.Step(cfg, t);
+  }
+  Matrix probe(1, 1);
+  probe(0, 0) = 0.5f;
+  EXPECT_NEAR(seq.Forward(probe)(0, 0), 1.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

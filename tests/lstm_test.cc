@@ -1,0 +1,141 @@
+#include "ml/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+namespace {
+
+TEST(LstmTest, ShapesAndDeterminism) {
+  LstmConfig c;
+  c.input_size = 4;
+  c.timesteps = 3;
+  c.hidden_size = 6;
+  c.output_size = 2;
+  Lstm a(c), b(c);
+  Rng rng(1);
+  Matrix x(5, 12);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  Matrix ya = a.Predict(x);
+  Matrix yb = b.Predict(x);
+  EXPECT_EQ(ya.rows(), 5u);
+  EXPECT_EQ(ya.cols(), 2u);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  EXPECT_GT(a.ParamCount(), 0u);
+  EXPECT_GT(a.PredictFlops(), 0.0);
+}
+
+TEST(LstmTest, LearnsConstantMapping) {
+  LstmConfig c;
+  c.input_size = 2;
+  c.timesteps = 2;
+  c.hidden_size = 8;
+  c.output_size = 1;
+  Lstm lstm(c);
+  Rng rng(2);
+  Matrix x(64, 4);
+  Matrix y(64, 1);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < 4; ++j) x(i, j) = rng.NextFloat();
+    y(i, 0) = 0.75f;
+  }
+  auto curve = lstm.Train(x, y, 150, 16);
+  EXPECT_LT(curve.back(), curve.front() * 0.2);
+  auto pred = lstm.PredictOne({0.1f, 0.2f, 0.3f, 0.4f});
+  EXPECT_NEAR(pred[0], 0.75f, 0.2f);
+}
+
+TEST(LstmTest, LearnsLastBitEcho) {
+  // Predict the last input bit — requires memory across the window.
+  LstmConfig c;
+  c.input_size = 1;
+  c.timesteps = 4;
+  c.hidden_size = 10;
+  c.output_size = 1;
+  Lstm lstm(c);
+  Rng rng(3);
+  Matrix x(256, 4);
+  Matrix y(256, 1);
+  for (size_t i = 0; i < 256; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      x(i, j) = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    y(i, 0) = x(i, 3);
+  }
+  auto curve = lstm.Train(x, y, 80, 32);
+  EXPECT_LT(curve.back(), 0.05);
+  EXPECT_GT(lstm.PredictOne({0, 0, 0, 1})[0], 0.6f);
+  EXPECT_LT(lstm.PredictOne({1, 1, 1, 0})[0], 0.4f);
+}
+
+TEST(LstmTest, PaperToyExample) {
+  // §4.1.3: the LSTM takes 7 bits and predicts the 8th so that the items
+  // of Table 1 land in their correct clusters. Training pairs are the
+  // Table 1 contents: first 7 bits -> 8th bit.
+  const char* contents[12] = {
+      "00111101", "00101100", "00111100", "00111000",  // Cluster 0.
+      "10001011", "00001011", "00001111", "00001010",  // Cluster 1.
+      "10110000", "01110010", "11110000", "11010000",  // Cluster 2.
+  };
+  LstmConfig c;
+  c.input_size = 7;
+  c.timesteps = 1;
+  c.hidden_size = 10;  // The paper's LSTM(10).
+  c.output_size = 1;
+  Lstm lstm(c);
+  Matrix x(12, 7), y(12, 1);
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = 0; j < 7; ++j) {
+      x(i, j) = contents[i][j] == '1' ? 1.0f : 0.0f;
+    }
+    y(i, 0) = contents[i][7] == '1' ? 1.0f : 0.0f;
+  }
+  auto curve = lstm.Train(x, y, 200, 12);
+  EXPECT_LT(curve.back(), curve.front());
+  // The paper's qualitative check: the six held-in examples it lists
+  // round to the correct final bit.
+  struct Case {
+    const char* prefix;
+    float expected;
+  } cases[] = {
+      {"1011000", 0.0f}, {"0111001", 0.0f}, {"1111000", 0.0f},
+      {"1000101", 1.0f}, {"0000101", 1.0f}, {"0000111", 1.0f},
+  };
+  int correct = 0;
+  for (const auto& cs : cases) {
+    std::vector<float> in(7);
+    for (int j = 0; j < 7; ++j) in[j] = cs.prefix[j] == '1' ? 1.0f : 0.0f;
+    float out = lstm.PredictOne(in)[0];
+    if ((out >= 0.5f) == (cs.expected >= 0.5f)) ++correct;
+  }
+  EXPECT_GE(correct, 5) << "paper toy: at least 5/6 bits predicted";
+}
+
+TEST(LstmTest, BatchTrainingReducesMse) {
+  LstmConfig c;
+  c.input_size = 8;
+  c.timesteps = 8;
+  c.hidden_size = 10;
+  c.output_size = 8;
+  Lstm lstm(c);
+  Rng rng(5);
+  // Periodic bit pattern: window of 64 bits -> next 8 bits (period 16).
+  Matrix x(128, 64), y(128, 8);
+  for (size_t i = 0; i < 128; ++i) {
+    size_t phase = i % 16;
+    for (size_t j = 0; j < 64; ++j) {
+      x(i, j) = ((phase + j) % 16) < 8 ? 1.0f : 0.0f;
+    }
+    for (size_t j = 0; j < 8; ++j) {
+      y(i, j) = ((phase + 64 + j) % 16) < 8 ? 1.0f : 0.0f;
+    }
+  }
+  auto curve = lstm.Train(x, y, 30, 32);
+  EXPECT_LT(curve.back(), curve.front() * 0.5);
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

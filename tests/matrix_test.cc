@@ -1,0 +1,124 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace e2nvm::ml {
+namespace {
+
+Matrix M(std::initializer_list<std::initializer_list<float>> rows) {
+  size_t r = rows.size();
+  size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  size_t i = 0;
+  for (const auto& row : rows) {
+    size_t j = 0;
+    for (float v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, float tol = 1e-5f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), b(i, j), tol) << i << "," << j;
+    }
+  }
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (float v : m.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a = M({{1, 2}, {3, 4}});
+  Matrix b = M({{5, 6}, {7, 8}});
+  ExpectMatrixNear(MatMul(a, b), M({{19, 22}, {43, 50}}));
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a = M({{1, 2, 3}});           // 1x3
+  Matrix b = M({{1}, {2}, {3}});       // 3x1
+  ExpectMatrixNear(MatMul(a, b), M({{14}}));
+  ExpectMatrixNear(MatMul(b, a),
+                   M({{1, 2, 3}, {2, 4, 6}, {3, 6, 9}}));
+}
+
+TEST(MatrixTest, TransposedVariantsAgree) {
+  Rng rng(3);
+  Matrix a(4, 6), b(6, 5);
+  for (auto& v : a.data()) v = rng.NextFloat() - 0.5f;
+  for (auto& v : b.data()) v = rng.NextFloat() - 0.5f;
+  Matrix ab = MatMul(a, b);
+  // a * b == a * (b^T)^T via MatMulTransB with bt = b^T.
+  Matrix bt(5, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 5; ++j) bt(j, i) = b(i, j);
+  }
+  ExpectMatrixNear(MatMulTransB(a, bt), ab);
+  // a * b == (a^T)^T * b via MatMulTransA with at = a^T.
+  Matrix at(6, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) at(j, i) = a(i, j);
+  }
+  ExpectMatrixNear(MatMulTransA(at, b), ab);
+}
+
+TEST(MatrixTest, AddAndAxpy) {
+  Matrix a = M({{1, 2}});
+  Matrix b = M({{10, 20}});
+  AddInPlace(a, b);
+  ExpectMatrixNear(a, M({{11, 22}}));
+  Axpy(a, b, 0.5f);
+  ExpectMatrixNear(a, M({{16, 32}}));
+}
+
+TEST(MatrixTest, AddRowVector) {
+  Matrix a = M({{1, 2}, {3, 4}});
+  AddRowVector(a, {10, 20});
+  ExpectMatrixNear(a, M({{11, 22}, {13, 24}}));
+}
+
+TEST(MatrixTest, HadamardAndColSums) {
+  Matrix a = M({{1, 2}, {3, 4}});
+  Matrix b = M({{2, 2}, {2, 2}});
+  ExpectMatrixNear(Hadamard(a, b), M({{2, 4}, {6, 8}}));
+  auto cs = ColSums(a);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_FLOAT_EQ(cs[0], 4.0f);
+  EXPECT_FLOAT_EQ(cs[1], 6.0f);
+}
+
+TEST(MatrixTest, FrobeniusSq) {
+  Matrix a = M({{3, 4}});
+  EXPECT_DOUBLE_EQ(FrobeniusSq(a), 25.0);
+}
+
+TEST(MatrixTest, XavierInitBounded) {
+  Rng rng(5);
+  Matrix w(64, 32);
+  w.XavierInit(rng, 64, 32);
+  float limit = std::sqrt(6.0f / (64 + 32));
+  bool nonzero = false;
+  for (float v : w.data()) {
+    EXPECT_LE(std::abs(v), limit);
+    if (v != 0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(MatrixTest, CopyRowFrom) {
+  Matrix a = M({{1, 2}, {3, 4}});
+  Matrix b(2, 2);
+  b.CopyRowFrom(a, 1, 0);
+  EXPECT_FLOAT_EQ(b(0, 0), 3);
+  EXPECT_FLOAT_EQ(b(0, 1), 4);
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

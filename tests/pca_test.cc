@@ -1,0 +1,111 @@
+#include "ml/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+namespace {
+
+TEST(PcaTest, RejectsTooFewSamples) {
+  Pca pca({.num_components = 2});
+  Matrix x(1, 4);
+  EXPECT_FALSE(pca.Fit(x).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points stretched along (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(11);
+  Matrix x(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    float t = static_cast<float>(rng.NextGaussian()) * 10.0f;
+    float n = static_cast<float>(rng.NextGaussian()) * 0.1f;
+    x(i, 0) = t + n + 5.0f;  // Offset tests mean-centering.
+    x(i, 1) = t - n + 3.0f;
+  }
+  Pca pca({.num_components = 1, .power_iters = 60, .seed = 1});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const Matrix& c = pca.components();
+  float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+  // Direction is defined up to sign.
+  float dot = c(0, 0) * inv_sqrt2 + c(0, 1) * inv_sqrt2;
+  EXPECT_NEAR(std::abs(dot), 1.0f, 0.01f);
+  EXPECT_GT(pca.explained_variance()[0], 50.0);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(13);
+  Matrix x(200, 8);
+  for (auto& v : x.data()) v = static_cast<float>(rng.NextGaussian());
+  Pca pca({.num_components = 4, .power_iters = 50, .seed = 2});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const Matrix& c = pca.components();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      double dot = 0;
+      for (size_t d = 0; d < 8; ++d) dot += c(i, d) * c(j, d);
+      if (i == j) {
+        EXPECT_NEAR(dot, 1.0, 0.05) << i;
+      } else {
+        EXPECT_NEAR(dot, 0.0, 0.08) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+  Rng rng(17);
+  Matrix x(300, 6);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t d = 0; d < 6; ++d) {
+      // Variance shrinks with dimension index.
+      x(i, d) = static_cast<float>(rng.NextGaussian()) *
+                static_cast<float>(6 - d);
+    }
+  }
+  Pca pca({.num_components = 4, .power_iters = 60, .seed = 3});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const auto& ev = pca.explained_variance();
+  for (size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_GE(ev[i - 1], ev[i] * 0.9) << i;  // Allow slight noise.
+  }
+}
+
+TEST(PcaTest, TransformShapesAndCentering) {
+  Rng rng(19);
+  Matrix x(50, 5);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  Pca pca({.num_components = 3, .seed = 4});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  Matrix z = pca.Transform(x);
+  EXPECT_EQ(z.rows(), 50u);
+  EXPECT_EQ(z.cols(), 3u);
+  // Projection of the mean point is ~0 in every component.
+  std::vector<float> mean = pca.mean();
+  auto z0 = pca.TransformOne(mean.data(), mean.size());
+  for (float v : z0) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(PcaTest, ComponentCapRespectsDims) {
+  Rng rng(23);
+  Matrix x(10, 3);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  Pca pca({.num_components = 16, .seed = 5});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  EXPECT_LE(pca.components().rows(), 3u);
+}
+
+TEST(PcaTest, FlopsPositive) {
+  Rng rng(29);
+  Matrix x(20, 4);
+  for (auto& v : x.data()) v = rng.NextFloat();
+  Pca pca({.num_components = 2, .seed = 6});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  EXPECT_GT(pca.TransformFlops(), 0.0);
+  EXPECT_GT(pca.FitFlops(20), pca.TransformFlops());
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

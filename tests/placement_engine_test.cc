@@ -1,0 +1,253 @@
+#include "core/placement_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/e2_model.h"
+#include "index/value_placer.h"
+#include "schemes/schemes.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::core {
+namespace {
+
+constexpr size_t kSegments = 128;
+constexpr size_t kBits = 256;
+
+struct Rig {
+  explicit Rig(placement::ContentClusterer* clusterer,
+               PlacementEngine::Config ec = {}) {
+    nvm::DeviceConfig dc;
+    dc.num_segments = kSegments;
+    dc.segment_bits = kBits;
+    device = std::make_unique<nvm::NvmDevice>(dc);
+    ctrl = std::make_unique<nvm::MemoryController>(device.get(), &dcw,
+                                                   kSegments, 0);
+    ec.first_segment = 0;
+    ec.num_segments = kSegments;
+    engine = std::make_unique<PlacementEngine>(ctrl.get(), clusterer, ec);
+  }
+
+  void SeedWith(const workload::BitDataset& ds) {
+    auto sized = workload::ResizeItems(ds, kBits);
+    for (size_t i = 0; i < kSegments; ++i) {
+      ctrl->Seed(i, sized.items[i % sized.items.size()]);
+    }
+  }
+
+  schemes::Dcw dcw;
+  std::unique_ptr<nvm::NvmDevice> device;
+  std::unique_ptr<nvm::MemoryController> ctrl;
+  std::unique_ptr<PlacementEngine> engine;
+};
+
+workload::BitDataset ClusteredData(size_t samples, uint64_t seed = 2) {
+  workload::ProtoConfig cfg;
+  cfg.dim = kBits;
+  cfg.num_classes = 4;
+  cfg.samples = samples;
+  cfg.noise = 0.03;
+  cfg.seed = seed;
+  return workload::MakeProtoDataset(cfg);
+}
+
+TEST(PlacementEngineTest, PlaceBeforeBootstrapFails) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  EXPECT_EQ(rig.engine->Place(BitVector(kBits)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PlacementEngineTest, BootstrapPopulatesWholePool) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  rig.SeedWith(ClusteredData(64));
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  EXPECT_EQ(rig.engine->pool().TotalFree(), kSegments);
+  EXPECT_GT(rig.engine->stats().train_flops, 0.0);
+}
+
+TEST(PlacementEngineTest, PlaceConsumesAndWrites) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  auto ds = ClusteredData(64);
+  rig.SeedWith(ds);
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  auto addr = rig.engine->Place(ds.items[0]);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(rig.engine->pool().TotalFree(), kSegments - 1);
+  EXPECT_EQ(rig.ctrl->Peek(*addr), ds.items[0]);
+  EXPECT_EQ(rig.engine->stats().placements, 1u);
+}
+
+TEST(PlacementEngineTest, MemoryAwarePlacementBeatsArbitrary) {
+  // The paper's core claim at module level: placing onto same-cluster
+  // content flips far fewer bits than first-free placement.
+  auto ds = ClusteredData(kSegments + 200);
+
+  placement::RawKMeansClusterer clusterer(4);
+  Rig aware_rig(&clusterer);
+  aware_rig.SeedWith(ds);
+  ASSERT_TRUE(aware_rig.engine->Bootstrap().ok());
+
+  Rig arb_rig_holder(&clusterer);  // Device only; placer below.
+  arb_rig_holder.SeedWith(ds);
+  index::ArbitraryPlacer arbitrary(arb_rig_holder.ctrl.get(), 0,
+                                   kSegments);
+
+  uint64_t aware_flips_before =
+      aware_rig.device->stats().total_bits_flipped();
+  uint64_t arb_flips_before =
+      arb_rig_holder.device->stats().total_bits_flipped();
+  for (size_t i = 0; i < 100; ++i) {
+    const BitVector& v = ds.items[kSegments + i];
+    ASSERT_TRUE(aware_rig.engine->Place(v).ok());
+    ASSERT_TRUE(arbitrary.Place(v).ok());
+  }
+  uint64_t aware_flips =
+      aware_rig.device->stats().total_bits_flipped() - aware_flips_before;
+  uint64_t arb_flips = arb_rig_holder.device->stats().total_bits_flipped() -
+                       arb_flips_before;
+  EXPECT_LT(aware_flips, arb_flips / 2)
+      << "aware=" << aware_flips << " arbitrary=" << arb_flips;
+}
+
+TEST(PlacementEngineTest, ReleaseRecyclesByContent) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  auto ds = ClusteredData(64);
+  rig.SeedWith(ds);
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  auto addr = rig.engine->Place(ds.items[0]);
+  ASSERT_TRUE(addr.ok());
+  size_t free_before = rig.engine->pool().TotalFree();
+  ASSERT_TRUE(rig.engine->Release(*addr).ok());
+  EXPECT_EQ(rig.engine->pool().TotalFree(), free_before + 1);
+  EXPECT_EQ(rig.engine->stats().releases, 1u);
+  // The recycled address must be in the cluster its content predicts.
+  auto cluster = rig.engine->PredictClusterFor(rig.ctrl->Peek(*addr));
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_GT(rig.engine->pool().FreeCount(*cluster), 0u);
+}
+
+TEST(PlacementEngineTest, ExhaustionReported) {
+  placement::RawKMeansClusterer clusterer(2);
+  Rig rig(&clusterer);
+  rig.SeedWith(ClusteredData(32));
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  BitVector v(kBits);
+  for (size_t i = 0; i < kSegments; ++i) {
+    ASSERT_TRUE(rig.engine->Place(v).ok()) << i;
+  }
+  EXPECT_EQ(rig.engine->Place(v).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PlacementEngineTest, SearchBestFindsCloserMatches) {
+  auto ds = ClusteredData(kSegments + 100, 9);
+  placement::RawKMeansClusterer c1(4), c2(4);
+  PlacementEngine::Config best_cfg;
+  best_cfg.search_best_in_cluster = true;
+  Rig first_rig(&c1);
+  Rig best_rig(&c2, best_cfg);
+  first_rig.SeedWith(ds);
+  best_rig.SeedWith(ds);
+  ASSERT_TRUE(first_rig.engine->Bootstrap().ok());
+  ASSERT_TRUE(best_rig.engine->Bootstrap().ok());
+  for (size_t i = 0; i < 60; ++i) {
+    const BitVector& v = ds.items[kSegments + i];
+    ASSERT_TRUE(first_rig.engine->Place(v).ok());
+    ASSERT_TRUE(best_rig.engine->Place(v).ok());
+  }
+  // Best-search can only improve (or match) flips.
+  EXPECT_LE(best_rig.device->stats().total_bits_flipped(),
+            first_rig.device->stats().total_bits_flipped());
+}
+
+TEST(PlacementEngineTest, RetrainRebuildsPool) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  auto ds = ClusteredData(64);
+  rig.SeedWith(ds);
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rig.engine->Place(ds.items[i]).ok());
+  }
+  size_t free_before = rig.engine->pool().TotalFree();
+  ASSERT_TRUE(rig.engine->Retrain().ok());
+  EXPECT_EQ(rig.engine->pool().TotalFree(), free_before);
+  EXPECT_EQ(rig.engine->stats().retrains, 1u);
+}
+
+TEST(PlacementEngineTest, CpuEnergyCharged) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  auto ds = ClusteredData(64);
+  rig.SeedWith(ds);
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  double train_energy =
+      rig.device->meter().DomainPj(nvm::EnergyDomain::kCpuModel);
+  EXPECT_GT(train_energy, 0.0);
+  ASSERT_TRUE(rig.engine->Place(ds.items[0]).ok());
+  EXPECT_GT(rig.device->meter().DomainPj(nvm::EnergyDomain::kCpuModel),
+            train_energy);
+}
+
+TEST(PlacementEngineTest, NarrowValueZeroExtendedByDefault) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  auto ds = ClusteredData(64);
+  rig.SeedWith(ds);
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  BitVector narrow(100);
+  narrow.Set(0, true);
+  auto addr = rig.engine->Place(narrow);
+  ASSERT_TRUE(addr.ok());
+  // Only the first 100 bits were written; the tail keeps old content.
+  EXPECT_EQ(rig.ctrl->Peek(*addr).Slice(0, 100), narrow);
+}
+
+TEST(PlacementEngineTest, ExtendRegionIndexesIncrementally) {
+  // Incremental DAP indexing (§4.1.4): bootstrap over half the device,
+  // extend over the rest without retraining.
+  placement::RawKMeansClusterer clusterer(4);
+  nvm::DeviceConfig dc;
+  dc.num_segments = kSegments;
+  dc.segment_bits = kBits;
+  nvm::NvmDevice device(dc);
+  schemes::Dcw dcw;
+  nvm::MemoryController ctrl(&device, &dcw, kSegments, 0);
+  auto ds = ClusteredData(kSegments);
+  auto sized = workload::ResizeItems(ds, kBits);
+  for (size_t i = 0; i < kSegments; ++i) {
+    ctrl.Seed(i, sized.items[i % sized.items.size()]);
+  }
+  PlacementEngine::Config ec;
+  ec.first_segment = 0;
+  ec.num_segments = kSegments / 2;
+  PlacementEngine engine(&ctrl, &clusterer, ec);
+
+  EXPECT_EQ(engine.ExtendRegion(4).code(),
+            StatusCode::kFailedPrecondition);  // Before bootstrap.
+  ASSERT_TRUE(engine.Bootstrap().ok());
+  EXPECT_EQ(engine.pool().TotalFree(), kSegments / 2);
+  ASSERT_TRUE(engine.ExtendRegion(kSegments / 2).ok());
+  EXPECT_EQ(engine.pool().TotalFree(), kSegments);
+  // Extending past the device fails.
+  EXPECT_EQ(engine.ExtendRegion(1).code(), StatusCode::kOutOfRange);
+  // The extended addresses are usable.
+  for (size_t i = 0; i < kSegments; ++i) {
+    ASSERT_TRUE(engine.Place(ds.items[i % ds.items.size()]).ok()) << i;
+  }
+}
+
+TEST(PlacementEngineTest, WiderThanSegmentRejected) {
+  placement::RawKMeansClusterer clusterer(4);
+  Rig rig(&clusterer);
+  rig.SeedWith(ClusteredData(64));
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  EXPECT_EQ(rig.engine->Place(BitVector(kBits + 1)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace e2nvm::core

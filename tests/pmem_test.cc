@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "pmem/allocator.h"
+#include "pmem/pool.h"
+#include "pmem/tx.h"
+
+namespace e2nvm::pmem {
+namespace {
+
+constexpr size_t kPoolSize = 4 * 1024 * 1024;
+
+class PmemFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("e2nvm_pool_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  static int counter_;
+};
+int PmemFileTest::counter_ = 0;
+
+TEST_F(PmemFileTest, CreateOpenRoundTrip) {
+  {
+    auto pool = Pool::Create(path_, "kvstore", kPoolSize);
+    ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+    (*pool)->set_root(1234);
+    (*pool)->Close();
+  }
+  auto pool = Pool::Open(path_, "kvstore");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_EQ((*pool)->root(), 1234u);
+  EXPECT_FALSE((*pool)->recovered());  // Clean shutdown.
+  EXPECT_EQ((*pool)->size(), kPoolSize);
+}
+
+TEST_F(PmemFileTest, CreateFailsIfExists) {
+  auto p1 = Pool::Create(path_, "x", kPoolSize);
+  ASSERT_TRUE(p1.ok());
+  (*p1)->Close();
+  auto p2 = Pool::Create(path_, "x", kPoolSize);
+  EXPECT_EQ(p2.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(PmemFileTest, OpenMissingFileFails) {
+  auto p = Pool::Open(path_, "x");
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PmemFileTest, LayoutMismatchRejected) {
+  {
+    auto p = Pool::Create(path_, "layout_a", kPoolSize);
+    ASSERT_TRUE(p.ok());
+    (*p)->Close();
+  }
+  auto p = Pool::Open(path_, "layout_b");
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PmemFileTest, DataPersistsAcrossReopen) {
+  PoolOffset off;
+  {
+    auto pool = Pool::Create(path_, "data", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    Allocator alloc(pool->get());
+    auto a = alloc.Alloc(64);
+    ASSERT_TRUE(a.ok());
+    off = *a;
+    std::memcpy((*pool)->Direct(off), "hello persistent world", 23);
+    (*pool)->Persist(off, 23);
+    (*pool)->set_root(off);
+    (*pool)->Close();
+  }
+  auto pool = Pool::Open(path_, "data");
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->root(), off);
+  EXPECT_STREQ(
+      static_cast<const char*>((*pool)->Direct((*pool)->root())),
+      "hello persistent world");
+}
+
+TEST_F(PmemFileTest, UncommittedTxRollsBackOnReopen) {
+  PoolOffset off;
+  {
+    auto pool = Pool::Create(path_, "crash", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    Allocator alloc(pool->get());
+    off = alloc.Alloc(64).value();
+    std::memcpy((*pool)->Direct(off), "ORIGINAL", 9);
+    (*pool)->Persist(off, 9);
+    (*pool)->set_root(off);
+
+    // Begin a transaction, snapshot, mutate ... and "crash" (no commit,
+    // and no Close — simulating power loss before the tx completes).
+    TxLog log(pool->get(), (*pool)->header()->tx_log);
+    ASSERT_TRUE(log.Begin().ok());
+    ASSERT_TRUE(log.Snapshot(off, 9).ok());
+    std::memcpy((*pool)->Direct(off), "GARBLED!", 9);
+    (*pool)->Persist(off, 9);
+    // Deliberately skip Close(): destructor marks clean shutdown, so we
+    // leak the mapping state by releasing without Close via msync only.
+    // To model a crash we must bypass Close: mark header dirty manually.
+    (*pool)->header()->clean_shutdown = 0;
+    // Simulate the process dying: drop the object without Close by
+    // swapping in a no-op — easiest is to just let Close run but force
+    // the dirty flag back afterward via a raw reopen below. Instead we
+    // copy the file NOW while the tx is active.
+    std::filesystem::copy_file(
+        path_, path_ + ".crash",
+        std::filesystem::copy_options::overwrite_existing);
+    (*pool)->Close();
+  }
+  // Open the crash image: recovery must roll the garbled write back.
+  auto pool = Pool::Open(path_ + ".crash", "crash");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_TRUE((*pool)->recovered());
+  EXPECT_STREQ(static_cast<const char*>((*pool)->Direct(off)),
+               "ORIGINAL");
+  std::filesystem::remove(path_ + ".crash");
+}
+
+TEST(PmemAnonTest, AnonymousPoolWorks) {
+  auto pool = Pool::CreateAnonymous("anon", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->layout(), "anon");
+  EXPECT_EQ((*pool)->root(), kNullOffset);
+}
+
+TEST(PmemAnonTest, TooSmallPoolRejected) {
+  auto pool = Pool::CreateAnonymous("anon", 1024);
+  EXPECT_EQ(pool.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PmemTxTest, CommitKeepsChanges) {
+  auto pool = Pool::CreateAnonymous("tx", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  PoolOffset off = alloc.Alloc(32).value();
+  std::memcpy((*pool)->Direct(off), "AAAA", 4);
+
+  Transaction tx(pool->get());
+  ASSERT_TRUE(tx.Begin().ok());
+  ASSERT_TRUE(tx.AddRange(off, 4).ok());
+  std::memcpy((*pool)->Direct(off), "BBBB", 4);
+  tx.Commit();
+  EXPECT_EQ(std::memcmp((*pool)->Direct(off), "BBBB", 4), 0);
+}
+
+TEST(PmemTxTest, ScopeExitAborts) {
+  auto pool = Pool::CreateAnonymous("tx2", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  PoolOffset off = alloc.Alloc(32).value();
+  std::memcpy((*pool)->Direct(off), "AAAA", 4);
+  {
+    Transaction tx(pool->get());
+    ASSERT_TRUE(tx.Begin().ok());
+    ASSERT_TRUE(tx.AddRange(off, 4).ok());
+    std::memcpy((*pool)->Direct(off), "BBBB", 4);
+    // No Commit: destructor must roll back.
+  }
+  EXPECT_EQ(std::memcmp((*pool)->Direct(off), "AAAA", 4), 0);
+}
+
+TEST(PmemTxTest, AbortRestoresReverseOrder) {
+  auto pool = Pool::CreateAnonymous("tx3", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  PoolOffset off = alloc.Alloc(32).value();
+  std::memcpy((*pool)->Direct(off), "AAAA", 4);
+
+  Transaction tx(pool->get());
+  ASSERT_TRUE(tx.Begin().ok());
+  // Two snapshots of the same range: the OLDEST image must win on abort.
+  ASSERT_TRUE(tx.AddRange(off, 4).ok());
+  std::memcpy((*pool)->Direct(off), "BBBB", 4);
+  ASSERT_TRUE(tx.AddRange(off, 4).ok());
+  std::memcpy((*pool)->Direct(off), "CCCC", 4);
+  tx.Abort();
+  EXPECT_EQ(std::memcmp((*pool)->Direct(off), "AAAA", 4), 0);
+}
+
+TEST(PmemTxTest, NestedBeginRejected) {
+  auto pool = Pool::CreateAnonymous("tx4", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Transaction tx1(pool->get());
+  ASSERT_TRUE(tx1.Begin().ok());
+  Transaction tx2(pool->get());
+  EXPECT_EQ(tx2.Begin().code(), StatusCode::kFailedPrecondition);
+  tx1.Commit();
+}
+
+TEST(PmemTxTest, SnapshotOutsideTxRejected) {
+  auto pool = Pool::CreateAnonymous("tx5", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  TxLog log(pool->get(), (*pool)->header()->tx_log);
+  EXPECT_EQ(log.Snapshot(8192, 8).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PmemTxTest, LogFullReported) {
+  auto pool = Pool::CreateAnonymous("tx6", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  TxLog log(pool->get(), (*pool)->header()->tx_log);
+  ASSERT_TRUE(log.Begin().ok());
+  // Snapshot ranges until the 256 KiB log fills.
+  Status last = Status::Ok();
+  for (int i = 0; i < 100; ++i) {
+    last = log.Snapshot(Pool::kHeaderBytes + TxLog::kLogBytes, 8000);
+    if (!last.ok()) break;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  log.Abort();
+}
+
+TEST(PmemTxTest, FlushTrackerCountsLines) {
+  FlushTracker ft;
+  alignas(64) char buf[256];
+  EXPECT_EQ(ft.FlushRange(buf, 1), 1u);
+  EXPECT_EQ(ft.FlushRange(buf, 64), 1u);
+  EXPECT_EQ(ft.FlushRange(buf, 65), 2u);
+  EXPECT_EQ(ft.FlushRange(buf, 256), 4u);
+  EXPECT_EQ(ft.FlushRange(buf, 0), 0u);
+  ft.Fence();
+  EXPECT_EQ(ft.lines_flushed(), 1u + 1 + 2 + 4);
+  EXPECT_EQ(ft.fences(), 1u);
+  ft.Reset();
+  EXPECT_EQ(ft.lines_flushed(), 0u);
+}
+
+TEST(PmemAllocatorTest, ClassSizing) {
+  EXPECT_EQ(Allocator::ClassFor(1), 0);
+  EXPECT_EQ(Allocator::ClassFor(32), 0);
+  EXPECT_EQ(Allocator::ClassFor(33), 1);
+  EXPECT_EQ(Allocator::ClassFor(64), 1);
+  EXPECT_EQ(Allocator::ClassFor(65), 2);
+  EXPECT_EQ(Allocator::ClassSize(0), 32u);
+  EXPECT_EQ(Allocator::ClassSize(3), 256u);
+}
+
+TEST(PmemAllocatorTest, AllocFreeReuse) {
+  auto pool = Pool::CreateAnonymous("alloc", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  auto a = alloc.Alloc(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(alloc.UsableSize(*a), 100u);
+  EXPECT_EQ(alloc.live_objects(), 1u);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.live_objects(), 0u);
+  // Same class allocation must reuse the freed chunk.
+  auto b = alloc.Alloc(100);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+}
+
+TEST(PmemAllocatorTest, DoubleFreeDetected) {
+  auto pool = Pool::CreateAnonymous("alloc2", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  PoolOffset a = alloc.Alloc(64).value();
+  ASSERT_TRUE(alloc.Free(a).ok());
+  EXPECT_EQ(alloc.Free(a).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PmemAllocatorTest, ZeroAndHugeRejected) {
+  auto pool = Pool::CreateAnonymous("alloc3", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  EXPECT_EQ(alloc.Alloc(0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.Alloc(size_t{2} << 40).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PmemAllocatorTest, ExhaustionReported) {
+  auto pool = Pool::CreateAnonymous("alloc4", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  Status last = Status::Ok();
+  for (int i = 0; i < 100000; ++i) {
+    auto a = alloc.Alloc(1024);
+    if (!a.ok()) {
+      last = a.status();
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PmemAllocatorTest, DistinctAllocationsDontOverlap) {
+  auto pool = Pool::CreateAnonymous("alloc5", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  std::vector<PoolOffset> offs;
+  for (int i = 0; i < 50; ++i) offs.push_back(alloc.Alloc(128).value());
+  std::sort(offs.begin(), offs.end());
+  for (size_t i = 1; i < offs.size(); ++i) {
+    EXPECT_GE(offs[i] - offs[i - 1], 128u + Allocator::kChunkHeaderBytes);
+  }
+}
+
+}  // namespace
+}  // namespace e2nvm::pmem

@@ -1,0 +1,311 @@
+#include "schemes/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2nvm::schemes {
+namespace {
+
+// ---- Shared property suite: every scheme must decode what it wrote and
+// ---- never flip more data cells than a naive differential write of the
+// ---- stored pattern implies.
+class SchemeRoundTripTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeRoundTripTest, DecodeRecoversLogicalValue) {
+  auto scheme = MakeScheme(GetParam());
+  ASSERT_NE(scheme, nullptr);
+  Rng rng(101);
+  BitVector cells(256);
+  cells.Randomize(rng);
+  for (int round = 0; round < 10; ++round) {
+    BitVector data(256);
+    data.Randomize(rng);
+    nvm::WriteResult r = scheme->Write(7, cells, data);
+    ASSERT_EQ(r.stored.size(), 256u);
+    EXPECT_EQ(scheme->Decode(7, r.stored), data) << "round " << round;
+    cells = r.stored;
+  }
+}
+
+TEST_P(SchemeRoundTripTest, FlipCountMatchesStoredDelta) {
+  auto scheme = MakeScheme(GetParam());
+  Rng rng(55);
+  BitVector cells(128);
+  cells.Randomize(rng);
+  BitVector data(128);
+  data.Randomize(rng);
+  nvm::WriteResult r = scheme->Write(0, cells, data);
+  EXPECT_EQ(r.data_bits_flipped, cells.HammingDistance(r.stored));
+}
+
+TEST_P(SchemeRoundTripTest, IdempotentRewriteIsFree) {
+  auto scheme = MakeScheme(GetParam());
+  Rng rng(77);
+  BitVector cells(128);
+  cells.Randomize(rng);
+  BitVector data(128);
+  data.Randomize(rng);
+  nvm::WriteResult first = scheme->Write(3, cells, data);
+  // Writing the same logical value again over its own stored cells must
+  // flip nothing.
+  nvm::WriteResult second = scheme->Write(3, first.stored, data);
+  EXPECT_EQ(second.data_bits_flipped, 0u);
+  EXPECT_EQ(second.aux_bits_flipped, 0u);
+  EXPECT_EQ(scheme->Decode(3, second.stored), data);
+}
+
+TEST_P(SchemeRoundTripTest, SeparateSegmentsHaveSeparateState) {
+  auto scheme = MakeScheme(GetParam());
+  Rng rng(88);
+  BitVector cells_a(64), cells_b(64), da(64), db(64);
+  cells_a.Randomize(rng);
+  cells_b.Randomize(rng);
+  da.Randomize(rng);
+  db.Randomize(rng);
+  auto ra = scheme->Write(1, cells_a, da);
+  auto rb = scheme->Write(2, cells_b, db);
+  EXPECT_EQ(scheme->Decode(1, ra.stored), da);
+  EXPECT_EQ(scheme->Decode(2, rb.stored), db);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeRoundTripTest,
+                         ::testing::Values("Naive", "DCW", "FNW",
+                                           "MinShift", "Captopril",
+                                           "FMR"));
+
+TEST(FmrTest, MirrorBeatsFlipWhenReversalMatches) {
+  // Old cells = bit-reversal of the incoming word: the mirror encoding
+  // stores it with zero data flips (2 tag bits at most).
+  FlipMirrorRotate fmr(16);
+  Rng rng(41);
+  BitVector data(16);
+  data.Randomize(rng);
+  BitVector cells(16);
+  for (size_t i = 0; i < 16; ++i) cells.Set(i, data.Get(15 - i));
+  auto r = fmr.Write(0, cells, data);
+  EXPECT_EQ(r.data_bits_flipped, 0u);
+  EXPECT_EQ(fmr.Decode(0, r.stored), data);
+}
+
+TEST(FmrTest, AtLeastAsGoodAsFnwPerWrite) {
+  // FMR's candidate set strictly contains FNW's {identity, flip}, so on
+  // fresh state a single FMR write never flips more data cells.
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector cells(128), data(128);
+    cells.Randomize(rng);
+    data.Randomize(rng);
+    FlipMirrorRotate fmr(16);
+    FlipNWrite fnw(16);
+    auto rm = fmr.Write(0, cells, data);
+    auto rn = fnw.Write(0, cells, data);
+    EXPECT_LE(rm.data_bits_flipped, rn.data_bits_flipped) << trial;
+  }
+}
+
+TEST(FmrTest, AuxAccounting) {
+  FlipMirrorRotate fmr(16);
+  EXPECT_EQ(fmr.AuxBitsPerSegment(128), 16u);  // 8 words x 2 tag bits.
+}
+
+// ---- Width sweep: schemes must handle any segment width, including
+// ---- widths that don't divide evenly into their word/tag granularity.
+class SchemeWidthTest
+    : public ::testing::TestWithParam<std::tuple<const char*, size_t>> {};
+
+TEST_P(SchemeWidthTest, RoundTripAtOddWidths) {
+  auto [name, width] = GetParam();
+  auto scheme = MakeScheme(name);
+  ASSERT_NE(scheme, nullptr);
+  Rng rng(width * 7 + 3);
+  BitVector cells(width);
+  cells.Randomize(rng);
+  for (int round = 0; round < 4; ++round) {
+    BitVector data(width);
+    data.Randomize(rng);
+    nvm::WriteResult r = scheme->Write(1, cells, data);
+    ASSERT_EQ(r.stored.size(), width);
+    ASSERT_EQ(scheme->Decode(1, r.stored), data)
+        << name << " width " << width << " round " << round;
+    cells = r.stored;
+  }
+}
+
+TEST_P(SchemeWidthTest, MigratedStateDecodesAtNewSegment) {
+  auto [name, width] = GetParam();
+  auto scheme = MakeScheme(name);
+  Rng rng(width + 11);
+  BitVector cells(width), data(width);
+  cells.Randomize(rng);
+  data.Randomize(rng);
+  nvm::WriteResult r = scheme->Write(5, cells, data);
+  scheme->OnMigrate(5, 9);
+  EXPECT_EQ(scheme->Decode(9, r.stored), data) << name << "/" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchemeWidthTest,
+    ::testing::Combine(::testing::Values("DCW", "FNW", "MinShift",
+                                         "Captopril", "FMR"),
+                       ::testing::Values(size_t{8}, size_t{33},
+                                         size_t{100}, size_t{255},
+                                         size_t{2048})),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, size_t>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NaiveTest, ProgramsEveryCell) {
+  NaiveWrite naive;
+  BitVector old_cells(64), data(64);
+  data.Set(0, true);
+  auto r = naive.Write(0, old_cells, data);
+  EXPECT_EQ(r.bits_programmed, 64u);
+  EXPECT_EQ(r.data_bits_flipped, 1u);
+}
+
+TEST(DcwTest, ProgramsOnlyDiffs) {
+  Dcw dcw;
+  BitVector old_cells(64), data(64);
+  data.Set(0, true);
+  data.Set(33, true);
+  auto r = dcw.Write(0, old_cells, data);
+  EXPECT_EQ(r.bits_programmed, 2u);
+  EXPECT_EQ(r.data_bits_flipped, 2u);
+  EXPECT_EQ(r.aux_bits_flipped, 0u);
+}
+
+TEST(FnwTest, WorstCaseBoundedByHalfPlusFlag) {
+  // FNW's guarantee: per w-bit word at most w/2 data flips + 1 flag flip.
+  FlipNWrite fnw(32);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector cells(256), data(256);
+    cells.Randomize(rng);
+    data.Randomize(rng);
+    auto r = fnw.Write(static_cast<uint64_t>(trial), cells, data);
+    size_t words = 256 / 32;
+    EXPECT_LE(r.data_bits_flipped, words * 16);
+    EXPECT_LE(r.aux_bits_flipped, words);
+  }
+}
+
+TEST(FnwTest, InvertsWhenComplementCloser) {
+  FlipNWrite fnw(8);
+  BitVector cells = BitVector::FromString("11111111");
+  BitVector data = BitVector::FromString("00000001");
+  // Direct write flips 7 cells; inverted data (11111110) flips 1 + flag.
+  auto r = fnw.Write(0, cells, data);
+  EXPECT_LE(r.total_bits_flipped(), 2u);
+  EXPECT_EQ(fnw.Decode(0, r.stored), data);
+}
+
+TEST(FnwTest, BeatsOrMatchesDcwOnAdversarialData) {
+  FlipNWrite fnw(32);
+  Dcw dcw;
+  Rng rng(6);
+  size_t fnw_total = 0, dcw_total = 0;
+  BitVector fnw_cells(256), dcw_cells(256);
+  fnw_cells.Randomize(rng);
+  dcw_cells = fnw_cells;
+  for (int i = 0; i < 30; ++i) {
+    BitVector data(256);
+    data.Randomize(rng);
+    auto rf = fnw.Write(0, fnw_cells, data);
+    auto rd = dcw.Write(0, dcw_cells, data);
+    fnw_total += rf.total_bits_flipped();
+    dcw_total += rd.total_bits_flipped();
+    fnw_cells = rf.stored;
+    dcw_cells = rd.stored;
+  }
+  EXPECT_LE(fnw_total, dcw_total);
+}
+
+TEST(FnwTest, AuxOverheadAccounting) {
+  FlipNWrite fnw(32);
+  EXPECT_EQ(fnw.AuxBitsPerSegment(256), 8u);
+  EXPECT_EQ(fnw.AuxBitsPerSegment(33), 2u);
+}
+
+TEST(MinShiftTest, NeverWorseThanDcwPlusTag) {
+  MinShift ms;
+  Dcw dcw;
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector cells(128), data(128);
+    cells.Randomize(rng);
+    data.Randomize(rng);
+    MinShift fresh;  // Fresh tag state: old tag is (0, false).
+    auto rm = fresh.Write(0, cells, data);
+    auto rd = dcw.Write(0, cells, data);
+    // Shift 0 / no flip is always a candidate, so MinShift can at worst
+    // equal DCW (its tag cost for the identity candidate is 0).
+    EXPECT_LE(rm.total_bits_flipped(), rd.data_bits_flipped);
+  }
+}
+
+TEST(MinShiftTest, FindsObviousShift) {
+  MinShift ms(/*try_flip=*/false);
+  Rng rng(9);
+  BitVector cells(64);
+  cells.Randomize(rng);
+  // Data = cells rotated right by 3: rotating data left by 3 restores the
+  // cell pattern exactly, so the best candidate flips ~0 data cells.
+  BitVector data = cells.RotatedLeft(64 - 3);
+  auto r = ms.Write(0, cells, data);
+  EXPECT_EQ(r.data_bits_flipped, 0u);
+  EXPECT_EQ(ms.Decode(0, r.stored), data);
+}
+
+TEST(MinShiftTest, FlipModeHandlesComplement) {
+  MinShift ms(/*try_flip=*/true);
+  Rng rng(10);
+  BitVector cells(64);
+  cells.Randomize(rng);
+  BitVector data = cells.Inverted();
+  auto r = ms.Write(0, cells, data);
+  // Complement candidate matches the cells exactly; only the tag flips.
+  EXPECT_EQ(r.data_bits_flipped, 0u);
+  EXPECT_EQ(ms.Decode(0, r.stored), data);
+}
+
+TEST(CaptoprilTest, ReducesPressureOnHotWords) {
+  Captopril cap(8, /*hot_penalty=*/4.0);
+  Rng rng(11);
+  BitVector cells(64);
+  cells.Randomize(rng);
+  // Hammer segment 0 so some words become hot; the scheme should still
+  // round-trip and not blow up flips relative to naive.
+  size_t total = 0;
+  for (int i = 0; i < 40; ++i) {
+    BitVector data(64);
+    data.Randomize(rng);
+    auto r = cap.Write(0, cells, data);
+    EXPECT_EQ(cap.Decode(0, r.stored), data);
+    total += r.total_bits_flipped();
+    cells = r.stored;
+  }
+  // FNW-style choice guarantees at most half the bits + flags per write.
+  EXPECT_LE(total, 40u * (32 + 8));
+}
+
+TEST(SchemeFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeScheme("Bogus"), nullptr);
+}
+
+TEST(SchemeResetTest, ResetClearsPerSegmentState) {
+  FlipNWrite fnw(8);
+  BitVector cells = BitVector::FromString("11111111");
+  BitVector data = BitVector::FromString("00000000");
+  auto r = fnw.Write(0, cells, data);  // Stored inverted, flag set.
+  EXPECT_EQ(fnw.Decode(0, r.stored), data);
+  fnw.Reset();
+  // After reset the flag table is empty: decode is identity again.
+  EXPECT_EQ(fnw.Decode(0, r.stored), r.stored);
+}
+
+}  // namespace
+}  // namespace e2nvm::schemes

@@ -1,0 +1,123 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+namespace e2nvm::workload {
+namespace {
+
+TEST(TraceTest, AppendAndReplayRoutesOps) {
+  OpTrace trace;
+  trace.Append({TraceOp::kPut, 1, 0, 0});
+  trace.Append({TraceOp::kGet, 1, 0, 0});
+  trace.Append({TraceOp::kScan, 0, 0, 5});
+  trace.Append({TraceOp::kDelete, 1, 0, 0});
+  trace.Append({TraceOp::kGet, 1, 0, 0});
+
+  std::map<uint64_t, uint32_t> store;
+  ReplayStats stats = trace.Replay(
+      [&](uint64_t k, uint32_t v) {
+        store[k] = v;
+        return Status::Ok();
+      },
+      [&](uint64_t k) {
+        return store.count(k) ? Status::Ok()
+                              : Status::NotFound("missing");
+      },
+      [&](uint64_t k) {
+        return store.erase(k) ? Status::Ok()
+                              : Status::NotFound("missing");
+      },
+      [&](uint64_t, uint32_t) { return Status::Ok(); });
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.scans, 1u);
+  EXPECT_EQ(stats.failures, 1u);  // The final GET after DELETE.
+  EXPECT_EQ(stats.total(), 5u);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "e2nvm_trace_test.bin").string();
+  OpTrace trace;
+  for (uint64_t i = 0; i < 100; ++i) {
+    trace.Append({static_cast<TraceOp>(i % 4), i * 7,
+                  static_cast<uint32_t>(i), static_cast<uint32_t>(i % 9)});
+  }
+  ASSERT_TRUE(trace.SaveTo(path).ok());
+  auto loaded = OpTrace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->records()[i].op, trace.records()[i].op) << i;
+    EXPECT_EQ(loaded->records()[i].key, trace.records()[i].key) << i;
+    EXPECT_EQ(loaded->records()[i].version, trace.records()[i].version);
+    EXPECT_EQ(loaded->records()[i].scan_len, trace.records()[i].scan_len);
+  }
+  fs::remove(path);
+}
+
+TEST(TraceTest, LoadRejectsGarbage) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "e2nvm_trace_garbage.bin").string();
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not a trace file at all";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  auto loaded = OpTrace::LoadFrom(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(OpTrace::LoadFrom("/definitely/missing/file").status().code(),
+            StatusCode::kNotFound);
+  fs::remove(path);
+}
+
+TEST(TraceTest, RecordFromYcsbTracksVersions) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kA;
+  cfg.record_count = 50;
+  cfg.seed = 3;
+  YcsbGenerator gen(cfg);
+  OpTrace trace = OpTrace::RecordFromYcsb(gen, 2000);
+  EXPECT_EQ(trace.size(), 2000u);
+
+  // Versions per key must be strictly increasing among PUTs.
+  std::map<uint64_t, int64_t> last_version;
+  size_t puts = 0;
+  for (const auto& r : trace.records()) {
+    if (r.op != TraceOp::kPut) continue;
+    ++puts;
+    auto it = last_version.find(r.key);
+    if (it != last_version.end()) {
+      EXPECT_GT(static_cast<int64_t>(r.version), it->second)
+          << "key " << r.key;
+    }
+    last_version[r.key] = r.version;
+  }
+  // Workload A: about half the ops are writes.
+  EXPECT_NEAR(static_cast<double>(puts) / 2000.0, 0.5, 0.05);
+}
+
+TEST(TraceTest, ReplayIsDeterministicAcrossRuns) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kF;
+  cfg.record_count = 30;
+  YcsbGenerator g1(cfg), g2(cfg);
+  OpTrace t1 = OpTrace::RecordFromYcsb(g1, 500);
+  OpTrace t2 = OpTrace::RecordFromYcsb(g2, 500);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1.records()[i].key, t2.records()[i].key) << i;
+    EXPECT_EQ(t1.records()[i].op, t2.records()[i].op) << i;
+  }
+}
+
+}  // namespace
+}  // namespace e2nvm::workload

@@ -1,0 +1,187 @@
+#include "ml/vae.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace e2nvm::ml {
+namespace {
+
+/// Two-prototype binary dataset: easy structure a tiny VAE must learn.
+Matrix TwoProtoData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    bool cls = (i % 2) == 0;
+    for (size_t d = 0; d < dim; ++d) {
+      // Class 0: first half ones; class 1: second half ones; 5% noise.
+      bool bit = cls ? (d < dim / 2) : (d >= dim / 2);
+      if (rng.NextBernoulli(0.05)) bit = !bit;
+      x(i, d) = bit ? 1.0f : 0.0f;
+    }
+  }
+  return x;
+}
+
+VaeConfig SmallConfig(size_t dim = 64) {
+  VaeConfig c;
+  c.input_dim = dim;
+  c.hidden_dim = 32;
+  c.latent_dim = 4;
+  c.beta = 0.1f;
+  c.seed = 42;
+  return c;
+}
+
+TEST(VaeTest, ShapesAreCorrect) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(10, 64, 1);
+  Matrix mu = vae.EncodeMu(x);
+  EXPECT_EQ(mu.rows(), 10u);
+  EXPECT_EQ(mu.cols(), 4u);
+  Matrix probs = vae.Decode(mu);
+  EXPECT_EQ(probs.rows(), 10u);
+  EXPECT_EQ(probs.cols(), 64u);
+  for (float p : probs.data()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(VaeTest, EncodeOneMatchesBatch) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(3, 64, 2);
+  Matrix mu = vae.EncodeMu(x);
+  std::vector<float> row(x.Row(1), x.Row(1) + 64);
+  auto one = vae.EncodeOne(row);
+  ASSERT_EQ(one.size(), 4u);
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_NEAR(one[d], mu(1, d), 1e-5f);
+  }
+}
+
+TEST(VaeTest, TrainingReducesLoss) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(200, 64, 3);
+  double before = vae.EvalLoss(x);
+  VaeTrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 32;
+  TrainHistory h = vae.Train(x, opts);
+  double after = vae.EvalLoss(x);
+  EXPECT_LT(after, before * 0.75);
+  ASSERT_EQ(h.train_loss.size(), 8u);
+  ASSERT_EQ(h.val_loss.size(), 8u);
+  // Learning curve: final epoch loss well below the first (Fig 9 shape).
+  EXPECT_LT(h.train_loss.back(), h.train_loss.front() * 0.8);
+  EXPECT_GT(h.flops, 0.0);
+}
+
+TEST(VaeTest, LatentSeparatesClasses) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(200, 64, 4);
+  VaeTrainOptions opts;
+  opts.epochs = 12;
+  opts.batch_size = 32;
+  vae.Train(x, opts);
+  Matrix mu = vae.EncodeMu(x);
+  // Mean latent of class 0 vs class 1 must be farther apart than the
+  // average intra-class spread.
+  std::vector<double> m0(4, 0), m1(4, 0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < mu.rows(); ++i) {
+    for (size_t d = 0; d < 4; ++d) {
+      if (i % 2 == 0) {
+        m0[d] += mu(i, d);
+      } else {
+        m1[d] += mu(i, d);
+      }
+    }
+    (i % 2 == 0 ? n0 : n1) += 1;
+  }
+  double between = 0;
+  for (size_t d = 0; d < 4; ++d) {
+    m0[d] /= n0;
+    m1[d] /= n1;
+    between += (m0[d] - m1[d]) * (m0[d] - m1[d]);
+  }
+  double within = 0;
+  for (size_t i = 0; i < mu.rows(); ++i) {
+    const auto& m = (i % 2 == 0) ? m0 : m1;
+    for (size_t d = 0; d < 4; ++d) {
+      within += (mu(i, d) - m[d]) * (mu(i, d) - m[d]);
+    }
+  }
+  within /= mu.rows();
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(VaeTest, ReconstructionBeatsChanceAfterTraining) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(200, 64, 5);
+  VaeTrainOptions opts;
+  opts.epochs = 12;
+  opts.batch_size = 32;
+  vae.Train(x, opts);
+  Matrix mu = vae.EncodeMu(x);
+  Matrix probs = vae.Decode(mu);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if ((probs.data()[i] >= 0.5f) == (x.data()[i] >= 0.5f)) ++correct;
+  }
+  double accuracy = static_cast<double>(correct) / x.size();
+  EXPECT_GT(accuracy, 0.85);
+}
+
+TEST(VaeTest, ValidationSplitIsHonored) {
+  Vae vae(SmallConfig());
+  Matrix x = TwoProtoData(100, 64, 6);
+  VaeTrainOptions opts;
+  opts.epochs = 2;
+  opts.validation_fraction = 0.2;
+  TrainHistory h = vae.Train(x, opts);
+  // Validation loss should be finite and comparable to train loss.
+  EXPECT_GT(h.val_loss.back(), 0.0);
+  EXPECT_LT(h.val_loss.back(), 10.0 * h.train_loss.back() + 100.0);
+}
+
+TEST(VaeTest, DeterministicPerSeed) {
+  VaeConfig c = SmallConfig();
+  Vae a(c), b(c);
+  Matrix x = TwoProtoData(50, 64, 7);
+  VaeTrainOptions opts;
+  opts.epochs = 2;
+  a.Train(x, opts);
+  b.Train(x, opts);
+  Matrix za = a.EncodeMu(x), zb = b.EncodeMu(x);
+  for (size_t i = 0; i < za.size(); ++i) {
+    EXPECT_FLOAT_EQ(za.data()[i], zb.data()[i]);
+  }
+}
+
+TEST(VaeTest, ClusterRegularizerPullsTowardCentroid) {
+  VaeConfig c = SmallConfig();
+  Vae vae(c);
+  Matrix x = TwoProtoData(32, 64, 8);
+  // One fake centroid at the origin with huge weight: latents shrink.
+  Matrix centroids(1, 4);
+  std::vector<size_t> assign(32, 0);
+  double norm_before = FrobeniusSq(vae.EncodeMu(x));
+  VaeTrainOptions opts;
+  opts.centroids = &centroids;
+  opts.assignments = &assign;
+  opts.cluster_weight = 5.0f;
+  for (int i = 0; i < 30; ++i) vae.TrainBatch(x, opts);
+  double norm_after = FrobeniusSq(vae.EncodeMu(x));
+  EXPECT_LT(norm_after, norm_before);
+}
+
+TEST(VaeTest, FlopsEstimatesPositiveAndOrdered) {
+  Vae vae(SmallConfig());
+  EXPECT_GT(vae.PredictFlops(), 0.0);
+  EXPECT_GT(vae.TrainStepFlops(32), vae.PredictFlops());
+  EXPECT_GT(vae.ParamCount(), 0u);
+}
+
+}  // namespace
+}  // namespace e2nvm::ml

@@ -1,0 +1,134 @@
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace e2nvm::workload {
+namespace {
+
+std::map<OpType, int> RunMix(YcsbWorkload w, int n = 20000) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = w;
+  cfg.record_count = 1000;
+  YcsbGenerator gen(cfg);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().type];
+  return counts;
+}
+
+TEST(YcsbTest, WorkloadAMix) {
+  auto counts = RunMix(YcsbWorkload::kA);
+  EXPECT_NEAR(counts[OpType::kRead] / 20000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[OpType::kUpdate] / 20000.0, 0.5, 0.02);
+}
+
+TEST(YcsbTest, WorkloadBMix) {
+  auto counts = RunMix(YcsbWorkload::kB);
+  EXPECT_NEAR(counts[OpType::kRead] / 20000.0, 0.95, 0.01);
+  EXPECT_NEAR(counts[OpType::kUpdate] / 20000.0, 0.05, 0.01);
+}
+
+TEST(YcsbTest, WorkloadCIsReadOnly) {
+  auto counts = RunMix(YcsbWorkload::kC);
+  EXPECT_EQ(counts[OpType::kRead], 20000);
+}
+
+TEST(YcsbTest, WorkloadDInsertsGrowKeyspace) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kD;
+  cfg.record_count = 1000;
+  YcsbGenerator gen(cfg);
+  int inserts = 0;
+  for (int i = 0; i < 20000; ++i) {
+    YcsbOp op = gen.Next();
+    if (op.type == OpType::kInsert) {
+      EXPECT_EQ(op.key, 1000u + inserts);  // Sequential new keys.
+      ++inserts;
+    }
+  }
+  EXPECT_NEAR(inserts / 20000.0, 0.05, 0.01);
+  EXPECT_EQ(gen.current_records(), 1000u + inserts);
+}
+
+TEST(YcsbTest, WorkloadEScansWithLengths) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kE;
+  cfg.record_count = 1000;
+  cfg.max_scan_len = 50;
+  YcsbGenerator gen(cfg);
+  int scans = 0;
+  for (int i = 0; i < 10000; ++i) {
+    YcsbOp op = gen.Next();
+    if (op.type == OpType::kScan) {
+      ++scans;
+      EXPECT_GE(op.scan_len, 1u);
+      EXPECT_LE(op.scan_len, 50u);
+    }
+  }
+  EXPECT_NEAR(scans / 10000.0, 0.95, 0.02);
+}
+
+TEST(YcsbTest, WorkloadFMix) {
+  auto counts = RunMix(YcsbWorkload::kF);
+  EXPECT_NEAR(counts[OpType::kReadModifyWrite] / 20000.0, 0.5, 0.02);
+}
+
+TEST(YcsbTest, ZipfianKeysAreSkewed) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kA;
+  cfg.record_count = 10000;
+  YcsbGenerator gen(cfg);
+  std::map<uint64_t, int> key_counts;
+  for (int i = 0; i < 30000; ++i) {
+    YcsbOp op = gen.Next();
+    EXPECT_LT(op.key, 10000u);
+    ++key_counts[op.key];
+  }
+  // A heavy hitter exists (zipfian head).
+  int max_count = 0;
+  for (auto& [k, c] : key_counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 30000 / 10000 * 20);
+}
+
+TEST(YcsbTest, ValuesDeterministicPerKeyVersion) {
+  YcsbGenerator::Config cfg;
+  cfg.value_bits = 512;
+  YcsbGenerator g1(cfg), g2(cfg);
+  EXPECT_EQ(g1.MakeValue(42, 0), g2.MakeValue(42, 0));
+  EXPECT_NE(g1.MakeValue(42, 0), g1.MakeValue(42, 1));
+  EXPECT_EQ(g1.MakeValue(42, 0).size(), 512u);
+}
+
+TEST(YcsbTest, ValueVersionsAreNearbyInHamming) {
+  YcsbGenerator::Config cfg;
+  cfg.value_bits = 1024;
+  cfg.value_noise = 0.05;
+  YcsbGenerator gen(cfg);
+  BitVector v0 = gen.MakeValue(7, 0);
+  BitVector v1 = gen.MakeValue(7, 1);
+  // Successive versions differ by ~2*noise (two independent perturbations
+  // of the same prototype).
+  size_t d = v0.HammingDistance(v1);
+  EXPECT_LT(d, 1024 / 4);
+  EXPECT_GT(d, 0u);
+}
+
+TEST(YcsbTest, SameClassKeysShareStructure) {
+  YcsbGenerator::Config cfg;
+  cfg.value_bits = 1024;
+  cfg.num_value_classes = 4;
+  YcsbGenerator gen(cfg);
+  // Keys 0 and 4 share a class; 0 and 1 don't.
+  size_t same = gen.MakeValue(0, 0).HammingDistance(gen.MakeValue(4, 0));
+  size_t diff = gen.MakeValue(0, 0).HammingDistance(gen.MakeValue(1, 0));
+  EXPECT_LT(same, diff);
+}
+
+TEST(YcsbTest, NamesStable) {
+  EXPECT_STREQ(YcsbWorkloadName(YcsbWorkload::kA), "A");
+  EXPECT_STREQ(YcsbWorkloadName(YcsbWorkload::kF), "F");
+}
+
+}  // namespace
+}  // namespace e2nvm::workload
