@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_joint_training.dir/ablation_joint_training.cc.o"
+  "CMakeFiles/ablation_joint_training.dir/ablation_joint_training.cc.o.d"
+  "ablation_joint_training"
+  "ablation_joint_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_joint_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latent_dim.dir/ablation_latent_dim.cc.o"
+  "CMakeFiles/ablation_latent_dim.dir/ablation_latent_dim.cc.o.d"
+  "ablation_latent_dim"
+  "ablation_latent_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latent_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

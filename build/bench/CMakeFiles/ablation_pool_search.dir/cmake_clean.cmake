@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pool_search.dir/ablation_pool_search.cc.o"
+  "CMakeFiles/ablation_pool_search.dir/ablation_pool_search.cc.o.d"
+  "ablation_pool_search"
+  "ablation_pool_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pool_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

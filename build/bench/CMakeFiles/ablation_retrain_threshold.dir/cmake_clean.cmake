@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retrain_threshold.dir/ablation_retrain_threshold.cc.o"
+  "CMakeFiles/ablation_retrain_threshold.dir/ablation_retrain_threshold.cc.o.d"
+  "ablation_retrain_threshold"
+  "ablation_retrain_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retrain_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

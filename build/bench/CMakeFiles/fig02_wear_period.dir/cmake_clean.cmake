@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_wear_period.dir/fig02_wear_period.cc.o"
+  "CMakeFiles/fig02_wear_period.dir/fig02_wear_period.cc.o.d"
+  "fig02_wear_period"
+  "fig02_wear_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_wear_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dap_footprint.dir/fig07_dap_footprint.cc.o"
+  "CMakeFiles/fig07_dap_footprint.dir/fig07_dap_footprint.cc.o.d"
+  "fig07_dap_footprint"
+  "fig07_dap_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dap_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

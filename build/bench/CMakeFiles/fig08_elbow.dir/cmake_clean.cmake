@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_elbow.dir/fig08_elbow.cc.o"
+  "CMakeFiles/fig08_elbow.dir/fig08_elbow.cc.o.d"
+  "fig08_elbow"
+  "fig08_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_learning_curves.dir/fig09_learning_curves.cc.o"
+  "CMakeFiles/fig09_learning_curves.dir/fig09_learning_curves.cc.o.d"
+  "fig09_learning_curves"
+  "fig09_learning_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_learning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

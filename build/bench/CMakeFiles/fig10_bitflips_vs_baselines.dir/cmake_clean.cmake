@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bitflips_vs_baselines.dir/fig10_bitflips_vs_baselines.cc.o"
+  "CMakeFiles/fig10_bitflips_vs_baselines.dir/fig10_bitflips_vs_baselines.cc.o.d"
+  "fig10_bitflips_vs_baselines"
+  "fig10_bitflips_vs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bitflips_vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_index_augmentation.dir/fig12_index_augmentation.cc.o"
+  "CMakeFiles/fig12_index_augmentation.dir/fig12_index_augmentation.cc.o.d"
+  "fig12_index_augmentation"
+  "fig12_index_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_index_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_padding_strategies.dir/fig14_padding_strategies.cc.o"
+  "CMakeFiles/fig14_padding_strategies.dir/fig14_padding_strategies.cc.o.d"
+  "fig14_padding_strategies"
+  "fig14_padding_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_padding_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_padding_fraction.dir/fig15_padding_fraction.cc.o"
+  "CMakeFiles/fig15_padding_fraction.dir/fig15_padding_fraction.cc.o.d"
+  "fig15_padding_fraction"
+  "fig15_padding_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_padding_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_adaptability.dir/fig17_adaptability.cc.o"
+  "CMakeFiles/fig17_adaptability.dir/fig17_adaptability.cc.o.d"
+  "fig17_adaptability"
+  "fig17_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_plugin.dir/index_plugin.cpp.o"
+  "CMakeFiles/index_plugin.dir/index_plugin.cpp.o.d"
+  "index_plugin"
+  "index_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

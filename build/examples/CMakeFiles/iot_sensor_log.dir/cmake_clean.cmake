@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_sensor_log.dir/iot_sensor_log.cpp.o"
+  "CMakeFiles/iot_sensor_log.dir/iot_sensor_log.cpp.o.d"
+  "iot_sensor_log"
+  "iot_sensor_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_sensor_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padding_tour.dir/padding_tour.cpp.o"
+  "CMakeFiles/padding_tour.dir/padding_tour.cpp.o.d"
+  "padding_tour"
+  "padding_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padding_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

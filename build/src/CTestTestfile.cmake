@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pmem")
+subdirs("nvm")
+subdirs("ml")
+subdirs("schemes")
+subdirs("placement")
+subdirs("index")
+subdirs("core")
+subdirs("workload")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_common.dir/bitvec.cc.o"
+  "CMakeFiles/e2_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/e2_common.dir/histogram.cc.o"
+  "CMakeFiles/e2_common.dir/histogram.cc.o.d"
+  "CMakeFiles/e2_common.dir/rng.cc.o"
+  "CMakeFiles/e2_common.dir/rng.cc.o.d"
+  "CMakeFiles/e2_common.dir/status.cc.o"
+  "CMakeFiles/e2_common.dir/status.cc.o.d"
+  "libe2_common.a"
+  "libe2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

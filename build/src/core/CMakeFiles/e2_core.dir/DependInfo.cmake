@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_pool.cc" "src/core/CMakeFiles/e2_core.dir/address_pool.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/address_pool.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/e2_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/e2_model.cc" "src/core/CMakeFiles/e2_core.dir/e2_model.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/e2_model.cc.o.d"
+  "/root/repo/src/core/elbow.cc" "src/core/CMakeFiles/e2_core.dir/elbow.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/elbow.cc.o.d"
+  "/root/repo/src/core/padding.cc" "src/core/CMakeFiles/e2_core.dir/padding.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/padding.cc.o.d"
+  "/root/repo/src/core/placement_engine.cc" "src/core/CMakeFiles/e2_core.dir/placement_engine.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/placement_engine.cc.o.d"
+  "/root/repo/src/core/retrain.cc" "src/core/CMakeFiles/e2_core.dir/retrain.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/retrain.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/e2_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/e2_core.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/e2_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/e2_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/e2_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/e2_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/e2_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/e2_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

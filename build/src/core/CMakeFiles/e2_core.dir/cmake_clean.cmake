@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_core.dir/address_pool.cc.o"
+  "CMakeFiles/e2_core.dir/address_pool.cc.o.d"
+  "CMakeFiles/e2_core.dir/batch.cc.o"
+  "CMakeFiles/e2_core.dir/batch.cc.o.d"
+  "CMakeFiles/e2_core.dir/e2_model.cc.o"
+  "CMakeFiles/e2_core.dir/e2_model.cc.o.d"
+  "CMakeFiles/e2_core.dir/elbow.cc.o"
+  "CMakeFiles/e2_core.dir/elbow.cc.o.d"
+  "CMakeFiles/e2_core.dir/padding.cc.o"
+  "CMakeFiles/e2_core.dir/padding.cc.o.d"
+  "CMakeFiles/e2_core.dir/placement_engine.cc.o"
+  "CMakeFiles/e2_core.dir/placement_engine.cc.o.d"
+  "CMakeFiles/e2_core.dir/retrain.cc.o"
+  "CMakeFiles/e2_core.dir/retrain.cc.o.d"
+  "CMakeFiles/e2_core.dir/store.cc.o"
+  "CMakeFiles/e2_core.dir/store.cc.o.d"
+  "libe2_core.a"
+  "libe2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bptree.cc" "src/index/CMakeFiles/e2_index.dir/bptree.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/bptree.cc.o.d"
+  "/root/repo/src/index/fptree.cc" "src/index/CMakeFiles/e2_index.dir/fptree.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/fptree.cc.o.d"
+  "/root/repo/src/index/novelsm.cc" "src/index/CMakeFiles/e2_index.dir/novelsm.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/novelsm.cc.o.d"
+  "/root/repo/src/index/path_hashing.cc" "src/index/CMakeFiles/e2_index.dir/path_hashing.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/path_hashing.cc.o.d"
+  "/root/repo/src/index/rbtree.cc" "src/index/CMakeFiles/e2_index.dir/rbtree.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/rbtree.cc.o.d"
+  "/root/repo/src/index/value_placer.cc" "src/index/CMakeFiles/e2_index.dir/value_placer.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/value_placer.cc.o.d"
+  "/root/repo/src/index/wisckey.cc" "src/index/CMakeFiles/e2_index.dir/wisckey.cc.o" "gcc" "src/index/CMakeFiles/e2_index.dir/wisckey.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/e2_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

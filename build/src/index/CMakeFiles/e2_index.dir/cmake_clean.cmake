@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_index.dir/bptree.cc.o"
+  "CMakeFiles/e2_index.dir/bptree.cc.o.d"
+  "CMakeFiles/e2_index.dir/fptree.cc.o"
+  "CMakeFiles/e2_index.dir/fptree.cc.o.d"
+  "CMakeFiles/e2_index.dir/novelsm.cc.o"
+  "CMakeFiles/e2_index.dir/novelsm.cc.o.d"
+  "CMakeFiles/e2_index.dir/path_hashing.cc.o"
+  "CMakeFiles/e2_index.dir/path_hashing.cc.o.d"
+  "CMakeFiles/e2_index.dir/rbtree.cc.o"
+  "CMakeFiles/e2_index.dir/rbtree.cc.o.d"
+  "CMakeFiles/e2_index.dir/value_placer.cc.o"
+  "CMakeFiles/e2_index.dir/value_placer.cc.o.d"
+  "CMakeFiles/e2_index.dir/wisckey.cc.o"
+  "CMakeFiles/e2_index.dir/wisckey.cc.o.d"
+  "libe2_index.a"
+  "libe2_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

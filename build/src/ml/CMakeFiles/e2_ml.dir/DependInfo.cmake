@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/e2_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/layers.cc" "src/ml/CMakeFiles/e2_ml.dir/layers.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/layers.cc.o.d"
+  "/root/repo/src/ml/lstm.cc" "src/ml/CMakeFiles/e2_ml.dir/lstm.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/lstm.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/e2_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/ml/CMakeFiles/e2_ml.dir/pca.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/pca.cc.o.d"
+  "/root/repo/src/ml/vae.cc" "src/ml/CMakeFiles/e2_ml.dir/vae.cc.o" "gcc" "src/ml/CMakeFiles/e2_ml.dir/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

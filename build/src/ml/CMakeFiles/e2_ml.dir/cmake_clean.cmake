@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_ml.dir/kmeans.cc.o"
+  "CMakeFiles/e2_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/e2_ml.dir/layers.cc.o"
+  "CMakeFiles/e2_ml.dir/layers.cc.o.d"
+  "CMakeFiles/e2_ml.dir/lstm.cc.o"
+  "CMakeFiles/e2_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/e2_ml.dir/matrix.cc.o"
+  "CMakeFiles/e2_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/e2_ml.dir/pca.cc.o"
+  "CMakeFiles/e2_ml.dir/pca.cc.o.d"
+  "CMakeFiles/e2_ml.dir/vae.cc.o"
+  "CMakeFiles/e2_ml.dir/vae.cc.o.d"
+  "libe2_ml.a"
+  "libe2_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

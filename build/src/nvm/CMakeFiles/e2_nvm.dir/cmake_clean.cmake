@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_nvm.dir/device.cc.o"
+  "CMakeFiles/e2_nvm.dir/device.cc.o.d"
+  "CMakeFiles/e2_nvm.dir/wear_leveler.cc.o"
+  "CMakeFiles/e2_nvm.dir/wear_leveler.cc.o.d"
+  "libe2_nvm.a"
+  "libe2_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

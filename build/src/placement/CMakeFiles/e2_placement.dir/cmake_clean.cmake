@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_placement.dir/clusterer.cc.o"
+  "CMakeFiles/e2_placement.dir/clusterer.cc.o.d"
+  "libe2_placement.a"
+  "libe2_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/allocator.cc" "src/pmem/CMakeFiles/e2_pmem.dir/allocator.cc.o" "gcc" "src/pmem/CMakeFiles/e2_pmem.dir/allocator.cc.o.d"
+  "/root/repo/src/pmem/pool.cc" "src/pmem/CMakeFiles/e2_pmem.dir/pool.cc.o" "gcc" "src/pmem/CMakeFiles/e2_pmem.dir/pool.cc.o.d"
+  "/root/repo/src/pmem/tx.cc" "src/pmem/CMakeFiles/e2_pmem.dir/tx.cc.o" "gcc" "src/pmem/CMakeFiles/e2_pmem.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

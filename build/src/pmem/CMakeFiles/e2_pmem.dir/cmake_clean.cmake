@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_pmem.dir/allocator.cc.o"
+  "CMakeFiles/e2_pmem.dir/allocator.cc.o.d"
+  "CMakeFiles/e2_pmem.dir/pool.cc.o"
+  "CMakeFiles/e2_pmem.dir/pool.cc.o.d"
+  "CMakeFiles/e2_pmem.dir/tx.cc.o"
+  "CMakeFiles/e2_pmem.dir/tx.cc.o.d"
+  "libe2_pmem.a"
+  "libe2_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_schemes.dir/schemes.cc.o"
+  "CMakeFiles/e2_schemes.dir/schemes.cc.o.d"
+  "libe2_schemes.a"
+  "libe2_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_workload.dir/datasets.cc.o"
+  "CMakeFiles/e2_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/e2_workload.dir/trace.cc.o"
+  "CMakeFiles/e2_workload.dir/trace.cc.o.d"
+  "CMakeFiles/e2_workload.dir/ycsb.cc.o"
+  "CMakeFiles/e2_workload.dir/ycsb.cc.o.d"
+  "libe2_workload.a"
+  "libe2_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

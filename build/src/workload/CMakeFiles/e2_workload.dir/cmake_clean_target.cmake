@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libe2_workload.a"
+)

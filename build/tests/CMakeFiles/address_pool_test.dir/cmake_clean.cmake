@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_pool_test.dir/address_pool_test.cc.o"
+  "CMakeFiles/address_pool_test.dir/address_pool_test.cc.o.d"
+  "address_pool_test"
+  "address_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padding_test.dir/padding_test.cc.o"
+  "CMakeFiles/padding_test.dir/padding_test.cc.o.d"
+  "padding_test"
+  "padding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
