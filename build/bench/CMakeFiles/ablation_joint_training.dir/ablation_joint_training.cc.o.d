@@ -241,15 +241,17 @@ bench/CMakeFiles/ablation_joint_training.dir/ablation_joint_training.cc.o: \
  /root/repo/src/common/bitvec.h /root/repo/src/core/padding.h \
  /root/repo/src/ml/lstm.h /root/repo/src/workload/datasets.h \
  /root/repo/src/core/retrain.h /root/repo/src/index/value_placer.h \
- /root/repo/src/nvm/controller.h /root/repo/src/nvm/device.h \
- /root/repo/src/common/histogram.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/schemes/schemes.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/nvm/controller.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/nvm/device.h \
+ /root/repo/src/common/histogram.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nvm/constants.h \
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
+ /root/repo/src/schemes/schemes.h

@@ -249,13 +249,15 @@ bench/CMakeFiles/fig12_index_augmentation.dir/fig12_index_augmentation.cc.o: \
  /root/repo/src/common/bitvec.h /root/repo/src/core/padding.h \
  /root/repo/src/ml/lstm.h /root/repo/src/workload/datasets.h \
  /root/repo/src/core/retrain.h /root/repo/src/index/value_placer.h \
- /root/repo/src/nvm/controller.h /root/repo/src/nvm/device.h \
+ /root/repo/src/nvm/controller.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvm/device.h \
  /root/repo/src/common/histogram.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/schemes/schemes.h \
- /root/repo/src/index/bptree.h /root/repo/src/index/nvm_index.h \
- /root/repo/src/index/fptree.h /root/repo/src/index/novelsm.h \
- /root/repo/src/index/path_hashing.h /root/repo/src/index/placed_index.h \
- /root/repo/src/index/rbtree.h /root/repo/src/index/wisckey.h
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
+ /root/repo/src/schemes/schemes.h /root/repo/src/index/bptree.h \
+ /root/repo/src/index/nvm_index.h /root/repo/src/index/fptree.h \
+ /root/repo/src/index/novelsm.h /root/repo/src/index/path_hashing.h \
+ /root/repo/src/index/placed_index.h /root/repo/src/index/rbtree.h \
+ /root/repo/src/index/wisckey.h

@@ -209,15 +209,15 @@ examples/CMakeFiles/iot_sensor_log.dir/iot_sensor_log.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nvm/device.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvm/device.h \
  /root/repo/src/common/histogram.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/core/e2_model.h \
- /root/repo/src/ml/kmeans.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -238,10 +238,12 @@ examples/CMakeFiles/iot_sensor_log.dir/iot_sensor_log.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/ml/matrix.h \
- /root/repo/src/ml/vae.h /root/repo/src/ml/layers.h \
- /root/repo/src/placement/clusterer.h /root/repo/src/ml/pca.h \
- /root/repo/src/core/placement_engine.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
+ /root/repo/src/core/e2_model.h /root/repo/src/ml/kmeans.h \
+ /root/repo/src/ml/matrix.h /root/repo/src/ml/vae.h \
+ /root/repo/src/ml/layers.h /root/repo/src/placement/clusterer.h \
+ /root/repo/src/ml/pca.h /root/repo/src/core/placement_engine.h \
  /root/repo/src/core/address_pool.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \

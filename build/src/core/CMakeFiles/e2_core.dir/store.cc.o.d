@@ -242,14 +242,16 @@ src/core/CMakeFiles/e2_core.dir/store.cc.o: /root/repo/src/core/store.cc \
  /root/repo/src/core/padding.h /root/repo/src/ml/lstm.h \
  /root/repo/src/workload/datasets.h /root/repo/src/core/retrain.h \
  /root/repo/src/index/value_placer.h /root/repo/src/nvm/controller.h \
- /root/repo/src/nvm/device.h /root/repo/src/common/histogram.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvm/device.h \
+ /root/repo/src/common/histogram.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/index/rbtree.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
+ /root/repo/src/index/rbtree.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

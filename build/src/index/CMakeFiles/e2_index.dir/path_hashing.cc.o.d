@@ -205,15 +205,18 @@ src/index/CMakeFiles/e2_index.dir/path_hashing.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nvm/device.h \
- /root/repo/src/common/histogram.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/nvm/device.h \
+ /root/repo/src/common/histogram.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/nvm/constants.h \
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -236,4 +239,5 @@ src/index/CMakeFiles/e2_index.dir/path_hashing.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h

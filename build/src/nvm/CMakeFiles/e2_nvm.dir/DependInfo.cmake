@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nvm/device.cc" "src/nvm/CMakeFiles/e2_nvm.dir/device.cc.o" "gcc" "src/nvm/CMakeFiles/e2_nvm.dir/device.cc.o.d"
+  "/root/repo/src/nvm/fault_injector.cc" "src/nvm/CMakeFiles/e2_nvm.dir/fault_injector.cc.o" "gcc" "src/nvm/CMakeFiles/e2_nvm.dir/fault_injector.cc.o.d"
   "/root/repo/src/nvm/wear_leveler.cc" "src/nvm/CMakeFiles/e2_nvm.dir/wear_leveler.cc.o" "gcc" "src/nvm/CMakeFiles/e2_nvm.dir/wear_leveler.cc.o.d"
   )
 

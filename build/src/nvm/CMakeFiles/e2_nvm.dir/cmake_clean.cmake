@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/e2_nvm.dir/device.cc.o"
   "CMakeFiles/e2_nvm.dir/device.cc.o.d"
+  "CMakeFiles/e2_nvm.dir/fault_injector.cc.o"
+  "CMakeFiles/e2_nvm.dir/fault_injector.cc.o.d"
   "CMakeFiles/e2_nvm.dir/wear_leveler.cc.o"
   "CMakeFiles/e2_nvm.dir/wear_leveler.cc.o.d"
   "libe2_nvm.a"

@@ -319,8 +319,10 @@ tests/CMakeFiles/indexes_test.dir/indexes_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/index/value_placer.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/nvm/controller.h \
- /root/repo/src/nvm/device.h /root/repo/src/common/histogram.h \
- /root/repo/src/nvm/constants.h /root/repo/src/nvm/energy.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvm/device.h \
+ /root/repo/src/common/histogram.h /root/repo/src/nvm/constants.h \
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
  /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
  /root/repo/src/index/fptree.h /root/repo/src/index/novelsm.h \
  /root/repo/src/index/path_hashing.h /root/repo/src/index/placed_index.h \

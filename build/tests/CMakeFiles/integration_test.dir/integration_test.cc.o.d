@@ -331,10 +331,12 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/common/bitvec.h /root/repo/src/core/padding.h \
  /root/repo/src/ml/lstm.h /root/repo/src/workload/datasets.h \
  /root/repo/src/core/retrain.h /root/repo/src/index/value_placer.h \
- /root/repo/src/nvm/controller.h /root/repo/src/nvm/device.h \
+ /root/repo/src/nvm/controller.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nvm/device.h \
  /root/repo/src/common/histogram.h /root/repo/src/nvm/constants.h \
- /root/repo/src/nvm/energy.h /root/repo/src/nvm/write_scheme.h \
- /root/repo/src/nvm/wear_leveler.h /root/repo/src/index/rbtree.h \
- /root/repo/src/schemes/schemes.h /root/repo/src/pmem/allocator.h \
- /root/repo/src/pmem/pool.h /root/repo/src/pmem/persist.h \
- /root/repo/src/pmem/tx.h /root/repo/src/workload/ycsb.h
+ /root/repo/src/nvm/energy.h /root/repo/src/nvm/fault_injector.h \
+ /root/repo/src/nvm/write_scheme.h /root/repo/src/nvm/wear_leveler.h \
+ /root/repo/src/index/rbtree.h /root/repo/src/schemes/schemes.h \
+ /root/repo/src/pmem/allocator.h /root/repo/src/pmem/pool.h \
+ /root/repo/src/pmem/persist.h /root/repo/src/pmem/tx.h \
+ /root/repo/src/workload/ycsb.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/store_fault_test.cc" "tests/CMakeFiles/store_fault_test.dir/store_fault_test.cc.o" "gcc" "tests/CMakeFiles/store_fault_test.dir/store_fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/e2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/e2_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/e2_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/e2_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/e2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/e2_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/e2_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/e2_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the test suite — first plain,
+# then (unless SKIP_SANITIZE=1) again under ASan+UBSan via the
+# E2NVM_SANITIZE CMake option. Run from anywhere inside the repo.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== plain build + ctest =="
+run_suite "$repo_root/build"
+
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "== sanitized build + ctest (ASan+UBSan) =="
+  run_suite "$repo_root/build-sanitize" -DE2NVM_SANITIZE=ON
+fi
+
+echo "All checks passed."

@@ -6,21 +6,45 @@
 
 namespace e2nvm::core {
 
+size_t DynamicAddressPool::ClampClusterLocked(size_t cluster) const {
+  if (cluster < lists_.size()) return cluster;
+  // A degraded or buggy clusterer handed us an id we have no list for.
+  // Clamp instead of indexing out of bounds; the caller still gets a
+  // valid (if arbitrary) cluster, and the incident is observable.
+  ++clamped_ids_;
+  return lists_.size() - 1;
+}
+
 void DynamicAddressPool::Insert(size_t cluster, uint64_t addr) {
-  E2_CHECK(cluster < lists_.size(), "cluster %zu out of range", cluster);
   std::lock_guard<std::mutex> lock(mu_);
-  lists_[cluster].push_back(addr);
+  if (lists_.empty()) {
+    E2_LOG(kWarning, "dropping address %llu: pool has no clusters",
+           static_cast<unsigned long long>(addr));
+    return;
+  }
+  lists_[ClampClusterLocked(cluster)].push_back(addr);
   ++total_free_;
 }
 
 std::optional<uint64_t> DynamicAddressPool::Acquire(size_t cluster) {
-  E2_CHECK(cluster < lists_.size(), "cluster %zu out of range", cluster);
   std::lock_guard<std::mutex> lock(mu_);
-  size_t c = cluster;
+  if (lists_.empty()) return std::nullopt;
+  size_t c = ClampClusterLocked(cluster);
   if (lists_[c].empty()) {
     c = LargestClusterLocked();
     if (lists_[c].empty()) return std::nullopt;
   }
+  uint64_t addr = lists_[c].front();
+  lists_[c].pop_front();
+  --total_free_;
+  return addr;
+}
+
+std::optional<uint64_t> DynamicAddressPool::AcquireAny() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lists_.empty()) return std::nullopt;
+  size_t c = LargestClusterLocked();
+  if (lists_[c].empty()) return std::nullopt;
   uint64_t addr = lists_[c].front();
   lists_[c].pop_front();
   --total_free_;
@@ -41,12 +65,21 @@ size_t DynamicAddressPool::LargestClusterLocked() const {
 
 size_t DynamicAddressPool::FreeCount(size_t cluster) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (cluster >= lists_.size()) {
+    ++clamped_ids_;
+    return 0;
+  }
   return lists_[cluster].size();
 }
 
 size_t DynamicAddressPool::TotalFree() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_free_;
+}
+
+uint64_t DynamicAddressPool::clamped_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clamped_ids_;
 }
 
 size_t DynamicAddressPool::MinClusterFree() const {

@@ -35,14 +35,20 @@ class DynamicAddressPool {
   size_t num_clusters() const { return lists_.size(); }
 
   /// Adds a free address to `cluster` (initial population and DELETE
-  /// recycling).
+  /// recycling). An out-of-range cluster id (a buggy or degraded
+  /// clusterer) is clamped to the last cluster rather than losing the
+  /// address or corrupting memory.
   void Insert(size_t cluster, uint64_t addr);
 
-  /// Pops the first free address of `cluster`. If the cluster is empty,
-  /// falls back to the non-empty cluster with the most free addresses
-  /// (so the pool never fails while any address is free).
-  /// Returns nullopt only when the whole pool is empty.
+  /// Pops the first free address of `cluster`. If the cluster is empty
+  /// (or the id is out of range), falls back to the non-empty cluster
+  /// with the most free addresses (so the pool never fails while any
+  /// address is free). Returns nullopt only when the whole pool is empty.
   std::optional<uint64_t> Acquire(size_t cluster);
+
+  /// Pops a free address from the fullest cluster, ignoring the model —
+  /// first-free placement for degraded mode (model/DAP unhealthy).
+  std::optional<uint64_t> AcquireAny();
 
   /// Ablation of the paper's first-available decision: scans the cluster's
   /// free list for the address whose current content (provided by `peek`)
@@ -52,7 +58,8 @@ class DynamicAddressPool {
   std::optional<uint64_t> AcquireBest(size_t cluster, const BitVector& data,
                                       PeekFn&& peek) {
     std::lock_guard<std::mutex> lock(mu_);
-    size_t c = cluster;
+    if (lists_.empty()) return std::nullopt;
+    size_t c = ClampClusterLocked(cluster);
     if (lists_[c].empty()) {
       c = LargestClusterLocked();
       if (lists_[c].empty()) return std::nullopt;
@@ -73,8 +80,11 @@ class DynamicAddressPool {
     return addr;
   }
 
+  /// Free addresses in `cluster`; 0 for an out-of-range id.
   size_t FreeCount(size_t cluster) const;
   size_t TotalFree() const;
+  /// Times a caller passed an out-of-range cluster id (diagnostics).
+  uint64_t clamped_ids() const;
   /// Smallest free-list size across clusters — the retrain trigger input.
   size_t MinClusterFree() const;
 
@@ -91,10 +101,13 @@ class DynamicAddressPool {
 
  private:
   size_t LargestClusterLocked() const;
+  /// Maps an out-of-range cluster id into range, counting the incident.
+  size_t ClampClusterLocked(size_t cluster) const;
 
   mutable std::mutex mu_;
   std::vector<std::deque<uint64_t>> lists_;
   size_t total_free_ = 0;
+  mutable uint64_t clamped_ids_ = 0;
 };
 
 }  // namespace e2nvm::core

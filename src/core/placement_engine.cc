@@ -172,36 +172,102 @@ StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
   if (value.size() > ctrl_->segment_bits()) {
     return Status::InvalidArgument("value wider than a segment");
   }
-  E2_ASSIGN_OR_RETURN(std::vector<float> feats, Featurize(value));
-  ChargePrediction();
-  size_t cluster = clusterer_->PredictCluster(feats);
 
-  std::optional<uint64_t> addr;
-  if (config_.search_best_in_cluster) {
-    addr = pool_.AcquireBest(cluster, value, [&](uint64_t a) {
-      return ctrl_->Peek(a).Slice(0, value.size());
-    });
+  // Degraded mode: if the model cannot featurize or score the value
+  // (padder failure, broken model), fall back to first-free placement
+  // instead of surfacing the error to the client.
+  bool model_ok = true;
+  size_t cluster = 0;
+  StatusOr<std::vector<float>> feats = Featurize(value);
+  if (feats.ok()) {
+    ChargePrediction();
+    cluster = clusterer_->PredictCluster(*feats);
   } else {
-    size_t before = pool_.FreeCount(cluster);
-    addr = pool_.Acquire(cluster);
-    if (addr.has_value() && before == 0) ++stats_.fallback_acquires;
+    model_ok = false;
+    ++stats_.model_fallbacks;
+    E2_LOG(kWarning, "placement model unhealthy, using first-free: %s",
+           feats.status().ToString().c_str());
   }
-  if (!addr.has_value()) {
-    return Status::ResourceExhausted("address pool empty");
-  }
-  nvm::WriteResult r = index::MergeWrite(*ctrl_, *addr, value);
-  ++stats_.placements;
-  policy_.RecordWrite(r.total_bits_flipped(), value.size());
-  if (config_.auto_retrain && policy_.ShouldRetrain(pool_)) {
-    Status s = Retrain();
-    if (!s.ok()) {
-      E2_LOG(kWarning, "auto-retrain skipped: %s", s.ToString().c_str());
+
+  // Each iteration consumes one address from the pool; addresses that
+  // turn out quarantined (or get quarantined by a failed write-verify)
+  // are dropped and the value re-placed, so the loop is bounded by the
+  // pool size and only fails once every address is gone.
+  for (size_t attempt = 0;; ++attempt) {
+    std::optional<uint64_t> addr;
+    bool first_pick = model_ok && attempt == 0;
+    if (!first_pick) {
+      addr = pool_.AcquireAny();
+    } else if (config_.search_best_in_cluster) {
+      addr = pool_.AcquireBest(cluster, value, [&](uint64_t a) {
+        return ctrl_->Peek(a).Slice(0, value.size());
+      });
+    } else {
+      size_t before = pool_.FreeCount(cluster);
+      addr = pool_.Acquire(cluster);
+      if (addr.has_value() && before == 0) {
+        ++stats_.fallback_acquires;
+        first_pick = false;
+      }
     }
+    if (!addr.has_value()) {
+      return Status::ResourceExhausted("address pool empty");
+    }
+    if (ctrl_->IsQuarantined(*addr)) {
+      // A quarantined address slipped into the pool (e.g. recycled before
+      // the quarantine): drop it and re-acquire.
+      ++stats_.quarantine_skips;
+      continue;
+    }
+
+    nvm::WriteResult r = index::MergeWrite(*ctrl_, *addr, value);
+    stats_.write_retries += r.verify_retries;
+    if (r.verify_failed) {
+      // The controller quarantined this segment; its cells may hold a
+      // corrupted image, so place the value somewhere healthy.
+      ++stats_.quarantined_segments;
+      continue;
+    }
+    if (!first_pick) ++stats_.fallback_placements;
+    ++stats_.placements;
+    policy_.RecordWrite(r.total_bits_flipped(), value.size());
+    MaybeAutoRetrain();
+    return *addr;
   }
-  return *addr;
+}
+
+void PlacementEngine::MaybeAutoRetrain() {
+  if (!config_.auto_retrain) return;
+  if (retrain_cooldown_ > 0) {
+    --retrain_cooldown_;
+    return;
+  }
+  if (!policy_.ShouldRetrain(pool_)) return;
+  Status s = Retrain();
+  if (s.ok()) {
+    retrain_failures_in_row_ = 0;
+    return;
+  }
+  // Back off exponentially so a persistently failing retrain cannot
+  // re-run (and re-log) on every subsequent Place.
+  ++stats_.failed_retrains;
+  uint32_t shift = std::min<uint32_t>(retrain_failures_in_row_, 6);
+  retrain_cooldown_ =
+      std::max<uint64_t>(config_.retrain_backoff_writes, 1) << shift;
+  ++retrain_failures_in_row_;
+  E2_LOG(kWarning, "auto-retrain failed (backing off %llu writes): %s",
+         static_cast<unsigned long long>(retrain_cooldown_),
+         s.ToString().c_str());
 }
 
 Status PlacementEngine::Release(uint64_t addr) {
+  if (ctrl_->IsQuarantined(addr)) {
+    // Never recycle a bad segment back into circulation. Not an error:
+    // the caller's delete still succeeded.
+    ++stats_.quarantine_skips;
+    ++stats_.releases;
+    return Status::Ok();
+  }
   // Algorithm 2: the freed address's *content* decides the cluster it is
   // recycled into.
   BitVector content = ctrl_->Peek(addr);

@@ -23,6 +23,23 @@ struct EngineStats {
   uint64_t fallback_acquires = 0;  // Cluster empty, fell back.
   double predict_flops = 0;
   double train_flops = 0;
+
+  // --- Degradation counters (all zero on a healthy run) ---
+  /// Placements not served by the model's first pick: cluster-empty
+  /// fallbacks, re-acquires after a quarantine, and model fallbacks.
+  uint64_t fallback_placements = 0;
+  /// Addresses dropped (not placed on / not recycled) because the
+  /// controller had quarantined them.
+  uint64_t quarantine_skips = 0;
+  /// Segments this engine watched enter quarantine (write-verify failed
+  /// mid-placement; the value was re-placed elsewhere).
+  uint64_t quarantined_segments = 0;
+  /// Device-level verify retries accumulated across placements.
+  uint64_t write_retries = 0;
+  /// Featurize/predict failed; first-free placement used instead.
+  uint64_t model_fallbacks = 0;
+  /// Auto-retrains that failed (each starts/extends the backoff).
+  uint64_t failed_retrains = 0;
 };
 
 /// The heart of E2-NVM (§3.3): content-aware placement of value writes.
@@ -54,6 +71,10 @@ class PlacementEngine : public index::ValuePlacer {
     /// single-threaded and deterministic.
     bool auto_retrain = false;
     RetrainPolicy::Config retrain;
+    /// Backoff after a failed auto-retrain: retrain checks are skipped
+    /// for this many placements, doubling on consecutive failures (up to
+    /// 64x), so a broken retrain cannot re-run and re-log on every write.
+    size_t retrain_backoff_writes = 64;
   };
 
   PlacementEngine(nvm::MemoryController* ctrl,
@@ -106,10 +127,17 @@ class PlacementEngine : public index::ValuePlacer {
   nvm::MemoryController& ctrl() { return *ctrl_; }
   placement::ContentClusterer& clusterer() { return *clusterer_; }
 
+  /// Placements to go before the next auto-retrain attempt (0 when not
+  /// backing off).
+  uint64_t retrain_cooldown() const { return retrain_cooldown_; }
+
  private:
   /// Pads (if configured) and featurizes a value for the model.
   StatusOr<std::vector<float>> Featurize(const BitVector& value);
   void ChargePrediction();
+  /// Runs the auto-retrain policy after a placement, honoring the
+  /// failure backoff.
+  void MaybeAutoRetrain();
 
   nvm::MemoryController* ctrl_;
   placement::ContentClusterer* clusterer_;
@@ -124,6 +152,9 @@ class PlacementEngine : public index::ValuePlacer {
   uint64_t seen_ones_ = 0;
   uint64_t seen_bits_ = 0;
   bool bootstrapped_ = false;
+  // Retrain-failure backoff state.
+  uint64_t retrain_cooldown_ = 0;
+  uint32_t retrain_failures_in_row_ = 0;
 };
 
 }  // namespace e2nvm::core

@@ -16,6 +16,8 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   dc.segment_bits = config.segment_bits;
   dc.track_bit_wear = config.track_bit_wear;
   dc.pcm = config.pcm;
+  dc.verify_writes = config.verify_writes;
+  dc.max_write_retries = config.max_write_retries;
   store->device_ =
       std::make_unique<nvm::NvmDevice>(dc, &store->meter_);
   store->ctrl_ = std::make_unique<nvm::MemoryController>(
@@ -32,6 +34,7 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   ec.search_best_in_cluster = config.search_best_in_cluster;
   ec.auto_retrain = config.auto_retrain;
   ec.retrain = config.retrain;
+  ec.retrain_backoff_writes = config.retrain_backoff_writes;
   store->engine_ = std::make_unique<PlacementEngine>(
       store->ctrl_.get(), store->model_.get(), ec);
   return store;

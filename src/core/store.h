@@ -33,6 +33,16 @@ struct StoreConfig {
   bool search_best_in_cluster = false;
   bool auto_retrain = false;
   RetrainPolicy::Config retrain;
+  /// Placements skipped after a failed auto-retrain (doubles per
+  /// consecutive failure); see PlacementEngine::Config.
+  size_t retrain_backoff_writes = 64;
+
+  /// Fault tolerance: read-back verify of every segment write, with up to
+  /// `max_write_retries` reprogram attempts before spare-cell repair and,
+  /// failing that, quarantine. Only meaningful when a FaultInjector is
+  /// attached to the device.
+  bool verify_writes = false;
+  size_t max_write_retries = 3;
 };
 
 /// The persistent key-value store of Fig 3: an RB-tree data index in DRAM,

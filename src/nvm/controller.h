@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_set>
 
 #include "common/bitvec.h"
 #include "nvm/device.h"
@@ -50,12 +51,29 @@ class MemoryController {
   }
 
   /// Logical write through the scheme; advances wear leveling (scheme
-  /// aux state migrates with the moved cells).
+  /// aux state migrates with the moved cells). A write whose read-back
+  /// verify still fails after retries and spare-cell repair quarantines
+  /// the logical segment: it stays mapped (its cells remain readable)
+  /// but callers should stop placing fresh data onto it.
   WriteResult Write(size_t logical, const BitVector& data) {
     size_t pa = Physical(logical);
     WriteResult r = device_->WriteSegment(pa, data, *scheme_);
+    if (r.verify_failed) quarantined_.insert(logical);
     if (leveler_) leveler_->OnWrite(*device_, scheme_);
     return r;
+  }
+
+  /// True if `logical` has been quarantined (write-verify keeps failing).
+  bool IsQuarantined(size_t logical) const {
+    return quarantined_.count(logical) != 0;
+  }
+
+  /// Manually quarantines a logical segment (tests, scrubbers).
+  void Quarantine(size_t logical) { quarantined_.insert(logical); }
+
+  size_t quarantined_count() const { return quarantined_.size(); }
+  const std::unordered_set<size_t>& quarantined() const {
+    return quarantined_;
   }
 
   /// Seeds a logical segment without cost accounting (load phase).
@@ -79,6 +97,7 @@ class MemoryController {
   WriteScheme* scheme_;
   size_t num_logical_;
   std::optional<StartGapLeveler> leveler_;
+  std::unordered_set<size_t> quarantined_;  // Logical bad-segment list.
 };
 
 }  // namespace e2nvm::nvm

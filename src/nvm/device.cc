@@ -6,6 +6,26 @@
 
 namespace e2nvm::nvm {
 
+namespace {
+
+/// Bit positions where `a` and `b` differ (both the same size).
+std::vector<size_t> DiffBits(const BitVector& a, const BitVector& b) {
+  std::vector<size_t> out;
+  const auto& aw = a.words();
+  const auto& bw = b.words();
+  for (size_t w = 0; w < aw.size(); ++w) {
+    uint64_t diff = aw[w] ^ bw[w];
+    while (diff != 0) {
+      int bit = std::countr_zero(diff);
+      diff &= diff - 1;
+      out.push_back(w * 64 + static_cast<size_t>(bit));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 NvmDevice::NvmDevice(const DeviceConfig& config, EnergyMeter* meter)
     : config_(config),
       segments_(config.num_segments, BitVector(config.segment_bits)),
@@ -17,6 +37,14 @@ NvmDevice::NvmDevice(const DeviceConfig& config, EnergyMeter* meter)
   }
 }
 
+void NvmDevice::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    injector_->Bind(config_.num_segments, config_.segment_bits,
+                    config_.pcm.endurance_writes);
+  }
+}
+
 const BitVector& NvmDevice::ReadSegment(size_t seg) {
   E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
   ++stats_.reads;
@@ -24,6 +52,13 @@ const BitVector& NvmDevice::ReadSegment(size_t seg) {
                  model_.ReadPj(config_.segment_bits));
   size_t lines = (config_.segment_bits + kCacheLineBits - 1) / kCacheLineBits;
   meter_->AdvanceTime(model_.ReadNs(lines));
+  if (injector_ != nullptr) {
+    read_buf_ = segments_[seg];
+    if (injector_->MutateRead(seg, &read_buf_)) {
+      ++stats_.read_disturbs;
+      return read_buf_;
+    }
+  }
   return segments_[seg];
 }
 
@@ -34,19 +69,27 @@ void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
   size_t resets = 0;
   const auto& old_words = cells.words();
   const auto& new_words = stored.words();
+  const bool walk_bits = config_.track_bit_wear || injector_ != nullptr;
   for (size_t w = 0; w < old_words.size(); ++w) {
     uint64_t diff = old_words[w] ^ new_words[w];
     if (diff == 0) continue;
     sets += static_cast<size_t>(std::popcount(diff & new_words[w]));
     resets += static_cast<size_t>(std::popcount(diff & old_words[w]));
-    if (config_.track_bit_wear) {
+    if (walk_bits) {
       uint64_t d = diff;
       while (d != 0) {
         int bit = std::countr_zero(d);
         d &= d - 1;
-        size_t idx = seg * config_.segment_bits + w * 64 +
-                     static_cast<size_t>(bit);
-        if (idx < bit_wear_.size()) ++bit_wear_[idx];
+        size_t bit_index = w * 64 + static_cast<size_t>(bit);
+        size_t idx = seg * config_.segment_bits + bit_index;
+        uint64_t wear = seg_writes_[seg];
+        if (config_.track_bit_wear && idx < bit_wear_.size()) {
+          wear = ++bit_wear_[idx];
+        }
+        if (injector_ != nullptr) {
+          injector_->OnCellProgrammed(seg, bit_index,
+                                      (new_words[w] >> bit) & 1, wear);
+        }
       }
     }
   }
@@ -55,40 +98,83 @@ void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
   *reset_bits = resets;
 }
 
+void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
+                             bool allow_tear) {
+  BitVector target = intended;
+  if (injector_ != nullptr &&
+      injector_->MutateWrite(seg, segments_[seg], &target, allow_tear)) {
+    ++stats_.faults_injected;
+  }
+  size_t dirty = target.DirtyLines(segments_[seg], kCacheLineBits);
+  size_t set_bits = 0;
+  size_t reset_bits = 0;
+  CommitStored(seg, target, &set_bits, &reset_bits);
+  stats_.set_transitions += set_bits;
+  stats_.reset_transitions += reset_bits;
+  stats_.dirty_lines += dirty;
+  meter_->Charge(EnergyDomain::kPmemWrite,
+                 model_.WritePj(set_bits, reset_bits, dirty));
+  meter_->AdvanceTime(model_.WriteNs(dirty));
+}
+
 WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
                                     WriteScheme& scheme) {
   E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
   E2_CHECK(data.size() == config_.segment_bits,
            "data size %zu != segment bits %zu", data.size(),
            config_.segment_bits);
-  const BitVector& old = segments_[seg];
-  WriteResult result = scheme.Write(seg, old, data);
+  WriteResult result = scheme.Write(seg, segments_[seg], data);
   E2_CHECK(result.stored.size() == config_.segment_bits,
            "scheme %s produced wrong stored size",
            std::string(scheme.name()).c_str());
-
-  size_t set_bits = 0;
-  size_t reset_bits = 0;
-  size_t dirty =
-      result.stored.DirtyLines(old, kCacheLineBits);
-  CommitStored(seg, result.stored, &set_bits, &reset_bits);
 
   ++stats_.writes;
   ++seg_writes_[seg];
   stats_.data_bits_flipped += result.data_bits_flipped;
   stats_.aux_bits_flipped += result.aux_bits_flipped;
-  stats_.set_transitions += set_bits;
-  stats_.reset_transitions += reset_bits;
-  stats_.dirty_lines += dirty;
   stats_.logical_bits_written += data.size();
+  uint64_t torn_before =
+      injector_ != nullptr ? injector_->stats().torn_writes : 0;
 
-  // Aux flips happen in metadata cells; charge them at SET cost and fold
-  // into the write energy.
-  double pj = model_.WritePj(set_bits, reset_bits, dirty) +
-              static_cast<double>(result.aux_bits_flipped) *
-                  config_.pcm.set_energy_pj;
-  meter_->Charge(EnergyDomain::kPmemWrite, pj);
-  meter_->AdvanceTime(model_.WriteNs(dirty));
+  ProgramCells(seg, result.stored, /*allow_tear=*/true);
+
+  // Aux flips happen in metadata cells; charge them at SET cost.
+  meter_->Charge(EnergyDomain::kPmemWrite,
+                 static_cast<double>(result.aux_bits_flipped) *
+                     config_.pcm.set_energy_pj);
+
+  // Write-verify: read back and re-program while the committed cells
+  // differ from the intended image (torn writes heal on retry; stuck
+  // cells need the spare-cell repair below).
+  if (config_.verify_writes && injector_ != nullptr) {
+    size_t attempts = 1;
+    size_t max_attempts = std::max<size_t>(config_.max_write_retries, 1);
+    while (!(segments_[seg] == result.stored) && attempts < max_attempts) {
+      ++attempts;
+      ++stats_.verify_retries;
+      ++result.verify_retries;
+      ProgramCells(seg, result.stored, /*allow_tear=*/true);
+    }
+    if (!(segments_[seg] == result.stored)) {
+      // Only persistently faulty (stuck) cells survive retries. Remap
+      // them to spares if the segment's budget allows, then program the
+      // intended image with a final careful (no-tear) pulse.
+      std::vector<size_t> bad = DiffBits(segments_[seg], result.stored);
+      if (injector_->RepairCells(seg, bad)) {
+        stats_.repaired_cells += bad.size();
+        ++stats_.verify_retries;
+        ++result.verify_retries;
+        ProgramCells(seg, result.stored, /*allow_tear=*/false);
+      }
+      if (!(segments_[seg] == result.stored)) {
+        result.verify_failed = true;
+        ++stats_.verify_failures;
+      }
+    }
+  }
+  if (injector_ != nullptr) {
+    stats_.torn_writes += injector_->stats().torn_writes - torn_before;
+  }
   return result;
 }
 
@@ -103,15 +189,19 @@ void NvmDevice::SeedSegment(size_t seg, const BitVector& content) {
 void NvmDevice::MigrateSegment(size_t src, size_t dst) {
   E2_CHECK(src < segments_.size() && dst < segments_.size(),
            "migrate out of range");
-  const BitVector stored = segments_[src];
+  BitVector stored = segments_[src];
+  // Gap moves are raw cell copies: stuck destination cells still hold
+  // their value, but there is no verify pass (the leveler is below the
+  // layer that could re-place the data).
+  if (injector_ != nullptr) injector_->ClampStuck(dst, &stored);
   const BitVector& old = segments_[dst];
   size_t flips = stored.HammingDistance(old);
   size_t dirty = stored.DirtyLines(old, kCacheLineBits);
   size_t set_bits = 0;
   size_t reset_bits = 0;
+  ++seg_writes_[dst];
   CommitStored(dst, stored, &set_bits, &reset_bits);
   ++stats_.writes;
-  ++seg_writes_[dst];
   stats_.data_bits_flipped += flips;
   stats_.set_transitions += set_bits;
   stats_.reset_transitions += reset_bits;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "nvm/constants.h"
 #include "nvm/energy.h"
+#include "nvm/fault_injector.h"
 #include "nvm/write_scheme.h"
 
 namespace e2nvm::nvm {
@@ -22,6 +23,13 @@ struct DeviceConfig {
   /// Track per-bit flip counts (needed by the Fig 19 wear CDFs; costs
   /// 4 bytes per cell).
   bool track_bit_wear = false;
+  /// Read back every write and re-program mismatched cells (bounded by
+  /// max_write_retries). Only meaningful with a FaultInjector attached —
+  /// a fault-free device always verifies clean on the first pass.
+  bool verify_writes = false;
+  /// Total program attempts per write before falling back to spare-cell
+  /// repair (and, failing that, reporting verify_failed). Must be >= 1.
+  size_t max_write_retries = 3;
   /// Physical cost parameters.
   PcmParams pcm;
 };
@@ -36,6 +44,14 @@ struct DeviceStats {
   uint64_t reset_transitions = 0;  // 1 -> 0 programs
   uint64_t dirty_lines = 0;
   uint64_t logical_bits_written = 0;  // Payload size of every write summed.
+
+  // --- Fault handling (all zero without a FaultInjector) ---
+  uint64_t faults_injected = 0;   // Programs perturbed by the injector.
+  uint64_t torn_writes = 0;       // Programs that committed a prefix only.
+  uint64_t read_disturbs = 0;     // Reads returned with a flipped bit.
+  uint64_t verify_retries = 0;    // Extra program attempts after read-back.
+  uint64_t verify_failures = 0;   // Writes left wrong after retries+repair.
+  uint64_t repaired_cells = 0;    // Stuck cells remapped to spares.
 
   uint64_t total_bits_flipped() const {
     return data_bits_flipped + aux_bits_flipped;
@@ -128,10 +144,21 @@ class NvmDevice {
   EnergyMeter& meter() { return *meter_; }
   const EnergyModel& energy_model() const { return model_; }
 
+  /// Attaches a fault-injection policy (nullptr detaches). The injector
+  /// must outlive the device; it is bound to this device's geometry and
+  /// endurance budget, which also sticks its initial stuck-cell fraction.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() { return injector_; }
+
  private:
-  /// Applies `stored` to the segment cells, counting transitions and wear.
+  /// Applies `stored` to the segment cells, counting transitions and wear
+  /// (and feeding wear-driven sticking to the injector, if any).
   void CommitStored(size_t seg, const BitVector& stored,
                     size_t* set_bits, size_t* reset_bits);
+
+  /// One program attempt of `intended` onto `seg`: lets the injector
+  /// perturb the image, commits, and charges write energy/latency.
+  void ProgramCells(size_t seg, const BitVector& intended, bool allow_tear);
 
   DeviceConfig config_;
   std::vector<BitVector> segments_;
@@ -141,6 +168,8 @@ class NvmDevice {
   EnergyModel model_;
   EnergyMeter own_meter_;
   EnergyMeter* meter_;
+  FaultInjector* injector_ = nullptr;
+  BitVector read_buf_;  // Holds read-disturbed copies handed to readers.
 };
 
 }  // namespace e2nvm::nvm

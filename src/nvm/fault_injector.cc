@@ -1,0 +1,144 @@
+#include "nvm/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace e2nvm::nvm {
+
+void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
+                         uint64_t endurance_writes) {
+  E2_CHECK(segment_bits > 0, "fault injector bound to empty geometry");
+  num_segments_ = num_segments;
+  segment_bits_ = segment_bits;
+  wear_onset_ = static_cast<uint64_t>(config_.wear_onset_fraction *
+                                      static_cast<double>(endurance_writes));
+
+  if (config_.initial_stuck_fraction > 0.0) {
+    uint64_t total = static_cast<uint64_t>(num_segments) * segment_bits;
+    auto want = static_cast<uint64_t>(
+        config_.initial_stuck_fraction * static_cast<double>(total));
+    while (stuck_.size() < want) {
+      uint64_t cell = rng_.NextBounded(total);
+      if (stuck_.emplace(cell, rng_.NextBernoulli(0.5)).second) {
+        ++stats_.stuck_cells;
+        ++stats_.cells_stuck_total;
+      }
+    }
+  }
+}
+
+void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
+  E2_CHECK(bound(), "fault injector not bound to a device");
+  auto [it, inserted] = stuck_.insert_or_assign(CellKey(seg, bit), value);
+  if (inserted) {
+    ++stats_.stuck_cells;
+    ++stats_.cells_stuck_total;
+  }
+}
+
+bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
+                                BitVector* stored, bool allow_tear) {
+  bool perturbed = false;
+
+  // Torn write: commit only the first k of the changed bits; the rest keep
+  // their old value. k is uniform over [0, changed), so at least one
+  // change is always lost when a tear fires.
+  if (allow_tear && config_.torn_write_probability > 0.0 &&
+      rng_.NextBernoulli(config_.torn_write_probability)) {
+    std::vector<size_t> changed;
+    for (size_t w = 0; w < stored->words().size(); ++w) {
+      uint64_t diff = stored->words()[w] ^ old.words()[w];
+      while (diff != 0) {
+        int bit = std::countr_zero(diff);
+        diff &= diff - 1;
+        changed.push_back(w * 64 + static_cast<size_t>(bit));
+      }
+    }
+    if (!changed.empty()) {
+      size_t keep = static_cast<size_t>(rng_.NextBounded(changed.size()));
+      for (size_t i = keep; i < changed.size(); ++i) {
+        stored->Set(changed[i], old.Get(changed[i]));
+      }
+      ++stats_.torn_writes;
+      perturbed = true;
+    }
+  }
+
+  if (ClampStuck(seg, stored)) perturbed = true;
+  return perturbed;
+}
+
+bool FaultInjector::ClampStuck(size_t seg, BitVector* stored) {
+  if (stuck_.empty()) return false;
+  bool clamped = false;
+  // Iterating the whole map would be O(total stuck); bound the scan by
+  // whichever is smaller, the segment width or the stuck set.
+  if (stuck_.size() < segment_bits_) {
+    uint64_t lo = static_cast<uint64_t>(seg) * segment_bits_;
+    for (const auto& [cell, value] : stuck_) {
+      if (cell < lo || cell >= lo + segment_bits_) continue;
+      size_t bit = static_cast<size_t>(cell - lo);
+      if (stored->Get(bit) != value) {
+        stored->Set(bit, value);
+        clamped = true;
+      }
+    }
+  } else {
+    for (size_t bit = 0; bit < segment_bits_; ++bit) {
+      auto it = stuck_.find(CellKey(seg, bit));
+      if (it != stuck_.end() && stored->Get(bit) != it->second) {
+        stored->Set(bit, it->second);
+        clamped = true;
+      }
+    }
+  }
+  if (clamped) ++stats_.stuck_clamps;
+  return clamped;
+}
+
+void FaultInjector::OnCellProgrammed(size_t seg, size_t bit, bool value,
+                                     uint64_t wear) {
+  if (wear < wear_onset_ || config_.stuck_on_program_probability <= 0.0) {
+    return;
+  }
+  if (!rng_.NextBernoulli(config_.stuck_on_program_probability)) return;
+  if (stuck_.emplace(CellKey(seg, bit), value).second) {
+    ++stats_.stuck_cells;
+    ++stats_.cells_stuck_total;
+  }
+}
+
+bool FaultInjector::MutateRead(size_t seg, BitVector* out) {
+  if (config_.read_disturb_probability <= 0.0 || out->size() == 0) {
+    return false;
+  }
+  if (!rng_.NextBernoulli(config_.read_disturb_probability)) return false;
+  size_t bit = static_cast<size_t>(rng_.NextBounded(out->size()));
+  out->Set(bit, !out->Get(bit));
+  ++stats_.read_disturbs;
+  return true;
+}
+
+bool FaultInjector::RepairCells(size_t seg, const std::vector<size_t>& bits) {
+  size_t stuck_n = 0;
+  for (size_t bit : bits) {
+    if (IsStuck(seg, bit)) ++stuck_n;
+  }
+  size_t used = SparesUsed(seg);
+  if (used + stuck_n > config_.spare_cells_per_segment) {
+    ++stats_.repairs_denied;
+    return false;
+  }
+  for (size_t bit : bits) {
+    if (stuck_.erase(CellKey(seg, bit)) != 0) {
+      --stats_.stuck_cells;
+      ++stats_.repaired_cells;
+    }
+  }
+  if (stuck_n > 0) spares_used_[seg] = used + stuck_n;
+  return true;
+}
+
+}  // namespace e2nvm::nvm

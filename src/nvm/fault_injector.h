@@ -1,0 +1,145 @@
+#ifndef E2NVM_NVM_FAULT_INJECTOR_H_
+#define E2NVM_NVM_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace e2nvm::nvm {
+
+/// Configuration of the fault-injection policy. All probabilities are
+/// evaluated on the injector's own deterministic Rng, so a run with a given
+/// seed replays bit-for-bit regardless of what the rest of the system does.
+struct FaultConfig {
+  uint64_t seed = 0xFA017EC7ull;
+
+  /// --- Stuck-at cells (wear-out) ---
+  /// Fraction of all cells stuck at a random value when the injector is
+  /// attached — models a pre-worn / partially failed device.
+  double initial_stuck_fraction = 0.0;
+  /// A cell becomes eligible to stick once its wear exceeds this fraction
+  /// of the device's `endurance_writes` budget.
+  double wear_onset_fraction = 1.0;
+  /// Probability that an eligible cell sticks (at the value just
+  /// programmed) on each further program.
+  double stuck_on_program_probability = 0.0;
+
+  /// --- Torn writes ---
+  /// Probability that a segment program commits only a prefix of its
+  /// changed bits (power droop / interrupted program pulse). Torn writes
+  /// are transient: a retry re-programs the missing bits.
+  double torn_write_probability = 0.0;
+
+  /// --- Read disturb ---
+  /// Probability that a read returns one transiently flipped bit. The
+  /// cells themselves are unaffected.
+  double read_disturb_probability = 0.0;
+
+  /// --- Repair budget (spare-cell remapping) ---
+  /// Stuck cells the device may remap to spare cells per segment before
+  /// write-verify must give up on the segment (quarantine). Models the
+  /// in-DIMM redundancy real PCM parts pair with write-verify.
+  size_t spare_cells_per_segment = 32;
+};
+
+/// Counters of everything the injector did. Deterministic for a fixed
+/// seed and operation sequence.
+struct FaultStats {
+  uint64_t stuck_cells = 0;        // Currently stuck (excludes repaired).
+  uint64_t cells_stuck_total = 0;  // Ever stuck, including repaired ones.
+  uint64_t torn_writes = 0;        // Programs that committed a prefix only.
+  uint64_t read_disturbs = 0;      // Reads returned with a flipped bit.
+  uint64_t stuck_clamps = 0;       // Programs perturbed by a stuck cell.
+  uint64_t repaired_cells = 0;     // Stuck cells remapped to spares.
+  uint64_t repairs_denied = 0;     // Repair requests over the spare budget.
+};
+
+/// Seeded, deterministic fault model for an NvmDevice. The paper's
+/// endurance argument (§1: 1e8-1e9 writes/cell) is about exactly these
+/// failures: worn cells stop accepting programs ("stuck-at"), interrupted
+/// programs tear, and aggressive reads disturb neighbors. The injector
+/// turns those into reproducible events so the datapath's degradation
+/// behavior (write-verify, spare-cell repair, quarantine, re-placement)
+/// can be tested and benchmarked.
+///
+/// Attach with NvmDevice::AttachFaultInjector; the injector must outlive
+/// the device. All hooks are called by the device on its datapath.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Fixes the device geometry and endurance budget; sticks
+  /// `initial_stuck_fraction` of all cells at random values. Called by
+  /// NvmDevice::AttachFaultInjector.
+  void Bind(size_t num_segments, size_t segment_bits,
+            uint64_t endurance_writes);
+
+  bool bound() const { return segment_bits_ != 0; }
+
+  /// Explicitly sticks a cell at `value` (deterministic test hook).
+  void StickCell(size_t seg, size_t bit, bool value);
+
+  /// True if the cell is currently stuck (not yet repaired).
+  bool IsStuck(size_t seg, size_t bit) const {
+    return stuck_.count(CellKey(seg, bit)) != 0;
+  }
+
+  /// Perturbs the image about to be programmed over `old`: with
+  /// `torn_write_probability` (and `allow_tear`) only a prefix of the
+  /// changed bits commits, and stuck cells always hold their stuck value.
+  /// Returns true if the image was changed.
+  bool MutateWrite(size_t seg, const BitVector& old, BitVector* stored,
+                   bool allow_tear);
+
+  /// Forces stuck cells of `seg` onto `stored` without any stochastic
+  /// faults (used for raw migrations).
+  bool ClampStuck(size_t seg, BitVector* stored);
+
+  /// Wear-driven sticking: called for each cell programmed to `value`
+  /// whose lifetime program count is now `wear`.
+  void OnCellProgrammed(size_t seg, size_t bit, bool value, uint64_t wear);
+
+  /// Possibly flips one bit of `*out` (a copy of the segment about to be
+  /// returned by a read). Returns true if a disturb fired.
+  bool MutateRead(size_t seg, BitVector* out);
+
+  /// Remaps the stuck cells among `bits` of `seg` to spare cells, if the
+  /// per-segment spare budget allows; repaired cells stop being stuck.
+  /// All-or-nothing: returns false (repairing nothing) over budget.
+  bool RepairCells(size_t seg, const std::vector<size_t>& bits);
+
+  /// Spare cells already consumed by `seg`.
+  size_t SparesUsed(size_t seg) const {
+    auto it = spares_used_.find(seg);
+    return it == spares_used_.end() ? 0 : it->second;
+  }
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  uint64_t CellKey(size_t seg, size_t bit) const {
+    return static_cast<uint64_t>(seg) * segment_bits_ + bit;
+  }
+
+  FaultConfig config_;
+  Rng rng_;
+  size_t num_segments_ = 0;
+  size_t segment_bits_ = 0;
+  uint64_t wear_onset_ = UINT64_MAX;
+  std::unordered_map<uint64_t, bool> stuck_;  // Cell key -> stuck value.
+  std::unordered_map<size_t, size_t> spares_used_;  // Segment -> count.
+  FaultStats stats_;
+};
+
+}  // namespace e2nvm::nvm
+
+#endif  // E2NVM_NVM_FAULT_INJECTOR_H_

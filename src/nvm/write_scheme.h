@@ -21,6 +21,14 @@ struct WriteResult {
   /// read-before-write this is every cell; with RBW only the flips).
   size_t bits_programmed = 0;
 
+  /// Extra program attempts the device needed because read-back verify
+  /// found faulty cells (populated by NvmDevice, not by schemes).
+  uint32_t verify_retries = 0;
+  /// True when the committed cells still differ from the intended image
+  /// after every retry and the spare-cell repair budget: the segment
+  /// should be quarantined by the caller.
+  bool verify_failed = false;
+
   size_t total_bits_flipped() const {
     return data_bits_flipped + aux_bits_flipped;
   }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace e2nvm::pmem {
 
@@ -45,6 +46,57 @@ class FlushTracker {
  private:
   uint64_t lines_flushed_ = 0;
   uint64_t fences_ = 0;
+};
+
+/// Simulated power loss at a chosen persist boundary. Attach to a Pool
+/// via SetCrashPoint and ArmAt(k): when the k-th persist (0-based, counted
+/// from the arming) completes, the hook captures a byte-for-byte image of
+/// the pool — exactly what would have reached media if power failed right
+/// after that fence. The program keeps running (no exception, the live
+/// pool is untouched); a test then reopens the frozen image with
+/// Pool::OpenFromImage and asserts recovery restores a consistent state.
+///
+/// Stores between persists write straight into the mapping, so the image
+/// at persist k conservatively contains every store issued before that
+/// fence — the durable prefix under an ADR-style persistence model.
+class CrashPoint {
+ public:
+  /// Arms the hook to fire at the k-th subsequent persist. Resets the
+  /// counter and drops any previously captured image.
+  void ArmAt(uint64_t k) {
+    arm_k_ = k;
+    armed_ = true;
+    fired_ = false;
+    persists_seen_ = 0;
+    image_.clear();
+  }
+
+  void Disarm() { armed_ = false; }
+
+  /// Called by Pool::Persist after the flush+fence completes.
+  void OnPersist(const void* base, size_t size) {
+    if (armed_ && !fired_ && persists_seen_ == arm_k_) {
+      const auto* p = static_cast<const uint8_t*>(base);
+      image_.assign(p, p + size);
+      fired_ = true;
+    }
+    ++persists_seen_;
+  }
+
+  bool armed() const { return armed_; }
+  /// True once the armed persist has happened and the image is captured.
+  bool fired() const { return fired_; }
+  /// Persists observed since the last ArmAt.
+  uint64_t persists_seen() const { return persists_seen_; }
+  /// The captured pool image; empty until fired.
+  const std::vector<uint8_t>& image() const { return image_; }
+
+ private:
+  bool armed_ = false;
+  bool fired_ = false;
+  uint64_t arm_k_ = 0;
+  uint64_t persists_seen_ = 0;
+  std::vector<uint8_t> image_;
 };
 
 }  // namespace e2nvm::pmem

@@ -81,6 +81,31 @@ StatusOr<std::unique_ptr<Pool>> Pool::CreateAnonymous(
   return pool;
 }
 
+StatusOr<std::unique_ptr<Pool>> Pool::OpenFromImage(
+    const std::vector<uint8_t>& image, const std::string& layout) {
+  if (image.size() < kHeaderBytes + TxLog::kLogBytes) {
+    return Status::InvalidArgument("image too small for a pool");
+  }
+  std::unique_ptr<Pool> pool(new Pool());
+  void* mem = mmap(nullptr, image.size(), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::ResourceExhausted("mmap failed for image pool");
+  }
+  std::memcpy(mem, image.data(), image.size());
+  pool->base_ = mem;
+  pool->size_ = image.size();
+  pool->anonymous_ = true;
+  E2_RETURN_IF_ERROR(pool->ValidateHeader(layout));
+  pool->layout_ = layout;
+  // A captured image never saw Close(), so recovery always runs.
+  pool->recovered_ = pool->header()->clean_shutdown == 0;
+  pool->RunRecovery();
+  pool->header()->clean_shutdown = 0;
+  pool->Persist(0, sizeof(Header));
+  return pool;
+}
+
 Status Pool::MapFile(const std::string& path, size_t size, bool create) {
   int flags = create ? (O_RDWR | O_CREAT | O_EXCL) : O_RDWR;
   int fd = ::open(path.c_str(), flags, 0644);
@@ -160,6 +185,7 @@ void Pool::set_root(PoolOffset off) {
 void Pool::Persist(PoolOffset off, size_t len) {
   flush_tracker_.FlushRange(Direct(off), len);
   flush_tracker_.Fence();
+  if (crash_point_ != nullptr) crash_point_->OnPersist(base_, size_);
 }
 
 }  // namespace e2nvm::pmem

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "pmem/persist.h"
@@ -63,6 +64,12 @@ class Pool {
   static StatusOr<std::unique_ptr<Pool>> CreateAnonymous(
       const std::string& layout, size_t size);
 
+  /// Reopens a pool from a byte image captured by a CrashPoint: validates
+  /// the header and runs crash recovery exactly as Open() would on a file
+  /// that lost power. The resulting pool is anonymous (in-memory only).
+  static StatusOr<std::unique_ptr<Pool>> OpenFromImage(
+      const std::vector<uint8_t>& image, const std::string& layout);
+
   /// Flushes the header and marks clean shutdown. Called by the destructor
   /// if not called explicitly.
   void Close();
@@ -109,6 +116,19 @@ class Pool {
   FlushTracker& flush_tracker() { return flush_tracker_; }
   const FlushTracker& flush_tracker() const { return flush_tracker_; }
 
+  /// Attaches (or detaches, with nullptr) a crash-injection hook. The
+  /// hook is notified after every Persist and captures the pool image at
+  /// its armed persist ordinal; it must outlive its attachment.
+  void SetCrashPoint(CrashPoint* cp) { crash_point_ = cp; }
+  CrashPoint* crash_point() { return crash_point_; }
+
+  /// Byte-for-byte copy of the whole pool (what a power loss right now
+  /// would leave on media).
+  std::vector<uint8_t> SnapshotImage() const {
+    const auto* p = static_cast<const uint8_t*>(base_);
+    return std::vector<uint8_t>(p, p + size_);
+  }
+
   Header* header() { return As<Header>(0); }
   const Header* header() const { return As<const Header>(0); }
 
@@ -128,6 +148,7 @@ class Pool {
   bool recovered_ = false;
   std::string layout_;
   FlushTracker flush_tracker_;
+  CrashPoint* crash_point_ = nullptr;
 };
 
 }  // namespace e2nvm::pmem

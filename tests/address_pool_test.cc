@@ -87,6 +87,40 @@ TEST(AddressPoolTest, ClearEmpties) {
   EXPECT_FALSE(pool.Acquire(0).has_value());
 }
 
+TEST(AddressPoolTest, OutOfRangeClusterIdsClampInsteadOfUb) {
+  DynamicAddressPool pool(2);
+  pool.Insert(99, 7);  // Clamped to the last cluster.
+  EXPECT_EQ(pool.FreeCount(1), 1u);
+  EXPECT_EQ(pool.FreeCount(99), 0u);  // Out-of-range query: 0, counted.
+  EXPECT_GE(pool.clamped_ids(), 2u);
+  EXPECT_EQ(pool.Acquire(99).value(), 7u);  // Clamped acquire still works.
+  EXPECT_EQ(pool.TotalFree(), 0u);
+}
+
+TEST(AddressPoolTest, ZeroClusterPoolIsInert) {
+  DynamicAddressPool pool(0);
+  pool.Insert(0, 1);  // Dropped: nowhere to put it — but no crash.
+  EXPECT_EQ(pool.TotalFree(), 0u);
+  EXPECT_FALSE(pool.Acquire(0).has_value());
+  EXPECT_FALSE(pool.AcquireAny().has_value());
+  EXPECT_FALSE(
+      pool.AcquireBest(0, BitVector(8), [](uint64_t) {
+            return BitVector(8);
+          }).has_value());
+}
+
+TEST(AddressPoolTest, AcquireAnyPopsFromFullestCluster) {
+  DynamicAddressPool pool(3);
+  pool.Insert(0, 1);
+  pool.Insert(2, 10);
+  pool.Insert(2, 11);
+  EXPECT_EQ(pool.AcquireAny().value(), 10u);
+  EXPECT_EQ(pool.TotalFree(), 2u);
+  EXPECT_EQ(pool.AcquireAny().value(), 1u);  // Now both size 1; first wins.
+  EXPECT_EQ(pool.AcquireAny().value(), 11u);
+  EXPECT_FALSE(pool.AcquireAny().has_value());
+}
+
 TEST(AddressPoolTest, FootprintGrowsWithAddresses) {
   DynamicAddressPool pool(4);
   size_t base = pool.MemoryFootprintBytes();

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pmem/allocator.h"
+#include "pmem/pool.h"
+#include "pmem/tx.h"
+
+namespace e2nvm::pmem {
+namespace {
+
+constexpr size_t kPoolSize = 1024 * 1024;
+constexpr size_t kRanges = 3;
+const char* const kOld[kRanges] = {"OLD_AAAA", "OLD_BBBB", "OLD_CCCC"};
+const char* const kNew[kRanges] = {"NEW_aaaa", "NEW_bbbb", "NEW_cccc"};
+constexpr size_t kLen = 9;  // Includes the terminator.
+
+struct TxRunResult {
+  bool fired_in_body = false;       // Crash happened before Commit.
+  uint64_t persists_in_body = 0;    // Persists from Begin through mutation.
+  std::vector<PoolOffset> offs;     // The three ranges.
+  std::vector<uint8_t> image;       // Captured pool image (if fired).
+};
+
+/// Builds a fresh pool with kRanges committed ranges, then runs one
+/// multi-range transaction overwriting all of them with a CrashPoint
+/// armed at the k-th persist of the transaction body.
+TxRunResult RunTxWithCrashAt(uint64_t k) {
+  TxRunResult out;
+  auto pool = Pool::CreateAnonymous("crash", kPoolSize);
+  EXPECT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  for (size_t i = 0; i < kRanges; ++i) {
+    PoolOffset off = alloc.Alloc(64).value();
+    std::memcpy((*pool)->Direct(off), kOld[i], kLen);
+    (*pool)->Persist(off, kLen);
+    out.offs.push_back(off);
+  }
+
+  CrashPoint cp;
+  (*pool)->SetCrashPoint(&cp);
+  cp.ArmAt(k);  // Counting starts here: setup persists are excluded.
+
+  Transaction tx(pool->get());
+  EXPECT_TRUE(tx.Begin().ok());
+  for (size_t i = 0; i < kRanges; ++i) {
+    EXPECT_TRUE(tx.AddRange(out.offs[i], kLen).ok());
+    std::memcpy((*pool)->Direct(out.offs[i]), kNew[i], kLen);
+    (*pool)->Persist(out.offs[i], kLen);
+  }
+  out.fired_in_body = cp.fired();
+  out.persists_in_body = cp.persists_seen();
+  tx.Commit();
+  if (cp.fired()) out.image = cp.image();
+  (*pool)->SetCrashPoint(nullptr);
+  return out;
+}
+
+TEST(CrashRecoveryTest, EveryPersistPointRestoresPreTxImage) {
+  // First pass just counts the persist points inside the tx body.
+  uint64_t body = RunTxWithCrashAt(1'000'000).persists_in_body;
+  ASSERT_GE(body, 6u);  // Begin + 3 x (snapshot + data persist) at least.
+
+  for (uint64_t k = 0; k < body; ++k) {
+    TxRunResult run = RunTxWithCrashAt(k);
+    ASSERT_TRUE(run.fired_in_body) << "k=" << k;
+
+    auto reopened = Pool::OpenFromImage(run.image, "crash");
+    ASSERT_TRUE(reopened.ok()) << "k=" << k << ": "
+                               << reopened.status().ToString();
+    EXPECT_TRUE((*reopened)->recovered()) << "k=" << k;
+    for (size_t i = 0; i < kRanges; ++i) {
+      EXPECT_STREQ(
+          static_cast<const char*>((*reopened)->Direct(run.offs[i])),
+          kOld[i])
+          << "power loss at persist " << k << " corrupted range " << i;
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, CrashAtCommitKeepsNewData) {
+  uint64_t body = RunTxWithCrashAt(1'000'000).persists_in_body;
+  // The commit persist is the first one after the body: a power loss
+  // right after it must preserve the transaction.
+  TxRunResult run = RunTxWithCrashAt(body);
+  ASSERT_FALSE(run.fired_in_body);
+  ASSERT_FALSE(run.image.empty());
+
+  auto reopened = Pool::OpenFromImage(run.image, "crash");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (size_t i = 0; i < kRanges; ++i) {
+    EXPECT_STREQ(
+        static_cast<const char*>((*reopened)->Direct(run.offs[i])),
+        kNew[i]);
+  }
+}
+
+TEST(CrashRecoveryTest, LogFullTxAbortRestoresSnapshottedRanges) {
+  auto pool = Pool::CreateAnonymous("logfull", kPoolSize);
+  ASSERT_TRUE(pool.ok());
+  Allocator alloc(pool->get());
+  PoolOffset off = alloc.Alloc(64).value();
+  std::memcpy((*pool)->Direct(off), kOld[0], kLen);
+  (*pool)->Persist(off, kLen);
+
+  TxLog log(pool->get(), (*pool)->header()->tx_log);
+  ASSERT_TRUE(log.Begin().ok());
+  ASSERT_TRUE(log.Snapshot(off, kLen).ok());
+  std::memcpy((*pool)->Direct(off), kNew[0], kLen);
+
+  // Fill the log until Snapshot reports exhaustion — the tx cannot grow.
+  Status last = Status::Ok();
+  for (int i = 0; i < 1000 && last.ok(); ++i) {
+    last = log.Snapshot(Pool::kHeaderBytes + TxLog::kLogBytes, 8000);
+  }
+  ASSERT_EQ(last.code(), StatusCode::kResourceExhausted);
+
+  // The only sane client response is to abort; the snapshotted range
+  // must roll back even though later snapshots were refused.
+  log.Abort();
+  EXPECT_STREQ(static_cast<const char*>((*pool)->Direct(off)), kOld[0]);
+  EXPECT_FALSE(log.active());
+}
+
+TEST(CrashRecoveryTest, OpenFromImageValidatesHeader) {
+  std::vector<uint8_t> garbage(kPoolSize, 0xAB);
+  auto p = Pool::OpenFromImage(garbage, "crash");
+  EXPECT_EQ(p.status().code(), StatusCode::kDataLoss);
+
+  std::vector<uint8_t> tiny(128, 0);
+  auto q = Pool::OpenFromImage(tiny, "crash");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace e2nvm::pmem

@@ -1,0 +1,202 @@
+#include "nvm/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nvm/controller.h"
+#include "nvm/device.h"
+#include "schemes/schemes.h"
+
+namespace e2nvm::nvm {
+namespace {
+
+constexpr size_t kSegs = 4;
+constexpr size_t kBits = 64;
+
+DeviceConfig SmallConfig(bool verify) {
+  DeviceConfig dc;
+  dc.num_segments = kSegs;
+  dc.segment_bits = kBits;
+  dc.verify_writes = verify;
+  return dc;
+}
+
+BitVector RandomBits(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BitVector v(n);
+  for (size_t i = 0; i < n; ++i) v.Set(i, rng.NextBernoulli(0.5));
+  return v;
+}
+
+TEST(FaultInjectorTest, StuckCellRepairedByWriteVerify) {
+  NvmDevice dev(SmallConfig(/*verify=*/true));
+  FaultConfig fc;
+  fc.spare_cells_per_segment = 4;
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+  inj.StickCell(0, 3, /*value=*/true);
+
+  schemes::Dcw dcw;
+  BitVector zeros(kBits);  // Wants bit 3 = 0, but the cell is stuck at 1.
+  WriteResult r = dev.WriteSegment(0, zeros, dcw);
+
+  EXPECT_FALSE(r.verify_failed);
+  EXPECT_TRUE(dev.PeekSegment(0) == zeros);  // Repair made it exact.
+  EXPECT_GE(dev.stats().repaired_cells, 1u);
+  EXPECT_FALSE(inj.IsStuck(0, 3));  // Remapped to a spare.
+  EXPECT_EQ(inj.SparesUsed(0), 1u);
+}
+
+TEST(FaultInjectorTest, QuarantineWhenSparesExhausted) {
+  NvmDevice dev(SmallConfig(/*verify=*/true));
+  FaultConfig fc;
+  fc.spare_cells_per_segment = 0;  // No repair budget at all.
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+  inj.StickCell(0, 3, /*value=*/true);
+
+  schemes::Dcw dcw;
+  MemoryController ctrl(&dev, &dcw, kSegs, /*psi=*/0);
+  WriteResult r = ctrl.Write(0, BitVector(kBits));
+
+  EXPECT_TRUE(r.verify_failed);
+  EXPECT_TRUE(ctrl.IsQuarantined(0));
+  EXPECT_FALSE(ctrl.IsQuarantined(1));
+  EXPECT_GE(dev.stats().verify_failures, 1u);
+  EXPECT_GE(inj.stats().repairs_denied, 1u);
+  EXPECT_GE(dev.stats().verify_retries, 1u);
+}
+
+TEST(FaultInjectorTest, TornWriteHealedByVerify) {
+  NvmDevice dev(SmallConfig(/*verify=*/true));
+  FaultConfig fc;
+  fc.torn_write_probability = 1.0;  // Every program attempt tears.
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+
+  schemes::Dcw dcw;
+  BitVector data = RandomBits(kBits, 7);
+  WriteResult r = dev.WriteSegment(0, data, dcw);
+
+  // No stuck cells: the final no-tear program always converges.
+  EXPECT_FALSE(r.verify_failed);
+  EXPECT_TRUE(dev.PeekSegment(0) == data);
+  EXPECT_GE(dev.stats().torn_writes, 1u);
+}
+
+TEST(FaultInjectorTest, TornWriteCorruptsWithoutVerify) {
+  NvmDevice dev(SmallConfig(/*verify=*/false));
+  FaultConfig fc;
+  fc.torn_write_probability = 1.0;
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+
+  schemes::Dcw dcw;
+  BitVector data = RandomBits(kBits, 7);
+  dev.WriteSegment(0, data, dcw);
+
+  // A tear always reverts at least one changed bit, and nothing fixed it.
+  EXPECT_FALSE(dev.PeekSegment(0) == data);
+  EXPECT_GE(dev.stats().torn_writes, 1u);
+}
+
+TEST(FaultInjectorTest, ReadDisturbIsTransient) {
+  NvmDevice dev(SmallConfig(/*verify=*/false));
+  FaultConfig fc;
+  fc.read_disturb_probability = 1.0;
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+
+  BitVector data = RandomBits(kBits, 11);
+  dev.SeedSegment(0, data);
+
+  const BitVector& got = dev.ReadSegment(0);
+  EXPECT_EQ(got.HammingDistance(data), 1u);  // One flipped bit returned...
+  EXPECT_TRUE(dev.PeekSegment(0) == data);   // ...but the cells are fine.
+  EXPECT_EQ(dev.stats().read_disturbs, 1u);
+}
+
+TEST(FaultInjectorTest, InitialStuckFractionSticksCells) {
+  NvmDevice dev(SmallConfig(/*verify=*/false));
+  FaultConfig fc;
+  fc.initial_stuck_fraction = 0.05;  // ~13 of 256 cells.
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+
+  EXPECT_GT(inj.stats().stuck_cells, 0u);
+  EXPECT_LT(inj.stats().stuck_cells, kSegs * kBits / 4);
+}
+
+TEST(FaultInjectorTest, WearDrivenSticking) {
+  DeviceConfig dc = SmallConfig(/*verify=*/false);
+  dc.track_bit_wear = true;
+  dc.pcm.endurance_writes = 4;  // Tiny budget so wear-out is reachable.
+  NvmDevice dev(dc);
+  FaultConfig fc;
+  fc.wear_onset_fraction = 0.5;          // Eligible after 2 programs.
+  fc.stuck_on_program_probability = 1.0;  // Then stick immediately.
+  FaultInjector inj(fc);
+  dev.AttachFaultInjector(&inj);
+
+  schemes::Dcw dcw;
+  BitVector ones(kBits);
+  for (size_t i = 0; i < kBits; ++i) ones.Set(i, true);
+  for (int i = 0; i < 8; ++i) {
+    dev.WriteSegment(0, (i % 2 == 0) ? ones : BitVector(kBits), dcw);
+  }
+  EXPECT_GT(inj.stats().stuck_cells, 0u);
+  EXPECT_GT(inj.stats().stuck_clamps, 0u);
+}
+
+TEST(FaultInjectorTest, RepairBudgetIsAllOrNothing) {
+  FaultConfig fc;
+  fc.spare_cells_per_segment = 4;
+  FaultInjector inj(fc);
+  inj.Bind(/*num_segments=*/1, /*segment_bits=*/64,
+           /*endurance_writes=*/1000);
+  std::vector<size_t> many = {0, 1, 2, 3, 4, 5};
+  for (size_t b : many) inj.StickCell(0, b, true);
+
+  EXPECT_FALSE(inj.RepairCells(0, many));  // 6 stuck > 4 spares.
+  EXPECT_EQ(inj.SparesUsed(0), 0u);        // Nothing partially repaired.
+  EXPECT_GE(inj.stats().repairs_denied, 1u);
+
+  EXPECT_TRUE(inj.RepairCells(0, {0, 1}));
+  EXPECT_EQ(inj.SparesUsed(0), 2u);
+  EXPECT_FALSE(inj.IsStuck(0, 0));
+  EXPECT_TRUE(inj.IsStuck(0, 2));
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysBitForBit) {
+  auto run = [] {
+    NvmDevice dev(SmallConfig(/*verify=*/true));
+    FaultConfig fc;
+    fc.seed = 123;
+    fc.initial_stuck_fraction = 0.02;
+    fc.torn_write_probability = 0.3;
+    fc.read_disturb_probability = 0.1;
+    fc.spare_cells_per_segment = 2;
+    FaultInjector inj(fc);
+    dev.AttachFaultInjector(&inj);
+    schemes::Dcw dcw;
+    for (int i = 0; i < 50; ++i) {
+      dev.WriteSegment(i % kSegs, RandomBits(kBits, 1000 + i), dcw);
+      dev.ReadSegment(i % kSegs);
+    }
+    return std::make_pair(dev.stats(), inj.stats());
+  };
+  auto [d1, i1] = run();
+  auto [d2, i2] = run();
+  EXPECT_EQ(d1.data_bits_flipped, d2.data_bits_flipped);
+  EXPECT_EQ(d1.faults_injected, d2.faults_injected);
+  EXPECT_EQ(d1.torn_writes, d2.torn_writes);
+  EXPECT_EQ(d1.read_disturbs, d2.read_disturbs);
+  EXPECT_EQ(d1.verify_retries, d2.verify_retries);
+  EXPECT_EQ(d1.verify_failures, d2.verify_failures);
+  EXPECT_EQ(i1.stuck_cells, i2.stuck_cells);
+  EXPECT_EQ(i1.repaired_cells, i2.repaired_cells);
+  EXPECT_EQ(i1.stuck_clamps, i2.stuck_clamps);
+}
+
+}  // namespace
+}  // namespace e2nvm::nvm
