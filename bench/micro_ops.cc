@@ -3,10 +3,23 @@
 // K-means prediction, and a full Place() (predict + DAP + differential
 // write). These are the per-operation latencies behind the prediction
 // overhead discussed with Figs 4 and 10.
+//
+// The binary also runs a store-level ops benchmark and writes the results
+// to BENCH_ops.json (machine-readable): PUT/GET/DELETE ops/s with the
+// serial kernels + synchronous retraining versus the pooled kernels +
+// background retraining, plus the p99/max PUT latency — the retrain
+// stall that §4.1.4 moves off the write path. Pass --benchmark_filter to
+// control the microbenchmarks as usual; the JSON section always runs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "bench/bench_util.h"
+#include "core/store.h"
 #include "placement/clusterer.h"
 
 namespace e2nvm {
@@ -99,7 +112,137 @@ void BM_EnginePlace(benchmark::State& state) {
 }
 BENCHMARK(BM_EnginePlace);
 
+// --- Store-level ops benchmark -> BENCH_ops.json ---
+
+struct OpsResult {
+  double put_ops_s = 0;
+  double get_ops_s = 0;
+  double delete_ops_s = 0;
+  double put_p99_us = 0;
+  double put_max_us = 0;
+  uint64_t retrains = 0;
+  uint64_t background_retrains = 0;
+};
+
+/// One full PUT/GET/DELETE pass over a store built with `pool_threads`
+/// worker threads and either synchronous or background retraining.
+OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
+  using Clock = std::chrono::steady_clock;
+  constexpr size_t kSegments = 256;
+  constexpr size_t kBits = 512;
+  constexpr uint64_t kKeys = 96;
+  constexpr uint64_t kPuts = 2000;
+
+  core::StoreConfig sc;
+  sc.num_segments = kSegments;
+  sc.segment_bits = kBits;
+  sc.model = bench::DefaultModel(kBits, 4);
+  sc.model.pretrain_epochs = 2;
+  sc.auto_retrain = true;
+  sc.background_retrain = background_retrain;
+  sc.pool_threads = pool_threads;
+  sc.retrain.min_free_per_cluster = 8;
+  auto store_or = core::E2KvStore::Create(sc);
+  if (!store_or.ok()) std::abort();
+  auto store = std::move(*store_or);
+
+  workload::ProtoConfig pc;
+  pc.dim = kBits;
+  pc.num_classes = 4;
+  pc.samples = kSegments + 64;
+  pc.seed = 7;
+  auto ds = workload::MakeProtoDataset(pc);
+  store->Seed(ds);
+  if (!store->Bootstrap().ok()) std::abort();
+
+  OpsResult r;
+  // PUTs (inserts + updates), timed per-op so retrain stalls land in the
+  // tail of this distribution.
+  std::vector<double> put_us;
+  put_us.reserve(kPuts);
+  auto t0 = Clock::now();
+  for (uint64_t i = 0; i < kPuts; ++i) {
+    auto op0 = Clock::now();
+    if (!store->Put(i % kKeys, ds.items[i % ds.items.size()]).ok()) {
+      std::abort();
+    }
+    put_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - op0)
+            .count());
+  }
+  double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.put_ops_s = kPuts / put_s;
+  std::sort(put_us.begin(), put_us.end());
+  r.put_p99_us = put_us[static_cast<size_t>(0.99 * (put_us.size() - 1))];
+  r.put_max_us = put_us.back();
+
+  constexpr uint64_t kGets = 5000;
+  t0 = Clock::now();
+  for (uint64_t i = 0; i < kGets; ++i) {
+    if (!store->Get(i % kKeys).ok()) std::abort();
+  }
+  r.get_ops_s =
+      kGets / std::chrono::duration<double>(Clock::now() - t0).count();
+
+  t0 = Clock::now();
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (!store->Delete(key).ok()) std::abort();
+  }
+  r.delete_ops_s =
+      kKeys / std::chrono::duration<double>(Clock::now() - t0).count();
+
+  r.retrains = store->engine().stats().retrains;
+  r.background_retrains = store->engine().stats().background_retrains;
+  return r;
+}
+
+void WriteOpsJson(const char* path, unsigned threads,
+                  const OpsResult& serial, const OpsResult& pooled) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  auto emit = [&](const char* name, const OpsResult& r, char trail) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"put_ops_per_s\": %.1f,\n"
+                 "    \"get_ops_per_s\": %.1f,\n"
+                 "    \"delete_ops_per_s\": %.1f,\n"
+                 "    \"put_p99_us\": %.2f,\n"
+                 "    \"put_max_us\": %.2f,\n"
+                 "    \"retrains\": %llu,\n"
+                 "    \"background_retrains\": %llu\n"
+                 "  }%c\n",
+                 name, r.put_ops_s, r.get_ops_s, r.delete_ops_s,
+                 r.put_p99_us, r.put_max_us,
+                 static_cast<unsigned long long>(r.retrains),
+                 static_cast<unsigned long long>(r.background_retrains),
+                 trail);
+  };
+  std::fprintf(f, "{\n  \"pool_threads\": %u,\n", threads);
+  emit("serial_sync_retrain", serial, ',');
+  emit("pooled_background_retrain", pooled, ' ');
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace e2nvm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  unsigned threads = std::max(4u, std::thread::hardware_concurrency());
+  e2nvm::bench::PrintBanner(
+      "BENCH_ops", "store ops/s: serial kernels + sync retrain vs "
+                   "pooled kernels + background retrain");
+  auto serial = e2nvm::RunOpsBench(0, false);
+  auto pooled = e2nvm::RunOpsBench(threads, true);
+  e2nvm::WriteOpsJson("BENCH_ops.json", threads, serial, pooled);
+  return 0;
+}

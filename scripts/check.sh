@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, and run the test suite — first plain,
-# then (unless SKIP_SANITIZE=1) again under ASan+UBSan via the
-# E2NVM_SANITIZE CMake option. Run from anywhere inside the repo.
+# then (unless SKIP_SANITIZE=1) again under ASan+UBSan, and finally the
+# concurrency tests under TSan, via the E2NVM_SANITIZE CMake option.
+# Run from anywhere inside the repo.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -9,18 +10,24 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_suite() {
   local build_dir="$1"
-  shift
+  local test_filter="$2"
+  shift 2
   cmake -B "$build_dir" -S "$repo_root" "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+    ${test_filter:+-R "$test_filter"}
 }
 
 echo "== plain build + ctest =="
-run_suite "$repo_root/build"
+run_suite "$repo_root/build" ""
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== sanitized build + ctest (ASan+UBSan) =="
-  run_suite "$repo_root/build-sanitize" -DE2NVM_SANITIZE=ON
+  run_suite "$repo_root/build-sanitize" "" -DE2NVM_SANITIZE=ON
+
+  echo "== concurrency tests under TSan =="
+  run_suite "$repo_root/build-tsan" \
+    "thread_pool|parallel_ml|background_retrain" -DE2NVM_SANITIZE=thread
 fi
 
 echo "All checks passed."

@@ -105,8 +105,27 @@ size_t BitVector::DirtyLines(const BitVector& other, size_t line_bits) const {
 
 std::vector<float> BitVector::ToFloats() const {
   std::vector<float> out(num_bits_);
-  for (size_t i = 0; i < num_bits_; ++i) out[i] = Get(i) ? 1.0f : 0.0f;
+  AppendFloatsTo(out.data());
   return out;
+}
+
+void BitVector::AppendFloatsTo(float* out) const {
+  const size_t full_words = num_bits_ / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t word = words_[w];
+    float* o = out + w * 64;
+    for (size_t b = 0; b < 64; ++b) {
+      o[b] = static_cast<float>((word >> b) & 1u);
+    }
+  }
+  const size_t tail = num_bits_ & 63;
+  if (tail != 0) {
+    uint64_t word = words_[full_words];
+    float* o = out + full_words * 64;
+    for (size_t b = 0; b < tail; ++b) {
+      o[b] = static_cast<float>((word >> b) & 1u);
+    }
+  }
 }
 
 std::string BitVector::ToString() const {

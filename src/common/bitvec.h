@@ -97,6 +97,12 @@ class BitVector {
   /// Converts to a float vector (0.0f / 1.0f per bit) for model input.
   std::vector<float> ToFloats() const;
 
+  /// Writes size() floats (0.0f / 1.0f per bit) to `out`, expanding a
+  /// whole 64-bit word per iteration instead of calling Get() per bit —
+  /// the shared featurization kernel behind Bootstrap/Retrain snapshots
+  /// and ToFloats. `out` must have room for size() floats.
+  void AppendFloatsTo(float* out) const;
+
   /// Renders as a '0'/'1' string (bit 0 first).
   std::string ToString() const;
 

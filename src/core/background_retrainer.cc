@@ -1,0 +1,55 @@
+#include "core/background_retrainer.h"
+
+#include <utility>
+
+namespace e2nvm::core {
+
+BackgroundRetrainer::~BackgroundRetrainer() {
+  if (worker_.joinable()) worker_.join();
+}
+
+bool BackgroundRetrainer::Start(
+    std::unique_ptr<placement::ContentClusterer> shadow,
+    ml::Matrix contents, std::vector<uint64_t> addrs) {
+  if (running() || ready()) return false;
+  if (worker_.joinable()) worker_.join();  // Reap the previous worker.
+
+  result_ = Result{};
+  result_.addrs = std::move(addrs);
+  running_.store(true, std::memory_order_release);
+
+  // The worker owns the shadow and the snapshot until the ready_ release;
+  // the foreground only reads result_ after the matching acquire.
+  worker_ = std::thread(
+      [this, shadow = std::move(shadow), contents = std::move(contents)]() mutable {
+        result_.status = shadow->Train(contents);
+        if (result_.status.ok()) {
+          result_.train_flops = shadow->LastTrainFlops();
+          const size_t n = contents.rows();
+          result_.clusters.resize(n);
+          std::vector<float> row(contents.cols());
+          for (size_t i = 0; i < n; ++i) {
+            const float* src = contents.Row(i);
+            row.assign(src, src + contents.cols());
+            result_.clusters[i] = shadow->PredictCluster(row);
+            result_.predict_flops += shadow->PredictFlops();
+          }
+          result_.model = std::move(shadow);
+        }
+        generations_.fetch_add(1, std::memory_order_acq_rel);
+        ready_.store(true, std::memory_order_release);
+        running_.store(false, std::memory_order_release);
+      });
+  return true;
+}
+
+std::optional<BackgroundRetrainer::Result> BackgroundRetrainer::TryCollect() {
+  if (!ready()) return std::nullopt;
+  if (worker_.joinable()) worker_.join();
+  Result r = std::move(result_);
+  result_ = Result{};
+  ready_.store(false, std::memory_order_release);
+  return r;
+}
+
+}  // namespace e2nvm::core

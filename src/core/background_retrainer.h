@@ -1,0 +1,95 @@
+#ifndef E2NVM_CORE_BACKGROUND_RETRAINER_H_
+#define E2NVM_CORE_BACKGROUND_RETRAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+#include "placement/clusterer.h"
+
+namespace e2nvm::core {
+
+/// Runs model retraining off the write path (§4.1.4, §5.3: "the
+/// re-training process happens in the background").
+///
+/// Protocol (all foreground calls come from the thread that owns the
+/// PlacementEngine — typically the one serving Place/Release):
+///   1. foreground snapshots the free segments' contents into a Matrix
+///      (cheap word-level expansion) and calls Start() with a fresh
+///      shadow clusterer (ContentClusterer::CloneUntrained);
+///   2. a dedicated worker thread trains the shadow and classifies every
+///      snapshot row with it, then publishes the Result;
+///   3. the foreground polls ready() on its normal write path and claims
+///      the Result with TryCollect(), swapping the shadow model in.
+///
+/// The handoff is a single release/acquire pair on `ready_`; the worker
+/// never touches the engine, the controller, or the live model, so
+/// foreground traffic keeps serving from the old model at full speed
+/// while training runs. ML kernels inside Train use the process compute
+/// pool (ml::SetComputePool) when one is installed — the worker is not a
+/// pool thread, so its kernels parallelize.
+class BackgroundRetrainer {
+ public:
+  /// Everything the foreground needs to adopt a trained shadow.
+  struct Result {
+    Status status = Status::Ok();
+    /// The trained shadow (valid when status.ok()).
+    std::unique_ptr<placement::ContentClusterer> model;
+    /// Snapshot addresses and the shadow's cluster for each — the swap
+    /// reuses these so the DAP rebuild costs O(free) map lookups instead
+    /// of O(free) model predictions on the write path.
+    std::vector<uint64_t> addrs;
+    std::vector<size_t> clusters;
+    /// Model flops spent training / classifying the snapshot, to be
+    /// charged to the CPU energy domain by the collector.
+    double train_flops = 0;
+    double predict_flops = 0;
+  };
+
+  BackgroundRetrainer() = default;
+
+  /// Joins any in-flight training.
+  ~BackgroundRetrainer();
+
+  BackgroundRetrainer(const BackgroundRetrainer&) = delete;
+  BackgroundRetrainer& operator=(const BackgroundRetrainer&) = delete;
+
+  /// True while the worker is training (no new Start allowed).
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// True when a Result is waiting to be claimed.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Trainings completed over this retrainer's lifetime (claimed or not).
+  uint64_t generations() const {
+    return generations_.load(std::memory_order_acquire);
+  }
+
+  /// Launches a training of `shadow` on `contents` (row i is the content
+  /// of addrs[i]). Returns false — and takes no ownership — when a
+  /// training is in flight or an unclaimed Result is pending.
+  bool Start(std::unique_ptr<placement::ContentClusterer> shadow,
+             ml::Matrix contents, std::vector<uint64_t> addrs);
+
+  /// Claims the finished Result (joining the worker); nullopt when none
+  /// is ready. Must be called from the foreground thread.
+  std::optional<Result> TryCollect();
+
+ private:
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> ready_{false};
+  std::atomic<uint64_t> generations_{0};
+  Result result_;  // Written by the worker before the ready_ release.
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_BACKGROUND_RETRAINER_H_

@@ -43,6 +43,13 @@ class E2Model : public placement::ContentClusterer {
 
   std::string_view name() const override { return "E2-NVM"; }
 
+  /// Fresh untrained model with identical config — the shadow instance a
+  /// background retrain trains off the write path.
+  std::unique_ptr<placement::ContentClusterer> CloneUntrained()
+      const override {
+    return std::make_unique<E2Model>(config_);
+  }
+
   /// Trains VAE (ELBO pretraining), fits K-means on the latent codes, then
   /// optionally runs DEC-style joint fine-tuning rounds in which the VAE
   /// also minimizes distance to the assigned centroid and the centroids

@@ -1,5 +1,7 @@
 #include "core/placement_engine.h"
 
+#include <unordered_map>
+
 #include "common/logging.h"
 #include "nvm/energy.h"
 
@@ -23,17 +25,23 @@ void PlacementEngine::SetPadder(const Padder* padder, ml::Lstm* lstm) {
   pad_lstm_ = lstm;
 }
 
+ml::Matrix PlacementEngine::ContentsMatrix(
+    const std::vector<uint64_t>& addrs) const {
+  const size_t dim = ctrl_->segment_bits();
+  ml::Matrix contents(addrs.size(), dim);
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    ctrl_->Peek(addrs[i]).AppendFloatsTo(contents.Row(i));
+  }
+  return contents;
+}
+
 Status PlacementEngine::Bootstrap() {
   const size_t n = config_.num_segments;
   const size_t dim = ctrl_->segment_bits();
   if (n == 0) return Status::InvalidArgument("engine manages no segments");
-  ml::Matrix contents(n, dim);
-  for (size_t i = 0; i < n; ++i) {
-    BitVector bits = ctrl_->Peek(config_.first_segment + i);
-    for (size_t d = 0; d < dim; ++d) {
-      contents(i, d) = bits.Get(d) ? 1.0f : 0.0f;
-    }
-  }
+  std::vector<uint64_t> addrs(n);
+  for (size_t i = 0; i < n; ++i) addrs[i] = config_.first_segment + i;
+  ml::Matrix contents = ContentsMatrix(addrs);
   E2_RETURN_IF_ERROR(clusterer_->Train(contents));
   stats_.train_flops += clusterer_->LastTrainFlops();
   // Charge model training to the CPU energy domain and the clock.
@@ -46,12 +54,8 @@ Status PlacementEngine::Bootstrap() {
   pool_.Clear();
   for (size_t i = 0; i < n; ++i) {
     std::vector<float> feats(dim);
-    BitVector bits = ctrl_->Peek(config_.first_segment + i);
-    for (size_t d = 0; d < dim; ++d) {
-      feats[d] = bits.Get(d) ? 1.0f : 0.0f;
-    }
-    pool_.Insert(clusterer_->PredictCluster(feats),
-                 config_.first_segment + i);
+    for (size_t d = 0; d < dim; ++d) feats[d] = contents(i, d);
+    pool_.Insert(clusterer_->PredictCluster(feats), addrs[i]);
   }
   policy_.OnRetrain();
   bootstrapped_ = true;
@@ -65,13 +69,7 @@ Status PlacementEngine::Retrain() {
         "too few free segments to retrain on");
   }
   const size_t dim = ctrl_->segment_bits();
-  ml::Matrix contents(free_addrs.size(), dim);
-  for (size_t i = 0; i < free_addrs.size(); ++i) {
-    BitVector bits = ctrl_->Peek(free_addrs[i]);
-    for (size_t d = 0; d < dim; ++d) {
-      contents(i, d) = bits.Get(d) ? 1.0f : 0.0f;
-    }
-  }
+  ml::Matrix contents = ContentsMatrix(free_addrs);
   E2_RETURN_IF_ERROR(clusterer_->Train(contents));
   stats_.train_flops += clusterer_->LastTrainFlops();
   const nvm::EnergyModel& em = ctrl_->device().energy_model();
@@ -236,18 +234,7 @@ StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
   }
 }
 
-void PlacementEngine::MaybeAutoRetrain() {
-  if (!config_.auto_retrain) return;
-  if (retrain_cooldown_ > 0) {
-    --retrain_cooldown_;
-    return;
-  }
-  if (!policy_.ShouldRetrain(pool_)) return;
-  Status s = Retrain();
-  if (s.ok()) {
-    retrain_failures_in_row_ = 0;
-    return;
-  }
+void PlacementEngine::OnRetrainFailure(const Status& s) {
   // Back off exponentially so a persistently failing retrain cannot
   // re-run (and re-log) on every subsequent Place.
   ++stats_.failed_retrains;
@@ -258,6 +245,112 @@ void PlacementEngine::MaybeAutoRetrain() {
   E2_LOG(kWarning, "auto-retrain failed (backing off %llu writes): %s",
          static_cast<unsigned long long>(retrain_cooldown_),
          s.ToString().c_str());
+}
+
+void PlacementEngine::EnableBackgroundRetrain() {
+  if (bg_ == nullptr) bg_ = std::make_unique<BackgroundRetrainer>();
+}
+
+void PlacementEngine::SwapInShadow(BackgroundRetrainer::Result result) {
+  // Charge the shadow's training + snapshot-classification flops to the
+  // CPU energy domain. Unlike the synchronous path the device clock is
+  // NOT advanced: the work ran concurrently with foreground traffic, so
+  // it costs energy but no write-path time (the whole point of §4.1.4).
+  const double flops = result.train_flops + result.predict_flops;
+  stats_.train_flops += flops;
+  const nvm::EnergyModel& em = ctrl_->device().energy_model();
+  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
+                                 em.CpuPj(flops));
+
+  // Generation-counted double buffer: retire the serving model, adopt
+  // the shadow. Predictions only ever run on this (foreground) thread,
+  // so a plain pointer swap is race-free.
+  retired_clusterer_ = std::move(owned_clusterer_);
+  owned_clusterer_ = std::move(result.model);
+  clusterer_ = owned_clusterer_.get();
+  ++model_generation_;
+
+  // Rebuild the DAP from the *current* free set. Addresses still free
+  // from the snapshot reuse the clusters computed in the background;
+  // only addresses recycled since the snapshot need a fresh prediction.
+  std::unordered_map<uint64_t, size_t> snapshot_cluster;
+  snapshot_cluster.reserve(result.addrs.size());
+  for (size_t i = 0; i < result.addrs.size(); ++i) {
+    snapshot_cluster.emplace(result.addrs[i], result.clusters[i]);
+  }
+  std::vector<uint64_t> free_addrs = pool_.AllFree();
+  pool_.Clear();
+  for (uint64_t addr : free_addrs) {
+    if (ctrl_->IsQuarantined(addr)) {
+      ++stats_.quarantine_skips;
+      continue;
+    }
+    auto it = snapshot_cluster.find(addr);
+    size_t cluster;
+    if (it != snapshot_cluster.end()) {
+      cluster = it->second;
+    } else {
+      ++stats_.swap_repredictions;
+      ChargePrediction();
+      cluster = clusterer_->PredictCluster(ctrl_->Peek(addr).ToFloats());
+    }
+    pool_.Insert(cluster, addr);
+  }
+  ++stats_.retrains;
+  policy_.OnRetrain();
+  retrain_failures_in_row_ = 0;
+}
+
+bool PlacementEngine::PumpBackgroundRetrain() {
+  if (bg_ == nullptr || !bg_->ready()) return false;
+  std::optional<BackgroundRetrainer::Result> result = bg_->TryCollect();
+  if (!result.has_value()) return false;
+  if (!result->status.ok()) {
+    OnRetrainFailure(result->status);
+    return false;
+  }
+  SwapInShadow(std::move(*result));
+  return true;
+}
+
+void PlacementEngine::MaybeAutoRetrain() {
+  if (!config_.auto_retrain) return;
+
+  if (bg_ != nullptr) {
+    // Background mode: adopt a finished shadow first (cheap: pointer
+    // swap + DAP rebuild from precomputed clusters), then decide whether
+    // to launch a new training. The foreground never blocks on training.
+    PumpBackgroundRetrain();
+    if (retrain_cooldown_ > 0) {
+      --retrain_cooldown_;
+      return;
+    }
+    if (bg_->running() || bg_->ready()) return;
+    if (!policy_.ShouldRetrain(pool_)) return;
+    std::vector<uint64_t> free_addrs = pool_.AllFree();
+    if (free_addrs.size() < clusterer_->num_clusters()) {
+      OnRetrainFailure(Status::FailedPrecondition(
+          "too few free segments to retrain on"));
+      return;
+    }
+    ml::Matrix contents = ContentsMatrix(free_addrs);
+    bg_->Start(clusterer_->CloneUntrained(), std::move(contents),
+               std::move(free_addrs));
+    ++stats_.background_retrains;
+    return;
+  }
+
+  if (retrain_cooldown_ > 0) {
+    --retrain_cooldown_;
+    return;
+  }
+  if (!policy_.ShouldRetrain(pool_)) return;
+  Status s = Retrain();
+  if (s.ok()) {
+    retrain_failures_in_row_ = 0;
+    return;
+  }
+  OnRetrainFailure(s);
 }
 
 Status PlacementEngine::Release(uint64_t addr) {

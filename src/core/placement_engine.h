@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/address_pool.h"
+#include "core/background_retrainer.h"
 #include "core/padding.h"
 #include "core/retrain.h"
 #include "index/value_placer.h"
@@ -40,6 +41,13 @@ struct EngineStats {
   uint64_t model_fallbacks = 0;
   /// Auto-retrains that failed (each starts/extends the backoff).
   uint64_t failed_retrains = 0;
+
+  // --- Background-retrain counters ---
+  /// Shadow trainings launched off the write path.
+  uint64_t background_retrains = 0;
+  /// Free addresses that needed a fresh on-swap prediction because they
+  /// were released after the training snapshot was taken.
+  uint64_t swap_repredictions = 0;
 };
 
 /// The heart of E2-NVM (§3.3): content-aware placement of value writes.
@@ -65,10 +73,12 @@ class PlacementEngine : public index::ValuePlacer {
     /// Ablation: search the predicted cluster's list for the
     /// minimum-Hamming address instead of taking the first (§3.3.1).
     bool search_best_in_cluster = false;
-    /// Retrain synchronously inside Place when the policy fires. The
-    /// paper retrains lazily in the background; synchronous retraining is
-    /// equivalent for energy/flip accounting and keeps the simulation
-    /// single-threaded and deterministic.
+    /// Retrain inside Place when the policy fires. By default the
+    /// retrain runs synchronously (stalling that Place for the whole
+    /// rebuild, but keeping the simulation single-threaded and
+    /// deterministic — equivalent for energy/flip accounting); call
+    /// EnableBackgroundRetrain() to move the training to a shadow model
+    /// on a background thread as the paper specifies (§4.1.4).
     bool auto_retrain = false;
     RetrainPolicy::Config retrain;
     /// Backoff after a failed auto-retrain: retrain checks are skipped
@@ -100,6 +110,29 @@ class PlacementEngine : public index::ValuePlacer {
 
   /// True when the retrain policy wants a rebuild.
   bool RetrainNeeded() const { return policy_.ShouldRetrain(pool_); }
+
+  /// Switches auto-retraining to the background path: when the policy
+  /// fires, Place snapshots the free segments, trains a shadow clusterer
+  /// on a dedicated thread (kernels use ml::SetComputePool when
+  /// installed), and a later Place atomically adopts the trained model —
+  /// a generation-counted double buffer in which foreground traffic
+  /// keeps serving from the old model during training. The failure
+  /// backoff and quarantine handling of the synchronous path are
+  /// preserved. Requires config.auto_retrain for the policy to fire.
+  void EnableBackgroundRetrain();
+  bool background_retrain_enabled() const { return bg_ != nullptr; }
+
+  /// True while a shadow model is training off the write path.
+  bool RetrainInFlight() const { return bg_ != nullptr && bg_->running(); }
+
+  /// Generation of the serving model: 0 until the first background swap,
+  /// then incremented per adopted shadow.
+  uint64_t model_generation() const { return model_generation_; }
+
+  /// Collects and adopts a finished shadow model immediately (tests and
+  /// harnesses that want the swap without issuing another Place); no-op
+  /// when none is ready. Returns true when a swap happened.
+  bool PumpBackgroundRetrain();
 
   /// Optional padding for values narrower than the model input
   /// (§4: the padded bits are used only for prediction). The padder and
@@ -138,6 +171,15 @@ class PlacementEngine : public index::ValuePlacer {
   /// Runs the auto-retrain policy after a placement, honoring the
   /// failure backoff.
   void MaybeAutoRetrain();
+  /// The word-level Peek -> float-matrix featurization shared by
+  /// Bootstrap, Retrain, and the background snapshot (one row per addr).
+  ml::Matrix ContentsMatrix(const std::vector<uint64_t>& addrs) const;
+  /// Starts/extends the exponential retrain-failure backoff.
+  void OnRetrainFailure(const Status& s);
+  /// Adopts a trained shadow: swaps the serving model pointer and
+  /// rebuilds the DAP from the current free set using the snapshot's
+  /// precomputed clusters.
+  void SwapInShadow(BackgroundRetrainer::Result result);
 
   nvm::MemoryController* ctrl_;
   placement::ContentClusterer* clusterer_;
@@ -155,6 +197,15 @@ class PlacementEngine : public index::ValuePlacer {
   // Retrain-failure backoff state.
   uint64_t retrain_cooldown_ = 0;
   uint32_t retrain_failures_in_row_ = 0;
+  // Background retraining: the retrainer plus the double-buffered model.
+  // clusterer_ always points at the serving model: the borrowed original
+  // at generation 0, then owned_clusterer_. The previous generation is
+  // parked in retired_clusterer_ until the next swap (callers holding
+  // references across one Place are safe).
+  std::unique_ptr<BackgroundRetrainer> bg_;
+  std::unique_ptr<placement::ContentClusterer> owned_clusterer_;
+  std::unique_ptr<placement::ContentClusterer> retired_clusterer_;
+  uint64_t model_generation_ = 0;
 };
 
 }  // namespace e2nvm::core

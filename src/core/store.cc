@@ -4,12 +4,29 @@ namespace e2nvm::core {
 
 E2KvStore::E2KvStore(const StoreConfig& config) : config_(config) {}
 
+E2KvStore::~E2KvStore() {
+  // The engine's background retrainer may be mid-training on the compute
+  // pool; join it before the pool (and its global registration) go away.
+  engine_.reset();
+  if (installed_pool_ && ml::compute_pool() == pool_.get()) {
+    ml::SetComputePool(nullptr);
+  }
+}
+
 StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
     const StoreConfig& config) {
   if (config.num_segments == 0 || config.segment_bits == 0) {
     return Status::InvalidArgument("empty store geometry");
   }
   std::unique_ptr<E2KvStore> store(new E2KvStore(config));
+
+  if (config.pool_threads > 0) {
+    store->pool_ = std::make_unique<ThreadPool>(config.pool_threads);
+    if (ml::compute_pool() == nullptr) {
+      ml::SetComputePool(store->pool_.get());
+      store->installed_pool_ = true;
+    }
+  }
 
   nvm::DeviceConfig dc;
   dc.num_segments = config.num_segments + (config.psi > 0 ? 1 : 0);
@@ -32,11 +49,14 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   ec.first_segment = 0;
   ec.num_segments = config.num_segments;
   ec.search_best_in_cluster = config.search_best_in_cluster;
-  ec.auto_retrain = config.auto_retrain;
+  ec.auto_retrain = config.auto_retrain || config.background_retrain;
   ec.retrain = config.retrain;
   ec.retrain_backoff_writes = config.retrain_backoff_writes;
   store->engine_ = std::make_unique<PlacementEngine>(
       store->ctrl_.get(), store->model_.get(), ec);
+  if (config.background_retrain) {
+    store->engine_->EnableBackgroundRetrain();
+  }
   return store;
 }
 

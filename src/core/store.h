@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/e2_model.h"
 #include "core/placement_engine.h"
 #include "index/rbtree.h"
@@ -32,6 +33,15 @@ struct StoreConfig {
   /// Placement engine knobs.
   bool search_best_in_cluster = false;
   bool auto_retrain = false;
+  /// Train replacement models on a background thread and swap them in
+  /// atomically instead of stalling a PUT for the whole rebuild (implies
+  /// auto_retrain; see PlacementEngine::EnableBackgroundRetrain).
+  bool background_retrain = false;
+  /// Worker threads for the parallel ML kernels (0 = serial kernels,
+  /// bit-identical to the single-threaded implementation). The store
+  /// owns the pool and installs it as the process compute pool
+  /// (ml::SetComputePool) if none is installed yet.
+  size_t pool_threads = 0;
   RetrainPolicy::Config retrain;
   /// Placements skipped after a failed auto-retrain (doubles per
   /// consecutive failure); see PlacementEngine::Config.
@@ -60,6 +70,10 @@ class E2KvStore {
   /// Bootstrap() must run before operations.
   static StatusOr<std::unique_ptr<E2KvStore>> Create(
       const StoreConfig& config);
+
+  /// Joins any background retraining and uninstalls the compute pool if
+  /// this store installed it.
+  ~E2KvStore();
 
   /// Seeds device segments with initial content ("old data"), cycling
   /// through `contents` items resized to the segment width.
@@ -95,6 +109,8 @@ class E2KvStore {
 
   StoreConfig config_;
   nvm::EnergyMeter meter_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool installed_pool_ = false;
   std::unique_ptr<nvm::NvmDevice> device_;
   schemes::Dcw scheme_;
   std::unique_ptr<nvm::MemoryController> ctrl_;

@@ -44,6 +44,7 @@ class KMeans {
   double Sse(const Matrix& x) const;
 
   const Matrix& centroids() const { return centroids_; }
+  const KMeansConfig& config() const { return config_; }
   size_t k() const { return config_.k; }
   size_t dim() const { return centroids_.cols(); }
   int iters_run() const { return iters_run_; }

@@ -1,10 +1,40 @@
 #include "ml/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace e2nvm::ml {
+
+namespace {
+
+std::atomic<ThreadPool*> g_compute_pool{nullptr};
+
+/// Minimum multiply-accumulates before a kernel bothers the pool; below
+/// this the fork-join overhead dwarfs the work (a single EncodeOne on a
+/// 2048-bit segment is ~260k MACs, so prediction right at the write path
+/// threshold stays parallel-eligible while tiny test matrices stay
+/// serial).
+constexpr double kMinParallelMacs = 64.0 * 1024.0;
+
+/// Splits `rows` into at most 64 blocks (>=1 row each). Row-parallel
+/// kernels write disjoint output rows with unchanged per-row arithmetic,
+/// so any blocking — and any pool size — reproduces the serial result
+/// bit-for-bit.
+size_t RowGrain(size_t rows) { return std::max<size_t>(1, rows / 64); }
+
+}  // namespace
+
+void SetComputePool(ThreadPool* pool) {
+  g_compute_pool.store(pool, std::memory_order_release);
+}
+
+ThreadPool* compute_pool() {
+  return g_compute_pool.load(std::memory_order_acquire);
+}
 
 void Matrix::XavierInit(Rng& rng, size_t fan_in, size_t fan_out) {
   float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
@@ -22,15 +52,27 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  auto rows = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.Row(p);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  ThreadPool* pool = compute_pool();
+  if (pool != nullptr &&
+      static_cast<double>(m) * k * n >= kMinParallelMacs) {
+    pool->ParallelForBlocks(0, m, RowGrain(m),
+                            [&](size_t lo, size_t hi, size_t) {
+                              rows(lo, hi);
+                            });
+  } else {
+    rows(0, m);
   }
   return c;
 }
@@ -39,15 +81,27 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float s = 0.0f;
-      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
+  auto rows = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);
+        float s = 0.0f;
+        for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] = s;
+      }
     }
+  };
+  ThreadPool* pool = compute_pool();
+  if (pool != nullptr &&
+      static_cast<double>(m) * k * n >= kMinParallelMacs) {
+    pool->ParallelForBlocks(0, m, RowGrain(m),
+                            [&](size_t lo, size_t hi, size_t) {
+                              rows(lo, hi);
+                            });
+  } else {
+    rows(0, m);
   }
   return c;
 }
@@ -56,6 +110,26 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  ThreadPool* pool = compute_pool();
+  if (pool != nullptr &&
+      static_cast<double>(m) * k * n >= kMinParallelMacs) {
+    // Parallel over output rows i (columns of a): each c row accumulates
+    // over p in the same ascending order as the serial loop below, so the
+    // result is bit-identical; only the loop nest is exchanged.
+    pool->ParallelForBlocks(
+        0, m, RowGrain(m), [&](size_t lo, size_t hi, size_t) {
+          for (size_t i = lo; i < hi; ++i) {
+            float* crow = c.Row(i);
+            for (size_t p = 0; p < k; ++p) {
+              const float av = a.Row(p)[i];
+              if (av == 0.0f) continue;
+              const float* brow = b.Row(p);
+              for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        });
+    return c;
+  }
   for (size_t p = 0; p < k; ++p) {
     const float* arow = a.Row(p);
     const float* brow = b.Row(p);

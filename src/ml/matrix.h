@@ -7,7 +7,22 @@
 
 #include "common/rng.h"
 
+namespace e2nvm {
+class ThreadPool;
+}
+
 namespace e2nvm::ml {
+
+/// Installs the pool used by every parallel ML kernel (MatMul*, K-means
+/// fit/predict-batch, the VAE's elementwise batch loops) — the library's
+/// single set-pool hook. nullptr (the default) selects the serial code
+/// paths, which are bit-identical to the pre-parallel implementation.
+/// The pool must outlive all kernel calls; install before spawning any
+/// thread that runs kernels (the pointer itself is read atomically).
+void SetComputePool(ThreadPool* pool);
+
+/// Currently installed pool, or nullptr in serial mode.
+ThreadPool* compute_pool();
 
 /// Dense row-major float matrix — the tensor type of the ML substrate.
 /// Sized for this library's models (inputs up to a few thousand features,

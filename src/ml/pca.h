@@ -38,6 +38,7 @@ class Pca {
 
   /// (c x dim) matrix of principal directions, ordered by eigenvalue.
   const Matrix& components() const { return components_; }
+  const PcaConfig& config() const { return config_; }
   const std::vector<float>& mean() const { return mean_; }
   const std::vector<double>& explained_variance() const {
     return eigenvalues_;

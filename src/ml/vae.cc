@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace e2nvm::ml {
 
@@ -11,15 +13,52 @@ namespace {
 constexpr float kLogvarMin = -8.0f;
 constexpr float kLogvarMax = 8.0f;
 
-double BceSum(const Matrix& probs, const Matrix& x) {
-  double loss = 0.0;
-  for (size_t i = 0; i < probs.size(); ++i) {
-    float p = std::clamp(probs.data()[i], 1e-7f, 1.0f - 1e-7f);
-    float t = x.data()[i];
-    loss -= static_cast<double>(t) * std::log(p) +
-            (1.0 - static_cast<double>(t)) * std::log(1.0f - p);
+/// Elements per parallel block of the flat elementwise loops. Fixed so
+/// the block count depends only on the tensor size; reductions combine
+/// per-block partials in block order (pool-size invariant).
+constexpr size_t kElemGrain = 16 * 1024;
+
+/// Runs body(lo, hi, block) over [0, n): on the compute pool when one is
+/// installed and the loop is large enough, else as a single serial block
+/// (identical arithmetic to the pre-parallel code).
+void ForElements(size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  ThreadPool* pool = compute_pool();
+  if (pool != nullptr && n >= 2 * kElemGrain) {
+    pool->ParallelForBlocks(0, n, kElemGrain, body);
+  } else {
+    body(0, n, 0);
   }
+}
+
+double BceSum(const Matrix& probs, const Matrix& x) {
+  std::vector<double> partial(
+      std::max<size_t>(ThreadPool::NumBlocks(probs.size(), kElemGrain), 1),
+      0.0);
+  ForElements(probs.size(), [&](size_t lo, size_t hi, size_t blk) {
+    double l = 0.0;
+    for (size_t i = lo; i < hi; ++i) {
+      float p = std::clamp(probs.data()[i], 1e-7f, 1.0f - 1e-7f);
+      float t = x.data()[i];
+      l -= static_cast<double>(t) * std::log(p) +
+           (1.0 - static_cast<double>(t)) * std::log(1.0f - p);
+    }
+    partial[blk] += l;
+  });
+  double loss = 0.0;
+  for (double l : partial) loss += l;
   return loss;
+}
+
+/// probs = sigmoid(logits), elementwise.
+Matrix SigmoidAll(const Matrix& logits) {
+  Matrix probs(logits.rows(), logits.cols());
+  ForElements(logits.size(), [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) {
+      probs.data()[i] = SigmoidScalar(logits.data()[i]);
+    }
+  });
+  return probs;
 }
 }  // namespace
 
@@ -60,11 +99,7 @@ std::vector<float> Vae::EncodeOne(const std::vector<float>& x) {
 
 Matrix Vae::Decode(const Matrix& z) {
   Matrix logits = decoder_.Forward(z);
-  Matrix probs(logits.rows(), logits.cols());
-  for (size_t i = 0; i < logits.size(); ++i) {
-    probs.data()[i] = SigmoidScalar(logits.data()[i]);
-  }
-  return probs;
+  return SigmoidAll(logits);
 }
 
 Vae::BatchLoss Vae::TrainBatch(const Matrix& x, const VaeTrainOptions& opts) {
@@ -86,10 +121,7 @@ Vae::BatchLoss Vae::TrainBatch(const Matrix& x, const VaeTrainOptions& opts) {
   }
 
   Matrix logits = decoder_.Forward(z);
-  Matrix probs(logits.rows(), logits.cols());
-  for (size_t i = 0; i < logits.size(); ++i) {
-    probs.data()[i] = SigmoidScalar(logits.data()[i]);
-  }
+  Matrix probs = SigmoidAll(logits);
 
   BatchLoss loss;
   loss.recon = BceSum(probs, x) / static_cast<double>(batch);
@@ -104,9 +136,11 @@ Vae::BatchLoss Vae::TrainBatch(const Matrix& x, const VaeTrainOptions& opts) {
   // ---- Backward ----
   // d(BCE with logits)/dlogits = (p - x), averaged over the batch.
   Matrix dlogits(probs.rows(), probs.cols());
-  for (size_t i = 0; i < probs.size(); ++i) {
-    dlogits.data()[i] = (probs.data()[i] - x.data()[i]) * inv_batch;
-  }
+  ForElements(probs.size(), [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) {
+      dlogits.data()[i] = (probs.data()[i] - x.data()[i]) * inv_batch;
+    }
+  });
   Matrix dz = decoder_.Backward(dlogits);
 
   // Optional joint K-means term: cluster_weight * ||z - c||^2.

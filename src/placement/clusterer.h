@@ -29,6 +29,12 @@ class ContentClusterer {
 
   virtual std::string_view name() const = 0;
 
+  /// A fresh, untrained clusterer with this one's configuration — the
+  /// shadow model a background retrain trains and then swaps in while
+  /// the original keeps serving predictions (§4.1.4: retraining runs
+  /// "in the background").
+  virtual std::unique_ptr<ContentClusterer> CloneUntrained() const = 0;
+
   /// Trains (or re-trains) on segment contents, one row per segment.
   virtual Status Train(const ml::Matrix& contents) = 0;
 
@@ -50,6 +56,9 @@ class ContentClusterer {
 class SingleClusterer : public ContentClusterer {
  public:
   std::string_view name() const override { return "single"; }
+  std::unique_ptr<ContentClusterer> CloneUntrained() const override {
+    return std::make_unique<SingleClusterer>();
+  }
   Status Train(const ml::Matrix& contents) override {
     return Status::Ok();
   }
@@ -72,6 +81,11 @@ class RawKMeansClusterer : public ContentClusterer {
                  .seed = seed}) {}
 
   std::string_view name() const override { return "PNW-kmeans"; }
+  std::unique_ptr<ContentClusterer> CloneUntrained() const override {
+    const ml::KMeansConfig& c = kmeans_.config();
+    return std::make_unique<RawKMeansClusterer>(c.k, c.seed, c.max_iters,
+                                                c.tol);
+  }
   Status Train(const ml::Matrix& contents) override;
   size_t PredictCluster(const std::vector<float>& features) override;
   size_t num_clusters() const override { return kmeans_.k(); }
@@ -95,6 +109,9 @@ class DensityClusterer : public ContentClusterer {
   explicit DensityClusterer(size_t k = 2) : k_(k) {}
 
   std::string_view name() const override { return "DATACON"; }
+  std::unique_ptr<ContentClusterer> CloneUntrained() const override {
+    return std::make_unique<DensityClusterer>(k_);
+  }
   Status Train(const ml::Matrix& contents) override {
     return Status::Ok();
   }
@@ -126,6 +143,11 @@ class PcaKMeansClusterer : public ContentClusterer {
         kmeans_({.k = k, .max_iters = max_iters, .seed = seed}) {}
 
   std::string_view name() const override { return "PNW-pca"; }
+  std::unique_ptr<ContentClusterer> CloneUntrained() const override {
+    return std::make_unique<PcaKMeansClusterer>(
+        kmeans_.config().k, pca_.config().num_components,
+        kmeans_.config().seed, kmeans_.config().max_iters);
+  }
   Status Train(const ml::Matrix& contents) override;
   size_t PredictCluster(const std::vector<float>& features) override;
   size_t num_clusters() const override { return kmeans_.k(); }

@@ -1,0 +1,270 @@
+// Background retraining (§4.1.4): shadow-model training off the write
+// path, generation-counted swap, and the model-swap-under-load contract —
+// foreground PUTs keep succeeding, with DAP invariants intact, while a
+// retrain runs and completes.
+
+#include "core/background_retrainer.h"
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/placement_engine.h"
+#include "core/store.h"
+#include "placement/clusterer.h"
+#include "schemes/schemes.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::core {
+namespace {
+
+constexpr size_t kSegments = 128;
+constexpr size_t kBits = 256;
+
+struct Rig {
+  explicit Rig(placement::ContentClusterer* clusterer,
+               PlacementEngine::Config ec = {}) {
+    nvm::DeviceConfig dc;
+    dc.num_segments = kSegments;
+    dc.segment_bits = kBits;
+    device = std::make_unique<nvm::NvmDevice>(dc);
+    ctrl = std::make_unique<nvm::MemoryController>(device.get(), &dcw,
+                                                   kSegments, 0);
+    ec.first_segment = 0;
+    ec.num_segments = kSegments;
+    engine = std::make_unique<PlacementEngine>(ctrl.get(), clusterer, ec);
+  }
+
+  void SeedWith(const workload::BitDataset& ds) {
+    auto sized = workload::ResizeItems(ds, kBits);
+    for (size_t i = 0; i < kSegments; ++i) {
+      ctrl->Seed(i, sized.items[i % sized.items.size()]);
+    }
+  }
+
+  schemes::Dcw dcw;
+  std::unique_ptr<nvm::NvmDevice> device;
+  std::unique_ptr<nvm::MemoryController> ctrl;
+  std::unique_ptr<PlacementEngine> engine;
+};
+
+workload::BitDataset ClusteredData(size_t samples, uint64_t seed = 2) {
+  workload::ProtoConfig cfg;
+  cfg.dim = kBits;
+  cfg.num_classes = 4;
+  cfg.samples = samples;
+  cfg.noise = 0.03;
+  cfg.seed = seed;
+  return workload::MakeProtoDataset(cfg);
+}
+
+ml::Matrix ContentsOf(const workload::BitDataset& ds, size_t rows) {
+  ml::Matrix m(rows, kBits);
+  for (size_t i = 0; i < rows; ++i) {
+    ds.items[i % ds.items.size()].AppendFloatsTo(m.Row(i));
+  }
+  return m;
+}
+
+void WaitUntilReady(BackgroundRetrainer& bg) {
+  for (int i = 0; i < 10000 && !bg.ready(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(bg.ready()) << "background training never finished";
+}
+
+TEST(BackgroundRetrainerTest, TrainsAndClassifiesSnapshot) {
+  BackgroundRetrainer bg;
+  EXPECT_FALSE(bg.running());
+  EXPECT_FALSE(bg.ready());
+  EXPECT_FALSE(bg.TryCollect().has_value());
+
+  auto ds = ClusteredData(64);
+  std::vector<uint64_t> addrs(64);
+  for (size_t i = 0; i < addrs.size(); ++i) addrs[i] = i;
+  placement::RawKMeansClusterer proto(4, 42, 20);
+  ASSERT_TRUE(bg.Start(proto.CloneUntrained(), ContentsOf(ds, 64),
+                       std::move(addrs)));
+  WaitUntilReady(bg);
+
+  auto result = bg.TryCollect();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->status.ok());
+  ASSERT_NE(result->model, nullptr);
+  EXPECT_EQ(result->addrs.size(), 64u);
+  EXPECT_EQ(result->clusters.size(), 64u);
+  for (size_t c : result->clusters) EXPECT_LT(c, 4u);
+  EXPECT_GT(result->train_flops, 0.0);
+  EXPECT_GT(result->predict_flops, 0.0);
+  EXPECT_EQ(bg.generations(), 1u);
+  EXPECT_FALSE(bg.ready());
+}
+
+TEST(BackgroundRetrainerTest, RejectsOverlappingStarts) {
+  BackgroundRetrainer bg;
+  auto ds = ClusteredData(64);
+  placement::RawKMeansClusterer proto(4, 42, 20);
+  std::vector<uint64_t> addrs(64);
+  for (size_t i = 0; i < addrs.size(); ++i) addrs[i] = i;
+  ASSERT_TRUE(
+      bg.Start(proto.CloneUntrained(), ContentsOf(ds, 64), addrs));
+  // While running or pending-collect, further starts are refused.
+  EXPECT_FALSE(
+      bg.Start(proto.CloneUntrained(), ContentsOf(ds, 64), addrs));
+  WaitUntilReady(bg);
+  EXPECT_FALSE(
+      bg.Start(proto.CloneUntrained(), ContentsOf(ds, 64), addrs));
+  ASSERT_TRUE(bg.TryCollect().has_value());
+  EXPECT_TRUE(
+      bg.Start(proto.CloneUntrained(), ContentsOf(ds, 64), addrs));
+  WaitUntilReady(bg);
+  EXPECT_TRUE(bg.TryCollect().has_value());
+}
+
+TEST(BackgroundRetrainerTest, ReportsTrainingFailure) {
+  BackgroundRetrainer bg;
+  auto ds = ClusteredData(8);
+  // 2 samples for k=4 clusters: Train must fail, model stays null.
+  std::vector<uint64_t> addrs{0, 1};
+  placement::RawKMeansClusterer proto(4, 42, 20);
+  ASSERT_TRUE(
+      bg.Start(proto.CloneUntrained(), ContentsOf(ds, 2), addrs));
+  WaitUntilReady(bg);
+  auto result = bg.TryCollect();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(result->model, nullptr);
+}
+
+TEST(BackgroundRetrainTest, EngineSwapsModelWithoutClientErrors) {
+  placement::RawKMeansClusterer clusterer(4, 42, 20);
+  PlacementEngine::Config ec;
+  ec.auto_retrain = true;
+  // Aggressive capacity trigger so the policy fires early in the run.
+  ec.retrain.min_free_per_cluster = 24;
+  ec.retrain_backoff_writes = 8;
+  Rig rig(&clusterer, ec);
+  auto ds = ClusteredData(kSegments + 64);
+  rig.SeedWith(ds);
+  rig.engine->EnableBackgroundRetrain();
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+  EXPECT_EQ(rig.engine->model_generation(), 0u);
+
+  // Model-swap-under-load: issue PUT-shaped traffic (Place + periodic
+  // Release) while shadow trainings start, run, and complete.
+  std::vector<uint64_t> live;
+  size_t placed = 0;
+  std::set<uint64_t> live_set;
+  for (size_t i = 0; i < 400; ++i) {
+    auto addr = rig.engine->Place(ds.items[i % ds.items.size()]);
+    ASSERT_TRUE(addr.ok()) << "Place " << i << ": "
+                           << addr.status().ToString();
+    EXPECT_TRUE(live_set.insert(*addr).second)
+        << "address " << *addr << " double-allocated";
+    live.push_back(*addr);
+    ++placed;
+    // DAP invariant: every segment is exactly live or free.
+    ASSERT_EQ(rig.engine->pool().TotalFree() + live.size(), kSegments);
+    if (live.size() > kSegments / 2) {
+      uint64_t victim = live.front();
+      live.erase(live.begin());
+      live_set.erase(victim);
+      ASSERT_TRUE(rig.engine->Release(victim).ok());
+    }
+    // Give the trainer a chance to finish so a swap happens mid-run.
+    if (rig.engine->RetrainInFlight() && i % 16 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  // Let any in-flight training finish, then adopt it explicitly.
+  for (int i = 0; i < 10000 && rig.engine->RetrainInFlight(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rig.engine->PumpBackgroundRetrain();
+
+  const EngineStats& stats = rig.engine->stats();
+  EXPECT_GT(stats.background_retrains, 0u)
+      << "no background retrain ever launched";
+  EXPECT_GT(stats.retrains, 0u) << "no shadow model was ever adopted";
+  EXPECT_GE(rig.engine->model_generation(), 1u);
+  EXPECT_EQ(stats.placements, placed);
+  EXPECT_EQ(rig.engine->pool().TotalFree() + live.size(), kSegments);
+
+  // The swapped-in model must serve reads/placements: every live address
+  // still holds the exact value that was placed there.
+  EXPECT_EQ(rig.engine->pool().TotalFree(),
+            kSegments - live.size());
+}
+
+TEST(BackgroundRetrainTest, FailedShadowTrainingBacksOff) {
+  placement::RawKMeansClusterer clusterer(64, 42, 10);  // k > free segs.
+  PlacementEngine::Config ec;
+  ec.auto_retrain = true;
+  ec.retrain.min_free_per_cluster = 2;
+  ec.retrain_backoff_writes = 4;
+  Rig rig(&clusterer, ec);
+  auto ds = ClusteredData(kSegments);
+  rig.SeedWith(ds);
+  rig.engine->EnableBackgroundRetrain();
+  ASSERT_TRUE(rig.engine->Bootstrap().ok());
+
+  // Consume most of the pool. Once AllFree() < num_clusters (64), every
+  // launch attempt hits the same FailedPrecondition as the synchronous
+  // path and must start the exponential backoff instead of crashing or
+  // spinning — while the Places themselves keep succeeding.
+  for (size_t i = 0; i < kSegments - 32; ++i) {
+    ASSERT_TRUE(rig.engine->Place(ds.items[i % ds.items.size()]).ok());
+  }
+  // A training launched while the pool was still big may be in flight;
+  // drain and adopt it so the next policy firing sees the starved pool.
+  for (int i = 0; i < 10000 && rig.engine->RetrainInFlight(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rig.engine->PumpBackgroundRetrain();
+  for (size_t i = 0; i < 8 && rig.engine->stats().failed_retrains == 0;
+       ++i) {
+    ASSERT_TRUE(rig.engine->Place(ds.items[i % ds.items.size()]).ok());
+  }
+  EXPECT_GT(rig.engine->stats().failed_retrains, 0u);
+}
+
+TEST(BackgroundRetrainTest, StoreServesPutsDuringBackgroundRetrain) {
+  StoreConfig sc;
+  sc.num_segments = 128;
+  sc.segment_bits = 256;
+  sc.model.k = 4;
+  sc.model.pretrain_epochs = 2;
+  sc.model.finetune_rounds = 1;
+  sc.background_retrain = true;
+  sc.pool_threads = 4;
+  sc.retrain.min_free_per_cluster = 16;
+  auto store_or = E2KvStore::Create(sc);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+
+  workload::ProtoConfig pc;
+  pc.dim = 256;
+  pc.num_classes = 4;
+  pc.samples = 256;
+  pc.seed = 9;
+  auto ds = workload::MakeProtoDataset(pc);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+
+  for (uint64_t key = 0; key < 300; ++key) {
+    ASSERT_TRUE(store->Put(key % 60, ds.items[key % ds.items.size()]).ok())
+        << "PUT " << key;
+  }
+  // Zero client-visible errors and intact reads across any swap.
+  for (uint64_t key = 0; key < 60; ++key) {
+    auto got = store->Get(key);
+    ASSERT_TRUE(got.ok());
+  }
+  EXPECT_EQ(store->engine().stats().model_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace e2nvm::core

@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace e2nvm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForBlocksCoverRangeExactly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(997);  // Prime: uneven tail block.
+  pool.ParallelForBlocks(0, 997, 64,
+                         [&](size_t lo, size_t hi, size_t blk) {
+                           EXPECT_EQ(lo, blk * 64);
+                           for (size_t i = lo; i < hi; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NumBlocksIsThreadCountIndependent) {
+  EXPECT_EQ(ThreadPool::NumBlocks(0, 8), 0u);
+  EXPECT_EQ(ThreadPool::NumBlocks(1, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(8, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumBlocks(9, 8), 2u);
+  EXPECT_EQ(ThreadPool::NumBlocks(100, 0), 100u);  // grain clamped to 1.
+}
+
+TEST(ThreadPoolTest, BlockReductionIsIdenticalForAnyPoolSize) {
+  // Per-block partials combined in block order must not depend on how
+  // many workers ran the blocks.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    const size_t n = 10000, grain = 128;
+    std::vector<double> partial(ThreadPool::NumBlocks(n, grain), 0.0);
+    pool.ParallelForBlocks(0, n, grain,
+                           [&](size_t lo, size_t hi, size_t blk) {
+                             double s = 0.0;
+                             for (size_t i = lo; i < hi; ++i) {
+                               s += 1.0 / static_cast<double>(i + 1);
+                             }
+                             partial[blk] = s;
+                           });
+    double total = 0.0;
+    for (double s : partial) total += s;
+    return total;
+  };
+  double t1 = run(1), t2 = run(2), t4 = run(4);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t2, t4);
+}
+
+TEST(ThreadPoolTest, TaskSeedIsDeterministicAndSpreads) {
+  EXPECT_EQ(ThreadPool::TaskSeed(42, 0), ThreadPool::TaskSeed(42, 0));
+  EXPECT_NE(ThreadPool::TaskSeed(42, 0), ThreadPool::TaskSeed(42, 1));
+  EXPECT_NE(ThreadPool::TaskSeed(42, 0), ThreadPool::TaskSeed(43, 0));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom 37");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionByBlockIndexWins) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(0, 100, 10, [](size_t i) {
+      if (i % 10 == 0) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t) {
+    // A nested loop from a worker must complete without deadlocking.
+    pool.ParallelFor(0, 16, 1, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksRunBeforeShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destructor must drain the queue, not drop it.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::atomic<size_t> grand{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 10; ++rep) {
+        std::atomic<size_t> local{0};
+        pool.ParallelFor(0, 500, 16,
+                         [&](size_t) { local.fetch_add(1); });
+        grand.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(grand.load(), 4u * 10u * 500u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsSeriallyInCallerOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 50, 8, [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expect(50);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+}  // namespace
+}  // namespace e2nvm
