@@ -7,23 +7,57 @@
 // The binary also runs a store-level ops benchmark and writes the results
 // to BENCH_ops.json (machine-readable): PUT/GET/DELETE ops/s with the
 // serial kernels + synchronous retraining versus the pooled kernels +
-// background retraining, plus the p99/max PUT latency — the retrain
-// stall that §4.1.4 moves off the write path. Pass --benchmark_filter to
-// control the microbenchmarks as usual; the JSON section always runs.
+// background retraining, a batched (MultiPut) PUT section, p99/max PUT
+// latency, and heap allocations per PUT on the calling thread. Pass
+// --benchmark_filter to control the microbenchmarks as usual; the JSON
+// section always runs. Set E2NVM_OPS_SMOKE=1 for a shortened pass (used
+// by scripts/check.sh as a perf smoke test).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "core/store.h"
 #include "placement/clusterer.h"
 
+// --- Heap-allocation accounting -------------------------------------
+//
+// Thread-local so the background retrainer's (deliberately allocating)
+// training does not pollute the write-path numbers: we only count
+// allocations made by the thread issuing the PUTs.
+namespace {
+thread_local uint64_t t_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace e2nvm {
 namespace {
+
+bool SmokeMode() {
+  const char* v = std::getenv("E2NVM_OPS_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 void BM_HammingDistance(benchmark::State& state) {
   size_t bits = static_cast<size_t>(state.range(0));
@@ -68,6 +102,22 @@ void BM_VaeEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VaeEncode)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_VaeEncodeScratch(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  ml::VaeConfig cfg;
+  cfg.input_dim = dim;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 10;
+  ml::Vae vae(cfg);
+  ml::Matrix x(1, dim), hidden, mu;
+  for (auto& v : x.data()) v = 0.5f;
+  for (auto _ : state) {
+    vae.EncodeMuInto(x, &hidden, &mu);
+    benchmark::DoNotOptimize(mu.data().data());
+  }
+}
+BENCHMARK(BM_VaeEncodeScratch)->Arg(512)->Arg(2048)->Arg(8192);
 
 void BM_KMeansPredict(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
@@ -118,25 +168,40 @@ struct OpsResult {
   double put_ops_s = 0;
   double get_ops_s = 0;
   double delete_ops_s = 0;
+  double put_p50_us = 0;
   double put_p99_us = 0;
   double put_max_us = 0;
+  double alloc_per_put = 0;
   uint64_t retrains = 0;
   uint64_t background_retrains = 0;
 };
 
-/// One full PUT/GET/DELETE pass over a store built with `pool_threads`
-/// worker threads and either synchronous or background retraining.
-OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
-  using Clock = std::chrono::steady_clock;
-  constexpr size_t kSegments = 256;
-  constexpr size_t kBits = 512;
-  constexpr uint64_t kKeys = 96;
-  constexpr uint64_t kPuts = 2000;
+struct OpsParams {
+  size_t segments = 256;
+  size_t bits = 512;
+  uint64_t keys = 96;
+  uint64_t puts = 2000;
+  uint64_t gets = 5000;
+  size_t batch = 32;  // MultiPut batch size for the batched section.
+};
 
+OpsParams MakeParams() {
+  OpsParams p;
+  if (SmokeMode()) {
+    p.puts = 400;
+    p.gets = 800;
+  }
+  return p;
+}
+
+std::unique_ptr<core::E2KvStore> MakeOpsStore(const OpsParams& p,
+                                              size_t pool_threads,
+                                              bool background_retrain,
+                                              workload::BitDataset* ds) {
   core::StoreConfig sc;
-  sc.num_segments = kSegments;
-  sc.segment_bits = kBits;
-  sc.model = bench::DefaultModel(kBits, 4);
+  sc.num_segments = p.segments;
+  sc.segment_bits = p.bits;
+  sc.model = bench::DefaultModel(p.bits, 4);
   sc.model.pretrain_epochs = 2;
   sc.auto_retrain = true;
   sc.background_retrain = background_retrain;
@@ -147,23 +212,37 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
   auto store = std::move(*store_or);
 
   workload::ProtoConfig pc;
-  pc.dim = kBits;
+  pc.dim = p.bits;
   pc.num_classes = 4;
-  pc.samples = kSegments + 64;
+  pc.samples = p.segments + 64;
   pc.seed = 7;
-  auto ds = workload::MakeProtoDataset(pc);
-  store->Seed(ds);
+  *ds = workload::MakeProtoDataset(pc);
+  store->Seed(*ds);
   if (!store->Bootstrap().ok()) std::abort();
+  return store;
+}
+
+/// One full PUT/GET/DELETE pass over a store built with `pool_threads`
+/// worker threads and either synchronous or background retraining.
+OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
+  using Clock = std::chrono::steady_clock;
+  const OpsParams p = MakeParams();
+  workload::BitDataset ds;
+  auto store = MakeOpsStore(p, pool_threads, background_retrain, &ds);
 
   OpsResult r;
   // PUTs (inserts + updates), timed per-op so retrain stalls land in the
-  // tail of this distribution.
+  // tail of this distribution. The thread-local allocation counter spans
+  // the same loop: with synchronous retraining the (allocating) rebuilds
+  // run on this thread and show up in alloc_per_put; with background
+  // retraining only the write path itself is counted.
   std::vector<double> put_us;
-  put_us.reserve(kPuts);
+  put_us.reserve(p.puts);
+  uint64_t alloc0 = t_alloc_count;
   auto t0 = Clock::now();
-  for (uint64_t i = 0; i < kPuts; ++i) {
+  for (uint64_t i = 0; i < p.puts; ++i) {
     auto op0 = Clock::now();
-    if (!store->Put(i % kKeys, ds.items[i % ds.items.size()]).ok()) {
+    if (!store->Put(i % p.keys, ds.items[i % ds.items.size()]).ok()) {
       std::abort();
     }
     put_us.push_back(
@@ -171,58 +250,109 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
             .count());
   }
   double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
-  r.put_ops_s = kPuts / put_s;
+  r.alloc_per_put =
+      static_cast<double>(t_alloc_count - alloc0) / p.puts;
+  r.put_ops_s = p.puts / put_s;
   std::sort(put_us.begin(), put_us.end());
+  r.put_p50_us = put_us[put_us.size() / 2];
   r.put_p99_us = put_us[static_cast<size_t>(0.99 * (put_us.size() - 1))];
   r.put_max_us = put_us.back();
 
-  constexpr uint64_t kGets = 5000;
-  t0 = Clock::now();
-  for (uint64_t i = 0; i < kGets; ++i) {
-    if (!store->Get(i % kKeys).ok()) std::abort();
+  // Let any in-flight background retrain finish before timing reads, so
+  // the GET figure measures the steady state rather than contention with
+  // the trainer for the cores (on a 1-core box that contention halves
+  // read throughput and says nothing about the read path itself).
+  while (store->engine().RetrainInFlight()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  r.get_ops_s =
-      kGets / std::chrono::duration<double>(Clock::now() - t0).count();
 
   t0 = Clock::now();
-  for (uint64_t key = 0; key < kKeys; ++key) {
+  for (uint64_t i = 0; i < p.gets; ++i) {
+    if (!store->Get(i % p.keys).ok()) std::abort();
+  }
+  r.get_ops_s =
+      p.gets / std::chrono::duration<double>(Clock::now() - t0).count();
+
+  t0 = Clock::now();
+  for (uint64_t key = 0; key < p.keys; ++key) {
     if (!store->Delete(key).ok()) std::abort();
   }
   r.delete_ops_s =
-      kKeys / std::chrono::duration<double>(Clock::now() - t0).count();
+      p.keys / std::chrono::duration<double>(Clock::now() - t0).count();
 
   r.retrains = store->engine().stats().retrains;
   r.background_retrains = store->engine().stats().background_retrains;
   return r;
 }
 
-void WriteOpsJson(const char* path, unsigned threads,
-                  const OpsResult& serial, const OpsResult& pooled) {
+/// Batched write path: the same PUT stream issued through MultiPut in
+/// groups of `p.batch` (one encoder GEMM + one fused assignment per
+/// group). Batches are materialized before the timed region so the
+/// numbers cover the store, not benchmark bookkeeping.
+OpsResult RunBatchedBench(size_t pool_threads, bool background_retrain) {
+  using Clock = std::chrono::steady_clock;
+  const OpsParams p = MakeParams();
+  workload::BitDataset ds;
+  auto store = MakeOpsStore(p, pool_threads, background_retrain, &ds);
+
+  std::vector<std::vector<std::pair<uint64_t, BitVector>>> batches;
+  for (uint64_t i = 0; i < p.puts;) {
+    std::vector<std::pair<uint64_t, BitVector>> kvs;
+    for (size_t j = 0; j < p.batch && i < p.puts; ++j, ++i) {
+      kvs.emplace_back(i % p.keys, ds.items[i % ds.items.size()]);
+    }
+    batches.push_back(std::move(kvs));
+  }
+
+  OpsResult r;
+  uint64_t alloc0 = t_alloc_count;
+  auto t0 = Clock::now();
+  for (const auto& kvs : batches) {
+    if (!store->MultiPut(kvs).ok()) std::abort();
+  }
+  double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.put_ops_s = p.puts / put_s;
+  r.alloc_per_put =
+      static_cast<double>(t_alloc_count - alloc0) / p.puts;
+  r.retrains = store->engine().stats().retrains;
+  r.background_retrains = store->engine().stats().background_retrains;
+  return r;
+}
+
+void WriteOpsJson(const char* path, unsigned threads, size_t batch,
+                  const OpsResult& serial, const OpsResult& pooled,
+                  const OpsResult& batched) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  auto emit = [&](const char* name, const OpsResult& r, char trail) {
+  // Key order is fixed so diffs between runs stay line-stable.
+  auto emit = [&](const char* name, const OpsResult& r, bool last) {
     std::fprintf(f,
                  "  \"%s\": {\n"
                  "    \"put_ops_per_s\": %.1f,\n"
                  "    \"get_ops_per_s\": %.1f,\n"
                  "    \"delete_ops_per_s\": %.1f,\n"
+                 "    \"put_p50_us\": %.2f,\n"
                  "    \"put_p99_us\": %.2f,\n"
                  "    \"put_max_us\": %.2f,\n"
+                 "    \"alloc_per_put\": %.2f,\n"
                  "    \"retrains\": %llu,\n"
                  "    \"background_retrains\": %llu\n"
-                 "  }%c\n",
+                 "  }%s\n",
                  name, r.put_ops_s, r.get_ops_s, r.delete_ops_s,
-                 r.put_p99_us, r.put_max_us,
+                 r.put_p50_us, r.put_p99_us, r.put_max_us,
+                 r.alloc_per_put,
                  static_cast<unsigned long long>(r.retrains),
                  static_cast<unsigned long long>(r.background_retrains),
-                 trail);
+                 last ? "" : ",");
   };
-  std::fprintf(f, "{\n  \"pool_threads\": %u,\n", threads);
-  emit("serial_sync_retrain", serial, ',');
-  emit("pooled_background_retrain", pooled, ' ');
+  std::fprintf(f, "{\n  \"pool_threads\": %u,\n  \"batch_size\": %zu,\n",
+               threads, batch);
+  emit("serial_sync_retrain", serial, false);
+  emit("pooled_background_retrain", pooled, false);
+  emit("batched_put", batched, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -240,9 +370,13 @@ int main(int argc, char** argv) {
   unsigned threads = std::max(4u, std::thread::hardware_concurrency());
   e2nvm::bench::PrintBanner(
       "BENCH_ops", "store ops/s: serial kernels + sync retrain vs "
-                   "pooled kernels + background retrain");
+                   "pooled kernels + background retrain vs batched PUT");
   auto serial = e2nvm::RunOpsBench(0, false);
   auto pooled = e2nvm::RunOpsBench(threads, true);
-  e2nvm::WriteOpsJson("BENCH_ops.json", threads, serial, pooled);
+  // Same configuration as the pooled section, so batched_put vs
+  // pooled_background_retrain isolates what MultiPut itself buys.
+  auto batched = e2nvm::RunBatchedBench(threads, true);
+  e2nvm::WriteOpsJson("BENCH_ops.json", threads,
+                      e2nvm::MakeParams().batch, serial, pooled, batched);
   return 0;
 }

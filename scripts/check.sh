@@ -30,4 +30,23 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
     "thread_pool|parallel_ml|background_retrain" -DE2NVM_SANITIZE=thread
 fi
 
+if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
+  echo "== perf smoke (Release micro_ops, shortened pass) =="
+  perf_dir="$repo_root/build-perf"
+  cmake -B "$perf_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$perf_dir" -j "$jobs" --target micro_ops
+  # Short store-ops pass; microbenchmarks are skipped via a filter that
+  # matches nothing. Writes BENCH_ops.json into the build dir.
+  (cd "$perf_dir" && E2NVM_OPS_SMOKE=1 \
+    ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
+  for key in serial_sync_retrain pooled_background_retrain batched_put \
+             put_ops_per_s get_ops_per_s alloc_per_put; do
+    if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
+      echo "perf smoke: key '$key' missing from BENCH_ops.json" >&2
+      exit 1
+    fi
+  done
+  echo "perf smoke OK"
+fi
+
 echo "All checks passed."

@@ -13,51 +13,81 @@ Status BatchWriter::Put(uint64_t key, const BitVector& value) {
   }
   // Supersede any previous version.
   DropPlaced(key);
-  for (auto it = staged_order_.begin(); it != staged_order_.end(); ++it) {
-    if (it->first == key) {
-      // Restage: old staged bytes become dead space in the buffer (they
-      // flush as padding and are never referenced again).
-      staged_order_.erase(it);
-      break;
+  DropStaged(key);
+  if (current_.used + value.size() > batch_bits_) {
+    SealCurrent();
+    if (sealed_.size() >= flush_batches_) {
+      E2_RETURN_IF_ERROR(FlushSealed());
     }
-  }
-  if (staged_bits_ + value.size() > batch_bits_) {
-    E2_RETURN_IF_ERROR(Flush());
   }
   return PutStaged(key, value);
 }
 
 Status BatchWriter::PutStaged(uint64_t key, const BitVector& value) {
-  if (staging_.size() != batch_bits_) {
-    staging_ = BitVector(batch_bits_);
-    staged_bits_ = 0;
+  if (current_.bits.size() != batch_bits_) {
+    current_.bits = BitVector(batch_bits_);
+    current_.used = 0;
   }
-  staging_.Overlay(staged_bits_, value);
-  staged_order_.emplace_back(key,
-                             std::make_pair(staged_bits_, value.size()));
-  staged_bits_ += value.size();
+  current_.bits.Overlay(current_.used, value);
+  current_.order.emplace_back(key,
+                              std::make_pair(current_.used, value.size()));
+  current_.used += value.size();
   return Status::Ok();
+}
+
+void BatchWriter::SealCurrent() {
+  if (current_.order.empty()) {
+    // Nothing live staged; recycle the buffer in place.
+    current_.used = 0;
+    current_.bits = BitVector();
+    return;
+  }
+  sealed_.push_back(std::move(current_));
+  current_ = Staged{};
+}
+
+Status BatchWriter::FlushSealed() {
+  if (sealed_.empty()) return Status::Ok();
+  // One grouped placement for every sealed batch: the placer featurizes
+  // them into one matrix and runs the model once (PlaceMany).
+  std::vector<const BitVector*> values;
+  values.reserve(sealed_.size());
+  for (const Staged& s : sealed_) values.push_back(&s.bits);
+  std::vector<uint64_t> addrs;
+  addrs.reserve(values.size());
+  Status placed = placer_->PlaceMany(values, &addrs);
+  // Record what landed (a prefix of the queue when the batch failed
+  // part-way), then drop those buffers.
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    const Staged& s = sealed_[i];
+    ++batches_placed_;
+    BatchInfo& info = batches_[addrs[i]];
+    for (const auto& [key, span] : s.order) {
+      locations_[key] = Location{addrs[i], span.first, span.second};
+      ++info.live;
+    }
+  }
+  sealed_.erase(sealed_.begin(),
+                sealed_.begin() + static_cast<ptrdiff_t>(addrs.size()));
+  return placed;
 }
 
 Status BatchWriter::Flush() {
-  if (staged_order_.empty()) return Status::Ok();
-  E2_ASSIGN_OR_RETURN(uint64_t addr, placer_->Place(staging_));
-  ++batches_placed_;
-  BatchInfo& info = batches_[addr];
-  for (auto& [key, span] : staged_order_) {
-    locations_[key] = Location{addr, span.first, span.second};
-    ++info.live;
-  }
-  staged_order_.clear();
-  staging_ = BitVector(batch_bits_);
-  staged_bits_ = 0;
-  return Status::Ok();
+  SealCurrent();
+  return FlushSealed();
 }
 
 StatusOr<BitVector> BatchWriter::Get(uint64_t key) {
-  for (auto& [k, span] : staged_order_) {
+  for (auto& [k, span] : current_.order) {
     if (k == key) {
-      return staging_.Slice(span.first, span.second);
+      return current_.bits.Slice(span.first, span.second);
+    }
+  }
+  for (Staged& s : sealed_) {
+    for (auto& [k, span] : s.order) {
+      if (k == key) {
+        return s.bits.Slice(span.first, span.second);
+      }
     }
   }
   auto it = locations_.find(key);
@@ -80,11 +110,38 @@ void BatchWriter::DropPlaced(uint64_t key) {
   }
 }
 
-Status BatchWriter::Delete(uint64_t key) {
-  for (auto it = staged_order_.begin(); it != staged_order_.end(); ++it) {
+void BatchWriter::DropStaged(uint64_t key) {
+  for (auto it = current_.order.begin(); it != current_.order.end(); ++it) {
     if (it->first == key) {
-      staged_order_.erase(it);
+      // Restage: old staged bytes become dead space in the buffer (they
+      // flush as padding and are never referenced again).
+      current_.order.erase(it);
+      return;
+    }
+  }
+  for (Staged& s : sealed_) {
+    for (auto it = s.order.begin(); it != s.order.end(); ++it) {
+      if (it->first == key) {
+        s.order.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+Status BatchWriter::Delete(uint64_t key) {
+  for (auto it = current_.order.begin(); it != current_.order.end(); ++it) {
+    if (it->first == key) {
+      current_.order.erase(it);
       return Status::Ok();
+    }
+  }
+  for (Staged& s : sealed_) {
+    for (auto it = s.order.begin(); it != s.order.end(); ++it) {
+      if (it->first == key) {
+        s.order.erase(it);
+        return Status::Ok();
+      }
     }
   }
   if (locations_.find(key) == locations_.end()) {

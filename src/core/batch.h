@@ -2,6 +2,7 @@
 #define E2NVM_CORE_BATCH_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -24,12 +25,22 @@ namespace e2nvm::core {
 /// keeps a key -> (segment address, offset, width) map, serves reads by
 /// slicing the stored batch, and reclaims a segment once every pair in
 /// it has been deleted or superseded.
+///
+/// With `flush_batches` > 1 the writer seals full buffers into a queue
+/// and places `flush_batches` of them in one ValuePlacer::PlaceMany call,
+/// so the placement model runs once per group instead of once per
+/// segment (the write-path batching of §4.1.4).
 class BatchWriter {
  public:
   /// `batch_bits` is the grouped-write width — at most the placer's
-  /// segment width. `Flush()` or a full buffer triggers placement.
-  BatchWriter(index::ValuePlacer* placer, size_t batch_bits)
-      : placer_(placer), batch_bits_(batch_bits) {}
+  /// segment width. `Flush()` triggers placement; a full buffer is
+  /// sealed and placed once `flush_batches` sealed buffers have piled
+  /// up (1 = place every full buffer immediately, the classic behavior).
+  BatchWriter(index::ValuePlacer* placer, size_t batch_bits,
+              size_t flush_batches = 1)
+      : placer_(placer),
+        batch_bits_(batch_bits),
+        flush_batches_(flush_batches == 0 ? 1 : flush_batches) {}
 
   ~BatchWriter() = default;
   BatchWriter(const BatchWriter&) = delete;
@@ -47,11 +58,16 @@ class BatchWriter {
   /// a placed batch dies, the segment address is released to the placer.
   Status Delete(uint64_t key);
 
-  /// Forces the staging buffer out as a (possibly partial) batch.
+  /// Forces everything staged out: seals the current buffer and places
+  /// every sealed batch in one PlaceMany call.
   Status Flush();
 
-  size_t size() const { return locations_.size() + staged_order_.size(); }
-  size_t staged_pairs() const { return staged_order_.size(); }
+  size_t size() const { return locations_.size() + staged_pairs(); }
+  size_t staged_pairs() const {
+    size_t n = current_.order.size();
+    for (const Staged& s : sealed_) n += s.order.size();
+    return n;
+  }
   uint64_t batches_placed() const { return batches_placed_; }
   uint64_t segments_reclaimed() const { return segments_reclaimed_; }
 
@@ -64,18 +80,32 @@ class BatchWriter {
   struct BatchInfo {
     size_t live = 0;  // Live pairs still referencing the segment.
   };
+  /// One staging buffer: the packed bits plus the key -> (offset, bits)
+  /// spans staged into it, in staging order.
+  struct Staged {
+    BitVector bits;
+    std::vector<std::pair<uint64_t, std::pair<size_t, size_t>>> order;
+    size_t used = 0;
+  };
 
   Status PutStaged(uint64_t key, const BitVector& value);
   void DropPlaced(uint64_t key);
+  /// Moves the current buffer (if it holds pairs) onto the sealed queue.
+  void SealCurrent();
+  /// Places every sealed batch through one PlaceMany call.
+  Status FlushSealed();
+  /// Removes a staged occurrence of `key` (current or sealed); sealed
+  /// bytes become dead space that flushes as padding.
+  void DropStaged(uint64_t key);
 
   index::ValuePlacer* placer_;
   size_t batch_bits_;
+  size_t flush_batches_;
 
-  // Staging buffer (DRAM).
-  BitVector staging_{};
-  std::vector<std::pair<uint64_t, std::pair<size_t, size_t>>>
-      staged_order_;  // key -> (offset, bits)
-  size_t staged_bits_ = 0;
+  // Staging buffers (DRAM): the one being filled plus sealed-full ones
+  // awaiting a grouped placement.
+  Staged current_;
+  std::deque<Staged> sealed_;
 
   std::unordered_map<uint64_t, Location> locations_;
   std::unordered_map<uint64_t, BatchInfo> batches_;

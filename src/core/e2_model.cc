@@ -110,6 +110,15 @@ size_t E2Model::PredictCluster(const std::vector<float>& features) {
   return kmeans_.Predict(z.data(), z.size());
 }
 
+void E2Model::AssignScratch(ml::InferenceScratch* scratch) {
+  E2_CHECK(scratch->in.cols() == config_.input_dim,
+           "feature width %zu != input_dim %zu", scratch->in.cols(),
+           config_.input_dim);
+  vae_->EncodeMuInto(scratch->in, &scratch->hidden, &scratch->latent);
+  kmeans_.AssignFusedInto(scratch->latent, &scratch->scores,
+                          &scratch->clusters);
+}
+
 double E2Model::LatentSse(const ml::Matrix& contents) {
   ml::Matrix z = vae_->EncodeMu(contents);
   return kmeans_.Sse(z);

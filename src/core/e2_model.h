@@ -58,6 +58,12 @@ class E2Model : public placement::ContentClusterer {
 
   size_t PredictCluster(const std::vector<float>& features) override;
 
+  /// Write-path fast path: one encoder GEMM over all staged rows
+  /// (Vae::EncodeMuInto) + one fused K-means assignment — zero heap
+  /// allocations once the scratch is warm, bit-identical cluster ids to
+  /// PredictCluster per row.
+  void AssignScratch(ml::InferenceScratch* scratch) override;
+
   size_t num_clusters() const override { return config_.k; }
 
   double PredictFlops() const override {

@@ -1,5 +1,6 @@
 #include "core/placement_engine.h"
 
+#include <cstring>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -14,7 +15,8 @@ PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
       clusterer_(clusterer),
       config_(config),
       pool_(clusterer->num_clusters()),
-      policy_(config.retrain) {}
+      policy_(config.retrain),
+      placed_cluster_(config.num_segments, -1) {}
 
 std::string_view PlacementEngine::name() const {
   return clusterer_->name();
@@ -58,6 +60,7 @@ Status PlacementEngine::Bootstrap() {
     pool_.Insert(clusterer_->PredictCluster(feats), addrs[i]);
   }
   policy_.OnRetrain();
+  InvalidateClusterCache();
   bootstrapped_ = true;
   return Status::Ok();
 }
@@ -86,6 +89,7 @@ Status PlacementEngine::Retrain() {
   }
   ++stats_.retrains;
   policy_.OnRetrain();
+  InvalidateClusterCache();
   return Status::Ok();
 }
 
@@ -108,6 +112,7 @@ Status PlacementEngine::ExtendRegion(size_t extra) {
     pool_.Insert(clusterer_->PredictCluster(feats), start + i);
   }
   config_.num_segments += extra;
+  placed_cluster_.resize(config_.num_segments, -1);
   return Status::Ok();
 }
 
@@ -123,6 +128,31 @@ StatusOr<std::vector<float>> PlacementEngine::Featurize(
     full.Overlay(0, value);
     return full.ToFloats();
   }
+  E2_ASSIGN_OR_RETURN(BitVector padded, PadForModel(value));
+  return padded.ToFloats();
+}
+
+Status PlacementEngine::FeaturizeInto(const BitVector& value, float* out) {
+  const size_t dim = ctrl_->segment_bits();
+  seen_ones_ += value.Popcount();
+  seen_bits_ += value.size();
+  if (value.size() == dim) {
+    value.AppendFloatsTo(out);
+    return Status::Ok();
+  }
+  if (padder_ == nullptr) {
+    // Zero-extend: the value's floats followed by zeros — the same
+    // features Featurize computes via Overlay + ToFloats.
+    std::fill(out + value.size(), out + dim, 0.0f);
+    value.AppendFloatsTo(out);
+    return Status::Ok();
+  }
+  E2_ASSIGN_OR_RETURN(BitVector padded, PadForModel(value));
+  padded.AppendFloatsTo(out);
+  return Status::Ok();
+}
+
+StatusOr<BitVector> PlacementEngine::PadForModel(const BitVector& value) {
   PaddingContext ctx;
   ctx.dataset_ones_ratio =
       seen_bits_ ? static_cast<double>(seen_ones_) /
@@ -144,8 +174,7 @@ StatusOr<std::vector<float>> PlacementEngine::Featurize(
                : 0.5;
   ctx.lstm = pad_lstm_;
   ctx.rng = &pad_rng_;
-  E2_ASSIGN_OR_RETURN(BitVector padded, padder_->Pad(value, ctx));
-  return padded.ToFloats();
+  return padder_->Pad(value, ctx);
 }
 
 void PlacementEngine::ChargePrediction() {
@@ -158,9 +187,50 @@ void PlacementEngine::ChargePrediction() {
 }
 
 StatusOr<size_t> PlacementEngine::PredictClusterFor(const BitVector& value) {
-  E2_ASSIGN_OR_RETURN(std::vector<float> feats, Featurize(value));
+  if (config_.reference_inference) {
+    E2_ASSIGN_OR_RETURN(std::vector<float> feats, Featurize(value));
+    ChargePrediction();
+    return clusterer_->PredictCluster(feats);
+  }
+  scratch_.in.EnsureShape(1, ctrl_->segment_bits());
+  E2_RETURN_IF_ERROR(FeaturizeInto(value, scratch_.in.Row(0)));
   ChargePrediction();
-  return clusterer_->PredictCluster(feats);
+  clusterer_->AssignScratch(&scratch_);
+  return scratch_.clusters[0];
+}
+
+void PlacementEngine::PredictValue(const BitVector& value, bool* model_ok,
+                                   size_t* cluster) {
+  // Degraded mode: if the model cannot featurize or score the value
+  // (padder failure, broken model), fall back to first-free placement
+  // instead of surfacing the error to the client.
+  *model_ok = true;
+  *cluster = 0;
+  if (config_.reference_inference) {
+    StatusOr<std::vector<float>> feats = Featurize(value);
+    if (feats.ok()) {
+      ChargePrediction();
+      *cluster = clusterer_->PredictCluster(*feats);
+      return;
+    }
+    *model_ok = false;
+    ++stats_.model_fallbacks;
+    E2_LOG(kWarning, "placement model unhealthy, using first-free: %s",
+           feats.status().ToString().c_str());
+    return;
+  }
+  scratch_.in.EnsureShape(1, ctrl_->segment_bits());
+  Status s = FeaturizeInto(value, scratch_.in.Row(0));
+  if (s.ok()) {
+    ChargePrediction();
+    clusterer_->AssignScratch(&scratch_);
+    *cluster = scratch_.clusters[0];
+    return;
+  }
+  *model_ok = false;
+  ++stats_.model_fallbacks;
+  E2_LOG(kWarning, "placement model unhealthy, using first-free: %s",
+         s.ToString().c_str());
 }
 
 StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
@@ -170,23 +240,15 @@ StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
   if (value.size() > ctrl_->segment_bits()) {
     return Status::InvalidArgument("value wider than a segment");
   }
+  bool model_ok;
+  size_t cluster;
+  PredictValue(value, &model_ok, &cluster);
+  return PlaceAt(value, cluster, model_ok);
+}
 
-  // Degraded mode: if the model cannot featurize or score the value
-  // (padder failure, broken model), fall back to first-free placement
-  // instead of surfacing the error to the client.
-  bool model_ok = true;
-  size_t cluster = 0;
-  StatusOr<std::vector<float>> feats = Featurize(value);
-  if (feats.ok()) {
-    ChargePrediction();
-    cluster = clusterer_->PredictCluster(*feats);
-  } else {
-    model_ok = false;
-    ++stats_.model_fallbacks;
-    E2_LOG(kWarning, "placement model unhealthy, using first-free: %s",
-           feats.status().ToString().c_str());
-  }
-
+StatusOr<uint64_t> PlacementEngine::PlaceAt(const BitVector& value,
+                                            size_t cluster,
+                                            bool model_ok) {
   // Each iteration consumes one address from the pool; addresses that
   // turn out quarantined (or get quarantined by a failed write-verify)
   // are dropped and the value re-placed, so the loop is bounded by the
@@ -228,10 +290,110 @@ StatusOr<uint64_t> PlacementEngine::Place(const BitVector& value) {
     }
     if (!first_pick) ++stats_.fallback_placements;
     ++stats_.placements;
+    // Memoize the value's cluster for Release: valid only when the model
+    // actually predicted it and the value fills the whole segment (so
+    // the content Release would re-encode IS this value).
+    if (*addr >= config_.first_segment &&
+        *addr - config_.first_segment < placed_cluster_.size()) {
+      placed_cluster_[*addr - config_.first_segment] =
+          (!config_.reference_inference && model_ok &&
+           value.size() == ctrl_->segment_bits())
+              ? static_cast<int32_t>(cluster)
+              : -1;
+    }
     policy_.RecordWrite(r.total_bits_flipped(), value.size());
     MaybeAutoRetrain();
     return *addr;
   }
+}
+
+Status PlacementEngine::PlaceMany(
+    const std::vector<const BitVector*>& values,
+    std::vector<uint64_t>* addrs) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("engine not bootstrapped");
+  }
+  const size_t dim = ctrl_->segment_bits();
+  bool padded_narrow = false;
+  if (padder_ != nullptr) {
+    for (const BitVector* v : values) {
+      if (v->size() != dim) {
+        padded_narrow = true;
+        break;
+      }
+    }
+  }
+  if (config_.reference_inference || padded_narrow) {
+    // Padding samples the live memory image, which every write in the
+    // batch mutates, so those features cannot be staged up front; the
+    // sequential loop produces the same placements, just unbatched.
+    return index::ValuePlacer::PlaceMany(values, addrs);
+  }
+
+  size_t next = 0;  // Next value to place.
+  while (next < values.size()) {
+    if (values[next]->size() > dim) {
+      return Status::InvalidArgument("value wider than a segment");
+    }
+    // Stage the longest run of valid-width values as one batch: one
+    // featurize pass, one encoder GEMM, one fused assignment.
+    size_t end = next;
+    while (end < values.size() && values[end]->size() <= dim) ++end;
+    size_t base = next;  // Value staged in scratch row 0.
+    scratch_.in.EnsureShape(end - base, dim);
+    scratch_.row_ok.assign(end - base, 1);
+    for (size_t i = base; i < end; ++i) {
+      Status s = FeaturizeInto(*values[i], scratch_.in.Row(i - base));
+      if (!s.ok()) {
+        // Same degraded mode as Place: this value goes first-free.
+        scratch_.row_ok[i - base] = 0;
+        std::fill(scratch_.in.Row(i - base),
+                  scratch_.in.Row(i - base) + dim, 0.0f);
+        ++stats_.model_fallbacks;
+        E2_LOG(kWarning,
+               "placement model unhealthy, using first-free: %s",
+               s.ToString().c_str());
+      }
+    }
+    uint64_t gen = model_generation_;
+    uint64_t retrains = stats_.retrains;
+    clusterer_->AssignScratch(&scratch_);
+    while (next < end) {
+      const size_t row = next - base;
+      const bool model_ok = scratch_.row_ok[row] != 0;
+      const size_t cluster = model_ok ? scratch_.clusters[row] : 0;
+      // Charge at consumption time so a value placed after a mid-batch
+      // model change is billed exactly like its sequential counterpart
+      // (once, at the flops of the model that placed it).
+      if (model_ok) ChargePrediction();
+      E2_ASSIGN_OR_RETURN(uint64_t addr,
+                          PlaceAt(*values[next], cluster, model_ok));
+      addrs->push_back(addr);
+      ++next;
+      if (next < end &&
+          (model_generation_ != gen || stats_.retrains != retrains)) {
+        // The model changed mid-batch (sync retrain or shadow swap):
+        // re-assign the remaining rows with the new model, exactly as
+        // sequential Places after the retrain would. Features are
+        // model-independent, so no re-featurize (and the running
+        // 1-ratio counters advance once per value, as in Place).
+        const size_t remaining = end - next;
+        for (size_t i = 0; i < remaining; ++i) {
+          std::memmove(scratch_.in.Row(i),
+                       scratch_.in.Row(next - base + i),
+                       dim * sizeof(float));
+          scratch_.row_ok[i] = scratch_.row_ok[next - base + i];
+        }
+        scratch_.in.EnsureShape(remaining, dim);
+        scratch_.row_ok.resize(remaining);
+        base = next;
+        gen = model_generation_;
+        retrains = stats_.retrains;
+        clusterer_->AssignScratch(&scratch_);
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 void PlacementEngine::OnRetrainFailure(const Status& s) {
@@ -299,6 +461,11 @@ void PlacementEngine::SwapInShadow(BackgroundRetrainer::Result result) {
   ++stats_.retrains;
   policy_.OnRetrain();
   retrain_failures_in_row_ = 0;
+  InvalidateClusterCache();
+}
+
+void PlacementEngine::InvalidateClusterCache() {
+  std::fill(placed_cluster_.begin(), placed_cluster_.end(), -1);
 }
 
 bool PlacementEngine::PumpBackgroundRetrain() {
@@ -363,9 +530,32 @@ Status PlacementEngine::Release(uint64_t addr) {
   }
   // Algorithm 2: the freed address's *content* decides the cluster it is
   // recycled into.
-  BitVector content = ctrl_->Peek(addr);
-  ChargePrediction();
-  size_t cluster = clusterer_->PredictCluster(content.ToFloats());
+  size_t cluster;
+  int32_t memo = -1;
+  if (!config_.reference_inference && addr >= config_.first_segment &&
+      addr - config_.first_segment < placed_cluster_.size()) {
+    memo = placed_cluster_[addr - config_.first_segment];
+  }
+  if (memo >= 0) {
+    // The content is the full-width value placed here, its cluster was
+    // predicted by the still-serving model, and nothing overwrote the
+    // segment since — the re-encode would reproduce exactly this id.
+    // The controller still "runs" Alg. 2's prediction, so the energy
+    // accounting matches the recompute path.
+    ChargePrediction();
+    cluster = static_cast<size_t>(memo);
+    ++stats_.release_cluster_hits;
+  } else if (config_.reference_inference) {
+    BitVector content = ctrl_->Peek(addr);
+    ChargePrediction();
+    cluster = clusterer_->PredictCluster(content.ToFloats());
+  } else {
+    scratch_.in.EnsureShape(1, ctrl_->segment_bits());
+    ctrl_->Peek(addr).AppendFloatsTo(scratch_.in.Row(0));
+    ChargePrediction();
+    clusterer_->AssignScratch(&scratch_);
+    cluster = scratch_.clusters[0];
+  }
   pool_.Insert(cluster, addr);
   ++stats_.releases;
   return Status::Ok();
@@ -377,6 +567,11 @@ BitVector PlacementEngine::Read(uint64_t addr, size_t bits) {
 
 Status PlacementEngine::WriteAt(uint64_t addr, const BitVector& value) {
   index::MergeWrite(*ctrl_, addr, value);
+  // The content changed behind the placement memo.
+  if (addr >= config_.first_segment &&
+      addr - config_.first_segment < placed_cluster_.size()) {
+    placed_cluster_[addr - config_.first_segment] = -1;
+  }
   return Status::Ok();
 }
 

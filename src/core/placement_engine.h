@@ -11,6 +11,7 @@
 #include "core/padding.h"
 #include "core/retrain.h"
 #include "index/value_placer.h"
+#include "ml/inference.h"
 #include "nvm/controller.h"
 #include "placement/clusterer.h"
 
@@ -48,6 +49,12 @@ struct EngineStats {
   /// Free addresses that needed a fresh on-swap prediction because they
   /// were released after the training snapshot was taken.
   uint64_t swap_repredictions = 0;
+
+  // --- Write-path fast-path counters ---
+  /// Releases that reused the cluster memoized at placement time instead
+  /// of re-encoding the segment content (full-width values whose model
+  /// has not changed since the write).
+  uint64_t release_cluster_hits = 0;
 };
 
 /// The heart of E2-NVM (§3.3): content-aware placement of value writes.
@@ -85,6 +92,12 @@ class PlacementEngine : public index::ValuePlacer {
     /// for this many placements, doubling on consecutive failures (up to
     /// 64x), so a broken retrain cannot re-run and re-log on every write.
     size_t retrain_backoff_writes = 64;
+    /// Serve predictions through the allocating reference path
+    /// (Featurize + PredictCluster per value, content re-encode on every
+    /// Release) instead of the scratch/batched fast path. The fast path
+    /// is bit-identical — this switch exists for the equivalence tests
+    /// and A/B debugging, not for production use.
+    bool reference_inference = false;
   };
 
   PlacementEngine(nvm::MemoryController* ctrl,
@@ -142,6 +155,16 @@ class PlacementEngine : public index::ValuePlacer {
   // --- index::ValuePlacer ---
   std::string_view name() const override;
   StatusOr<uint64_t> Place(const BitVector& value) override;
+  /// Batched placement (§4.1.4's batching remedy): featurizes the whole
+  /// run of values into one scratch matrix, runs a single encoder GEMM
+  /// and a single fused assignment pass, then pops/writes per value in
+  /// order. Placements are identical to sequential Place calls: if the
+  /// model retrains or a shadow swaps in mid-batch, the not-yet-placed
+  /// rows are re-assigned with the new model, and configurations whose
+  /// features depend on the live memory image (a padder with narrow
+  /// values) fall back to the sequential loop.
+  Status PlaceMany(const std::vector<const BitVector*>& values,
+                   std::vector<uint64_t>* addrs) override;
   Status Release(uint64_t addr) override;
   BitVector Read(uint64_t addr, size_t bits) override;
   Status WriteAt(uint64_t addr, const BitVector& value) override;
@@ -167,6 +190,25 @@ class PlacementEngine : public index::ValuePlacer {
  private:
   /// Pads (if configured) and featurizes a value for the model.
   StatusOr<std::vector<float>> Featurize(const BitVector& value);
+  /// Allocation-free Featurize into `out` (segment_bits floats): same
+  /// counter updates and padding decisions; the full-width and
+  /// zero-extend paths write the floats directly.
+  Status FeaturizeInto(const BitVector& value, float* out);
+  /// The padding slow path shared by Featurize/FeaturizeInto: builds the
+  /// PaddingContext (dataset/memory 1-ratios, LSTM, RNG) and pads.
+  StatusOr<BitVector> PadForModel(const BitVector& value);
+  /// Predicts `value`'s cluster through the configured inference path
+  /// (scratch fast path or reference), with Place's degraded-mode
+  /// fallback on featurize failure (*model_ok = false).
+  void PredictValue(const BitVector& value, bool* model_ok,
+                    size_t* cluster);
+  /// The acquire/write loop of Place: pops addresses (of `cluster` when
+  /// model_ok) until a healthy write lands, then updates stats, the
+  /// placed-cluster memo, and the retrain policy.
+  StatusOr<uint64_t> PlaceAt(const BitVector& value, size_t cluster,
+                             bool model_ok);
+  /// Forgets every memoized placed cluster (model changed).
+  void InvalidateClusterCache();
   void ChargePrediction();
   /// Runs the auto-retrain policy after a placement, honoring the
   /// failure backoff.
@@ -206,6 +248,17 @@ class PlacementEngine : public index::ValuePlacer {
   std::unique_ptr<placement::ContentClusterer> owned_clusterer_;
   std::unique_ptr<placement::ContentClusterer> retired_clusterer_;
   uint64_t model_generation_ = 0;
+  // Write-path inference scratch (see ml/inference.h): owned by the
+  // engine, reused across every Place/PlaceMany/Release, allocation-free
+  // once warm.
+  ml::InferenceScratch scratch_;
+  // placed_cluster_[addr - first_segment]: cluster the serving model
+  // assigned to the full-width value most recently placed at addr, or -1
+  // when unknown. Lets Release recycle the address without re-encoding
+  // the content (the content IS that value, and the model is unchanged).
+  // Invalidated wholesale on any model change (Bootstrap/Retrain/shadow
+  // swap) and per-address on WriteAt and narrow placements.
+  std::vector<int32_t> placed_cluster_;
 };
 
 }  // namespace e2nvm::core

@@ -52,6 +52,7 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   ec.auto_retrain = config.auto_retrain || config.background_retrain;
   ec.retrain = config.retrain;
   ec.retrain_backoff_writes = config.retrain_backoff_writes;
+  ec.reference_inference = config.reference_inference;
   store->engine_ = std::make_unique<PlacementEngine>(
       store->ctrl_.get(), store->model_.get(), ec);
   if (config.background_retrain) {
@@ -80,6 +81,31 @@ Status E2KvStore::Put(uint64_t key, const BitVector& value) {
     E2_RETURN_IF_ERROR(engine_->Release(*old));
   }
   return Status::Ok();
+}
+
+Status E2KvStore::MultiPut(
+    const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
+  if (kvs.empty()) return Status::Ok();
+  std::vector<const BitVector*> values;
+  values.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) values.push_back(&value);
+  std::vector<uint64_t> addrs;
+  addrs.reserve(kvs.size());
+  Status placed = engine_->PlaceMany(values, &addrs);
+  // Index every value that made it, even when the batch failed part-way
+  // (addrs then covers a prefix of kvs).
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    const auto& [key, value] = kvs[i];
+    auto old = tree_.Get(key);
+    tree_.Put(key, addrs[i]);
+    value_bits_[key] = value.size();
+    if (old.has_value()) {
+      // UPDATE: recycle the superseded location (Alg. 2). A key staged
+      // twice in one batch recycles its first placement here.
+      E2_RETURN_IF_ERROR(engine_->Release(*old));
+    }
+  }
+  return placed;
 }
 
 StatusOr<BitVector> E2KvStore::Get(uint64_t key) {

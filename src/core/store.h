@@ -46,6 +46,10 @@ struct StoreConfig {
   /// Placements skipped after a failed auto-retrain (doubles per
   /// consecutive failure); see PlacementEngine::Config.
   size_t retrain_backoff_writes = 64;
+  /// Serve placements through the allocating reference inference path
+  /// instead of the scratch/batched fast path (bit-identical results;
+  /// for the equivalence tests and A/B debugging).
+  bool reference_inference = false;
 
   /// Fault tolerance: read-back verify of every segment write, with up to
   /// `max_write_retries` reprogram attempts before spare-cell repair and,
@@ -84,6 +88,14 @@ class E2KvStore {
 
   /// Inserts or updates `key`. The value may be narrower than a segment.
   Status Put(uint64_t key, const BitVector& value);
+
+  /// Batched insert/update (§4.1.4): stages every value, runs the
+  /// placement model once over the whole batch (one encoder GEMM + one
+  /// fused assignment), then writes in order. Per-key results match
+  /// sequential Puts, with one scheduling difference: addresses freed by
+  /// updates are recycled after the whole batch has been placed, not
+  /// interleaved between placements.
+  Status MultiPut(const std::vector<std::pair<uint64_t, BitVector>>& kvs);
 
   StatusOr<BitVector> Get(uint64_t key);
 

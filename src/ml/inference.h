@@ -1,0 +1,43 @@
+#ifndef E2NVM_ML_INFERENCE_H_
+#define E2NVM_ML_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace e2nvm::ml {
+
+/// Preallocated, reusable buffers for the write-path inference kernels —
+/// the lean serving counterpart to the (allocating) training code. One
+/// scratch belongs to one caller (the placement engine): buffers are
+/// EnsureShape'd per call, grow monotonically during warm-up, and after
+/// that every featurize -> encode -> assign pass is allocation-free. For
+/// batched placement the same buffers hold B feature rows and the whole
+/// batch runs through one encoder GEMM and one fused assignment pass.
+///
+/// The results written here are bit-identical to the reference path
+/// (Vae::EncodeOne + KMeans::Predict per value): the scratch kernels
+/// share the reference kernels' accumulation order, and the fused
+/// assignment re-checks near-minimal candidates with the exact distance
+/// (see KMeans::AssignFusedInto).
+struct InferenceScratch {
+  /// Featurized values, one row per staged value (B x input_dim).
+  Matrix in;
+  /// Encoder hidden activations (B x hidden_dim).
+  Matrix hidden;
+  /// Latent codes mu (B x latent_dim).
+  Matrix latent;
+  /// Fused assignment scores x.c^T (B x k).
+  Matrix scores;
+  /// Cluster id per row, filled by ContentClusterer::AssignScratch.
+  std::vector<size_t> clusters;
+  /// Per-row featurize-success flags for batched placement (1 = the row
+  /// holds valid features; 0 = featurization failed, the value takes the
+  /// model-fallback path).
+  std::vector<uint8_t> row_ok;
+};
+
+}  // namespace e2nvm::ml
+
+#endif  // E2NVM_ML_INFERENCE_H_

@@ -94,6 +94,7 @@ Status KMeans::Fit(const Matrix& x) {
   }
   const size_t n = x.rows();
   const size_t dim = x.cols();
+  norms_valid_ = false;  // Centroids change below; cache rebuilds lazily.
   Rng rng(config_.seed);
   InitPlusPlus(x, rng);
 
@@ -192,6 +193,79 @@ size_t KMeans::Predict(const float* v, size_t dim) const {
     }
   }
   return best_c;
+}
+
+const std::vector<double>& KMeans::CentroidNormsSq() const {
+  if (!norms_valid_) {
+    const size_t k = centroids_.rows();
+    const size_t dim = centroids_.cols();
+    cnorm2_.assign(k, 0.0);
+    cmax_norm_ = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      const float* crow = centroids_.Row(c);
+      double s = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        s += static_cast<double>(crow[i]) * crow[i];
+      }
+      cnorm2_[c] = s;
+      cmax_norm_ = std::max(cmax_norm_, std::sqrt(s));
+    }
+    norms_valid_ = true;
+  }
+  return cnorm2_;
+}
+
+void KMeans::AssignFusedInto(const Matrix& x, Matrix* scores,
+                             std::vector<size_t>* out) const {
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  const size_t k = centroids_.rows();
+  const std::vector<double>& cn = CentroidNormsSq();
+  // One GEMM scores every row against every centroid.
+  MatMulTransBInto(x, centroids_, scores);
+  out->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    const float* srow = scores->Row(r);
+    const float* xrow = x.Row(r);
+    // Fused score per centroid: ||c||^2 - 2 x.c (the ||x||^2 term is
+    // constant across c and is dropped from the comparison).
+    double best = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k; ++c) {
+      double f = cn[c] - 2.0 * static_cast<double>(srow[c]);
+      best = std::min(best, f);
+    }
+    // Error band of the float dot product: |dot_f - dot| <=
+    // dim * eps_f * ||x|| * ||c||, doubled for the 2x scaling and
+    // doubled again for margin; the small absolute term covers
+    // degenerate zero norms. Every centroid whose fused score could be
+    // the true minimum falls inside the band.
+    double xnorm2 = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      xnorm2 += static_cast<double>(xrow[i]) * xrow[i];
+    }
+    const double band =
+        8.0 * static_cast<double>(dim) *
+            static_cast<double>(std::numeric_limits<float>::epsilon()) *
+            std::sqrt(xnorm2) * cmax_norm_ +
+        1e-9;
+    // Exact refine over the band in Predict's scan order (ascending c,
+    // first-strictly-smaller wins) guarantees the same id and the same
+    // tie-breaking as the reference path. Almost always one candidate.
+    double best_d = std::numeric_limits<double>::max();
+    size_t best_c = 0;
+    bool found = false;
+    for (size_t c = 0; c < k; ++c) {
+      double f = cn[c] - 2.0 * static_cast<double>(srow[c]);
+      if (f > best + band) continue;
+      double d = DistSq(xrow, centroids_.Row(c), dim);
+      if (!found || d < best_d) {
+        best_d = d;
+        best_c = c;
+        found = true;
+      }
+    }
+    (*out)[r] = best_c;
+  }
 }
 
 std::vector<size_t> KMeans::PredictBatch(const Matrix& x) const {

@@ -39,6 +39,20 @@ class KMeans {
   /// Predicts every row of `x`.
   std::vector<size_t> PredictBatch(const Matrix& x) const;
 
+  /// Fused batched assignment into caller-owned scratch: one x C^T GEMM
+  /// (`scores`, reshaped as needed) scores all rows against all centroids
+  /// via ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2 with cached centroid
+  /// norms, then each row's argmin is taken. Rows whose fused score lies
+  /// within the kernel's floating-point error band of the minimum are
+  /// re-checked with the exact Predict() distance in Predict's scan
+  /// order, so the chosen ids — including tie-breaks — are identical to
+  /// calling Predict per row. Zero heap allocations once the scratch has
+  /// warmed up. The centroid-norm cache is rebuilt lazily after any
+  /// Fit/SetCentroids (a swapped-in shadow model starts with a cold
+  /// cache by construction).
+  void AssignFusedInto(const Matrix& x, Matrix* scores,
+                       std::vector<size_t>* out) const;
+
   /// Sum of squared distances of rows of `x` to their nearest centroid —
   /// the elbow-method objective (paper Eq. 1).
   double Sse(const Matrix& x) const;
@@ -61,16 +75,30 @@ class KMeans {
   }
 
   /// Replaces the centroids (used by joint fine-tuning when centroids are
-  /// re-estimated from fresh latent codes).
-  void SetCentroids(Matrix centroids) { centroids_ = std::move(centroids); }
+  /// re-estimated from fresh latent codes). Invalidates the fused
+  /// assignment's centroid-norm cache.
+  void SetCentroids(Matrix centroids) {
+    centroids_ = std::move(centroids);
+    norms_valid_ = false;
+  }
 
  private:
   double DistSq(const float* a, const float* b, size_t dim) const;
   void InitPlusPlus(const Matrix& x, Rng& rng);
+  /// Squared L2 norm per centroid, rebuilt lazily after centroid changes
+  /// (Fit, SetCentroids). Also refreshes cmax_norm_.
+  const std::vector<double>& CentroidNormsSq() const;
 
   KMeansConfig config_;
   Matrix centroids_;  // k x dim
   int iters_run_ = 0;
+  // Centroid-norm cache for AssignFusedInto. Mutable because the cache
+  // is a memo of const state; KMeans is not written to be shared across
+  // threads without synchronization (each model instance — serving or
+  // shadow — is driven by one thread).
+  mutable std::vector<double> cnorm2_;
+  mutable double cmax_norm_ = 0.0;
+  mutable bool norms_valid_ = false;
 };
 
 /// Given SSE values for K = 1..n (index 0 -> K=1), returns the K at the

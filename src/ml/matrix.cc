@@ -26,6 +26,25 @@ constexpr double kMinParallelMacs = 64.0 * 1024.0;
 /// bit-for-bit.
 size_t RowGrain(size_t rows) { return std::max<size_t>(1, rows / 64); }
 
+/// Work-based grain for the row-parallel GEMMs: every block carries at
+/// least kMinParallelMacs of arithmetic, so a dispatched block is never
+/// dominated by fork-join overhead. Combined with the NumBlocks pre-check
+/// below, single-row inference GEMMs (and anything else below the grain)
+/// run inline on the caller without ever constructing a closure or
+/// touching the pool's queue.
+size_t WorkGrain(size_t rows, double macs_per_row) {
+  size_t by_work = static_cast<size_t>(kMinParallelMacs /
+                                       std::max(macs_per_row, 1.0)) +
+                   1;
+  return std::max(RowGrain(rows), by_work);
+}
+
+/// Inline-below-grain check: parallel dispatch only pays when the range
+/// splits into at least two blocks.
+bool UsePool(ThreadPool* pool, size_t rows, size_t grain) {
+  return pool != nullptr && ThreadPool::NumBlocks(rows, grain) > 1;
+}
+
 }  // namespace
 
 void SetComputePool(ThreadPool* pool) {
@@ -48,14 +67,15 @@ void Matrix::CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
   std::memcpy(Row(dst_row), src.Row(src_row), cols_ * sizeof(float));
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c->EnsureShape(m, n);
+  std::fill(c->data().begin(), c->data().end(), 0.0f);
   auto rows = [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const float* arow = a.Row(i);
-      float* crow = c.Row(i);
+      float* crow = c->Row(i);
       for (size_t p = 0; p < k; ++p) {
         const float av = arow[p];
         if (av == 0.0f) continue;
@@ -65,26 +85,31 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
     }
   };
   ThreadPool* pool = compute_pool();
-  if (pool != nullptr &&
-      static_cast<double>(m) * k * n >= kMinParallelMacs) {
-    pool->ParallelForBlocks(0, m, RowGrain(m),
+  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
+  if (UsePool(pool, m, grain)) {
+    pool->ParallelForBlocks(0, m, grain,
                             [&](size_t lo, size_t hi, size_t) {
                               rows(lo, hi);
                             });
   } else {
     rows(0, m);
   }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   assert(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c->EnsureShape(m, n);
   auto rows = [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const float* arow = a.Row(i);
-      float* crow = c.Row(i);
+      float* crow = c->Row(i);
       for (size_t j = 0; j < n; ++j) {
         const float* brow = b.Row(j);
         float s = 0.0f;
@@ -94,15 +119,20 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
     }
   };
   ThreadPool* pool = compute_pool();
-  if (pool != nullptr &&
-      static_cast<double>(m) * k * n >= kMinParallelMacs) {
-    pool->ParallelForBlocks(0, m, RowGrain(m),
+  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
+  if (UsePool(pool, m, grain)) {
+    pool->ParallelForBlocks(0, m, grain,
                             [&](size_t lo, size_t hi, size_t) {
                               rows(lo, hi);
                             });
   } else {
     rows(0, m);
   }
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulTransBInto(a, b, &c);
   return c;
 }
 
@@ -111,13 +141,13 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   ThreadPool* pool = compute_pool();
-  if (pool != nullptr &&
-      static_cast<double>(m) * k * n >= kMinParallelMacs) {
+  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
+  if (UsePool(pool, m, grain)) {
     // Parallel over output rows i (columns of a): each c row accumulates
     // over p in the same ascending order as the serial loop below, so the
     // result is bit-identical; only the loop nest is exchanged.
     pool->ParallelForBlocks(
-        0, m, RowGrain(m), [&](size_t lo, size_t hi, size_t) {
+        0, m, grain, [&](size_t lo, size_t hi, size_t) {
           for (size_t i = lo; i < hi; ++i) {
             float* crow = c.Row(i);
             for (size_t p = 0; p < k; ++p) {
@@ -159,6 +189,10 @@ void AddRowVector(Matrix& a, const std::vector<float>& bias) {
     float* row = a.Row(i);
     for (size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
   }
+}
+
+void ReluInPlace(Matrix& a) {
+  for (auto& v : a.data()) v = v > 0.0f ? v : 0.0f;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {

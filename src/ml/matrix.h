@@ -42,6 +42,17 @@ class Matrix {
     assert(data_.size() == rows_ * cols_);
   }
 
+  /// Re-shapes to rows x cols, reusing the existing buffer whenever the
+  /// element count matches (and vector capacity otherwise). Contents are
+  /// unspecified after a call — the scratch-buffer idiom of the write-path
+  /// inference kernels: buffers grow during warm-up, then every further
+  /// call is allocation-free.
+  void EnsureShape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() != rows * cols) data_.resize(rows * cols);
+  }
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
@@ -80,8 +91,17 @@ class Matrix {
 /// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
+/// C = A * B into a caller-owned scratch matrix (EnsureShape'd to m x n).
+/// Same kernel and accumulation order as MatMul, so results are
+/// bit-identical — this is the allocation-free variant the write-path
+/// inference scratch uses.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+
 /// C = A * B^T. Shapes: (m x k) * (n x k) -> (m x n).
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Allocation-free MatMulTransB (bit-identical; see MatMulInto).
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// C = A^T * B. Shapes: (k x m) * (k x n) -> (m x n).
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
@@ -94,6 +114,10 @@ void Axpy(Matrix& a, const Matrix& b, float scale);
 
 /// Adds a row vector `bias` (1 x n) to every row of `a` (m x n).
 void AddRowVector(Matrix& a, const std::vector<float>& bias);
+
+/// Elementwise in-place ReLU: a[i] = max(a[i], 0). Same arithmetic as
+/// layers.h's Relu::Forward, without the mask/output allocations.
+void ReluInPlace(Matrix& a);
 
 /// Elementwise Hadamard product c = a .* b.
 Matrix Hadamard(const Matrix& a, const Matrix& b);

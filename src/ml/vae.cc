@@ -63,8 +63,10 @@ Matrix SigmoidAll(const Matrix& logits) {
 }  // namespace
 
 Vae::Vae(const VaeConfig& config) : config_(config), rng_(config.seed) {
-  encoder_body_.Add(
-      std::make_unique<Dense>(config.input_dim, config.hidden_dim, rng_));
+  auto enc_in = std::make_unique<Dense>(config.input_dim,
+                                        config.hidden_dim, rng_);
+  enc_in_ = enc_in.get();
+  encoder_body_.Add(std::move(enc_in));
   encoder_body_.Add(std::make_unique<Relu>());
   mu_head_ =
       std::make_unique<Dense>(config.hidden_dim, config.latent_dim, rng_);
@@ -95,6 +97,18 @@ std::vector<float> Vae::EncodeOne(const std::vector<float>& x) {
   Matrix xm(1, config_.input_dim, x);
   Matrix mu = EncodeMu(xm);
   return mu.data();
+}
+
+void Vae::EncodeMuInto(const Matrix& x, Matrix* hidden, Matrix* mu) {
+  E2_CHECK(x.cols() == config_.input_dim, "EncodeMuInto dim mismatch");
+  // Mirrors EncodeForward's mu branch op for op (Dense::Forward is
+  // MatMul + AddRowVector; Relu::Forward's outputs are max(v, 0)), so
+  // the latent codes match EncodeMu bit for bit.
+  MatMulInto(x, enc_in_->weights().value, hidden);
+  AddRowVector(*hidden, enc_in_->bias().value.data());
+  ReluInPlace(*hidden);
+  MatMulInto(*hidden, mu_head_->weights().value, mu);
+  AddRowVector(*mu, mu_head_->bias().value.data());
 }
 
 Matrix Vae::Decode(const Matrix& z) {

@@ -69,6 +69,14 @@ class Vae {
   /// Encodes a single vector (length input_dim) to its latent mean.
   std::vector<float> EncodeOne(const std::vector<float>& x);
 
+  /// Inference-only encoder into caller-owned scratch: hidden = ReLU(x W1
+  /// + b1), mu = hidden W2 + b2. Skips the logvar head, the training
+  /// caches, and every temporary of EncodeMu, so a warmed-up call
+  /// performs zero heap allocations; the mu values are bit-identical to
+  /// EncodeMu (same kernels, same accumulation order). This is the "only
+  /// the encoder part is needed after training" write path of §3.3.1.
+  void EncodeMuInto(const Matrix& x, Matrix* hidden, Matrix* mu);
+
   /// Decodes latent codes to Bernoulli means (sigmoid outputs).
   Matrix Decode(const Matrix& z);
 
@@ -104,6 +112,10 @@ class Vae {
   VaeConfig config_;
   Rng rng_;
   Sequential encoder_body_;
+  /// The encoder body's Dense layer (borrowed from encoder_body_) — the
+  /// direct handle EncodeMuInto uses to reach the weights without the
+  /// Layer::Forward caching machinery.
+  Dense* enc_in_ = nullptr;
   std::unique_ptr<Dense> mu_head_;
   std::unique_ptr<Dense> logvar_head_;
   Sequential decoder_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ml/inference.h"
 #include "ml/kmeans.h"
 #include "ml/matrix.h"
 #include "ml/pca.h"
@@ -41,6 +42,14 @@ class ContentClusterer {
   /// Maps a content vector (0/1 floats, length = input dim) to a cluster.
   virtual size_t PredictCluster(const std::vector<float>& features) = 0;
 
+  /// Write-path inference: assigns every feature row staged in
+  /// scratch->in to a cluster, filling scratch->clusters (one id per
+  /// row). Results must be identical to calling PredictCluster on each
+  /// row; the base implementation does exactly that (allocating).
+  /// Hot-path models override it with a zero-allocation batched kernel
+  /// (one encoder GEMM + one fused assignment for the whole batch).
+  virtual void AssignScratch(ml::InferenceScratch* scratch);
+
   virtual size_t num_clusters() const = 0;
 
   /// Multiply-accumulates of one PredictCluster call (prediction-latency
@@ -65,6 +74,9 @@ class SingleClusterer : public ContentClusterer {
   size_t PredictCluster(const std::vector<float>& features) override {
     return 0;
   }
+  void AssignScratch(ml::InferenceScratch* scratch) override {
+    scratch->clusters.assign(scratch->in.rows(), 0);
+  }
   size_t num_clusters() const override { return 1; }
   double PredictFlops() const override { return 0; }
   double LastTrainFlops() const override { return 0; }
@@ -88,6 +100,10 @@ class RawKMeansClusterer : public ContentClusterer {
   }
   Status Train(const ml::Matrix& contents) override;
   size_t PredictCluster(const std::vector<float>& features) override;
+  void AssignScratch(ml::InferenceScratch* scratch) override {
+    kmeans_.AssignFusedInto(scratch->in, &scratch->scores,
+                            &scratch->clusters);
+  }
   size_t num_clusters() const override { return kmeans_.k(); }
   double PredictFlops() const override { return kmeans_.PredictFlops(); }
   double LastTrainFlops() const override { return train_flops_; }
@@ -123,6 +139,19 @@ class DensityClusterer : public ContentClusterer {
                       : ones / static_cast<double>(features.size());
     size_t bucket = static_cast<size_t>(frac * static_cast<double>(k_));
     return bucket >= k_ ? k_ - 1 : bucket;
+  }
+  void AssignScratch(ml::InferenceScratch* scratch) override {
+    const size_t n = scratch->in.rows();
+    const size_t dim = scratch->in.cols();
+    scratch->clusters.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      const float* row = scratch->in.Row(r);
+      double ones = 0;
+      for (size_t i = 0; i < dim; ++i) ones += row[i] >= 0.5f ? 1.0 : 0.0;
+      double frac = dim == 0 ? 0.0 : ones / static_cast<double>(dim);
+      size_t bucket = static_cast<size_t>(frac * static_cast<double>(k_));
+      scratch->clusters[r] = bucket >= k_ ? k_ - 1 : bucket;
+    }
   }
   size_t num_clusters() const override { return k_; }
   double PredictFlops() const override { return 2.0; }  // A popcount.
