@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "core/sharded_store.h"
 #include "core/store.h"
 #include "placement/clusterer.h"
 
@@ -180,8 +181,12 @@ struct OpsParams {
   size_t segments = 256;
   size_t bits = 512;
   uint64_t keys = 96;
-  uint64_t puts = 2000;
-  uint64_t gets = 5000;
+  // Long enough that the timed PUT region spans tens of milliseconds on
+  // one core: background trainings timeslice against the foreground, so
+  // a short region turns each section's figure into a coin flip on
+  // whether a training overlapped it.
+  uint64_t puts = 6000;
+  uint64_t gets = 12000;
   size_t batch = 32;  // MultiPut batch size for the batched section.
 };
 
@@ -316,12 +321,170 @@ OpsResult RunBatchedBench(size_t pool_threads, bool background_retrain) {
       static_cast<double>(t_alloc_count - alloc0) / p.puts;
   r.retrains = store->engine().stats().retrains;
   r.background_retrains = store->engine().stats().background_retrains;
+  if (std::getenv("E2NVM_OPS_DEBUG") != nullptr) {
+    const auto& st = store->engine().stats();
+    std::fprintf(stderr,
+                 "[batched] placements=%llu retrains=%llu bg=%llu "
+                 "fallback=%llu swap_repred=%llu rel_hits=%llu "
+                 "releases=%llu predict_flops=%.3g train_flops=%.3g\n",
+                 (unsigned long long)st.placements,
+                 (unsigned long long)st.retrains,
+                 (unsigned long long)st.background_retrains,
+                 (unsigned long long)st.fallback_placements,
+                 (unsigned long long)st.swap_repredictions,
+                 (unsigned long long)st.release_cluster_hits,
+                 (unsigned long long)st.releases, st.predict_flops,
+                 st.train_flops);
+  }
+  return r;
+}
+
+/// The sharded concurrent front-end: `num_shards` shards behind one
+/// device, `client_threads` client threads each owning a disjoint set of
+/// shards and issuing single-shard MultiPut batches (per-shard batched
+/// placement is what carries the win on a single core; on multi-core
+/// boxes shard parallelism stacks on top). The PUT figure is total
+/// operations across all threads over the wall time.
+struct ShardedOpsResult {
+  double put_ops_s = 0;
+  double get_ops_s = 0;
+  uint64_t background_retrains = 0;
+  size_t batch = 0;
+};
+
+ShardedOpsResult RunShardedBench(size_t num_shards, size_t client_threads,
+                                 size_t pool_threads) {
+  using Clock = std::chrono::steady_clock;
+  const OpsParams p = MakeParams();
+  // Same TOTAL geometry and workload as the single-store sections — the
+  // device, keyspace and PUT stream are split across the shards, so the
+  // comparison isolates the front-end (hash partitioning, per-shard
+  // engines/locks/batches), not a bigger machine.
+  core::ShardedStoreConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.shard.num_segments = p.segments / num_shards;
+  cfg.shard.segment_bits = p.bits;
+  cfg.shard.model = bench::DefaultModel(p.bits, 4);
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.auto_retrain = true;
+  cfg.shard.background_retrain = true;
+  // The free floor is an absolute per-cluster count: scale the
+  // single-store setting (8 of 256 segments) down to the shard's
+  // capacity, or a quarter-size shard would spend its whole life under
+  // the retrain trigger.
+  cfg.shard.retrain.min_free_per_cluster = std::max<size_t>(
+      1, 8 * cfg.shard.num_segments / p.segments);
+  cfg.pool_threads = pool_threads;
+  auto store_or = core::ShardedStore::Create(cfg);
+  if (!store_or.ok()) std::abort();
+  auto store = std::move(*store_or);
+
+  workload::ProtoConfig pc;
+  pc.dim = p.bits;
+  pc.num_classes = 4;
+  pc.samples = p.segments + 64;
+  pc.seed = 7;
+  auto ds = workload::MakeProtoDataset(pc);
+  store->Seed(ds);
+  if (!store->Bootstrap().ok()) std::abort();
+
+  // p.keys / num_shards keys per shard (the single-store keyspace split
+  // over the partition), found by probing the hash.
+  const uint64_t keys_per_shard = p.keys / num_shards;
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  size_t filled = 0;
+  for (uint64_t key = 0; filled < num_shards; ++key) {
+    auto& keys = shard_keys[store->ShardOf(key)];
+    if (keys.size() < keys_per_shard) {
+      keys.push_back(key);
+      if (keys.size() == keys_per_shard) ++filled;
+    }
+  }
+
+  // Pre-build each shard's MultiPut batches outside the timed region.
+  // A batch must fit in the shard's free headroom: MultiPut places the
+  // whole batch before recycling superseded addresses, so it needs
+  // batch-many free segments even when every key is an update. On top of
+  // that, keep the transient dip (headroom - batch free segments, spread
+  // over the model's clusters) above the retrain floor, or the mid-batch
+  // MinClusterFree check would fire a background retrain on a state the
+  // recycling at the end of the batch immediately repairs.
+  ShardedOpsResult r;
+  const size_t headroom = cfg.shard.num_segments - keys_per_shard;
+  const size_t dip_reserve = 2 * cfg.shard.model.k *
+                             cfg.shard.retrain.min_free_per_cluster;
+  r.batch = std::min(p.batch, headroom - std::min(headroom / 2, dip_reserve));
+  const uint64_t puts_per_shard = p.puts / num_shards;
+  std::vector<std::vector<std::vector<std::pair<uint64_t, BitVector>>>>
+      batches(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (uint64_t i = 0; i < puts_per_shard;) {
+      std::vector<std::pair<uint64_t, BitVector>> kvs;
+      for (size_t j = 0; j < r.batch && i < puts_per_shard; ++j, ++i) {
+        kvs.emplace_back(shard_keys[s][i % keys_per_shard],
+                         ds.items[i % ds.items.size()]);
+      }
+      batches[s].push_back(std::move(kvs));
+    }
+  }
+
+  auto run_clients = [&](auto&& fn) {
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < client_threads; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t s = t; s < num_shards; s += client_threads) fn(s);
+      });
+    }
+    for (auto& c : clients) c.join();
+  };
+
+  auto t0 = Clock::now();
+  run_clients([&](size_t s) {
+    for (const auto& kvs : batches[s]) {
+      if (!store->MultiPut(kvs).ok()) std::abort();
+    }
+  });
+  double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.put_ops_s = puts_per_shard * num_shards / put_s;
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    while (store->shard(s).engine().RetrainInFlight()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const uint64_t gets_per_shard = p.gets / num_shards;
+  t0 = Clock::now();
+  run_clients([&](size_t s) {
+    for (uint64_t i = 0; i < gets_per_shard; ++i) {
+      if (!store->Get(shard_keys[s][i % keys_per_shard]).ok()) std::abort();
+    }
+  });
+  r.get_ops_s = gets_per_shard * num_shards /
+                std::chrono::duration<double>(Clock::now() - t0).count();
+  auto snap = store->TakeSnapshot();
+  r.background_retrains = snap.engine.background_retrains;
+  if (std::getenv("E2NVM_OPS_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[sharded] placements=%llu retrains=%llu bg=%llu "
+                 "fallback=%llu swap_repred=%llu rel_hits=%llu "
+                 "releases=%llu predict_flops=%.3g train_flops=%.3g\n",
+                 (unsigned long long)snap.engine.placements,
+                 (unsigned long long)snap.engine.retrains,
+                 (unsigned long long)snap.engine.background_retrains,
+                 (unsigned long long)snap.engine.fallback_placements,
+                 (unsigned long long)snap.engine.swap_repredictions,
+                 (unsigned long long)snap.engine.release_cluster_hits,
+                 (unsigned long long)snap.engine.releases,
+                 snap.engine.predict_flops, snap.engine.train_flops);
+  }
   return r;
 }
 
 void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                   const OpsResult& serial, const OpsResult& pooled,
-                  const OpsResult& batched) {
+                  const OpsResult& batched, size_t shards,
+                  size_t client_threads, const ShardedOpsResult& sharded) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -352,7 +515,22 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                threads, batch);
   emit("serial_sync_retrain", serial, false);
   emit("pooled_background_retrain", pooled, false);
-  emit("batched_put", batched, true);
+  emit("batched_put", batched, false);
+  std::fprintf(f,
+               "  \"sharded_put\": {\n"
+               "    \"shards\": %zu,\n"
+               "    \"client_threads\": %zu,\n"
+               "    \"batch_size\": %zu,\n"
+               "    \"put_ops_per_s\": %.1f,\n"
+               "    \"get_ops_per_s\": %.1f,\n"
+               "    \"background_retrains\": %llu,\n"
+               "    \"speedup_vs_pooled_put\": %.2f\n"
+               "  }\n",
+               shards, client_threads, sharded.batch, sharded.put_ops_s,
+               sharded.get_ops_s,
+               static_cast<unsigned long long>(sharded.background_retrains),
+               pooled.put_ops_s > 0 ? sharded.put_ops_s / pooled.put_ops_s
+                                    : 0.0);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -370,13 +548,21 @@ int main(int argc, char** argv) {
   unsigned threads = std::max(4u, std::thread::hardware_concurrency());
   e2nvm::bench::PrintBanner(
       "BENCH_ops", "store ops/s: serial kernels + sync retrain vs "
-                   "pooled kernels + background retrain vs batched PUT");
+                   "pooled kernels + background retrain vs batched PUT "
+                   "vs sharded concurrent PUT");
   auto serial = e2nvm::RunOpsBench(0, false);
   auto pooled = e2nvm::RunOpsBench(threads, true);
   // Same configuration as the pooled section, so batched_put vs
   // pooled_background_retrain isolates what MultiPut itself buys.
   auto batched = e2nvm::RunBatchedBench(threads, true);
+  // 4 shards x 4 client threads over one shared device; vs the pooled
+  // section this adds hash partitioning, per-shard locking and
+  // per-shard batched placement.
+  constexpr size_t kShards = 4;
+  constexpr size_t kClients = 4;
+  auto sharded = e2nvm::RunShardedBench(kShards, kClients, threads);
   e2nvm::WriteOpsJson("BENCH_ops.json", threads,
-                      e2nvm::MakeParams().batch, serial, pooled, batched);
+                      e2nvm::MakeParams().batch, serial, pooled, batched,
+                      kShards, kClients, sharded);
   return 0;
 }

@@ -1,33 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, and run the test suite — first plain,
-# then (unless SKIP_SANITIZE=1) again under ASan+UBSan, and finally the
-# concurrency tests under TSan, via the E2NVM_SANITIZE CMake option.
-# Run from anywhere inside the repo.
+# Tier-1 gate: configure, build, and run the test suite — fast `unit`
+# label first, then the long-running `stress` label, then (unless
+# SKIP_SANITIZE=1) again under ASan+UBSan, and finally the concurrency
+# tests under TSan, via the E2NVM_SANITIZE CMake option. Ends with a
+# per-test timing summary of the plain run. Run from anywhere inside
+# the repo.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+timing_log="$(mktemp)"
+trap 'rm -f "$timing_log"' EXIT
 
-run_suite() {
+build_tree() {
   local build_dir="$1"
-  local test_filter="$2"
-  shift 2
+  shift
   cmake -B "$build_dir" -S "$repo_root" "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
-    ${test_filter:+-R "$test_filter"}
 }
 
-echo "== plain build + ctest =="
-run_suite "$repo_root/build" ""
+run_ctest() {
+  local build_dir="$1"
+  shift
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "$@" \
+    | tee -a "$timing_log"
+}
+
+echo "== plain build =="
+build_tree "$repo_root/build"
+echo "== unit tests =="
+run_ctest "$repo_root/build" -L unit
+echo "== stress tests (oracle model check + concurrent shards) =="
+run_ctest "$repo_root/build" -L stress --timeout 600
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== sanitized build + ctest (ASan+UBSan) =="
-  run_suite "$repo_root/build-sanitize" "" -DE2NVM_SANITIZE=ON
+  build_tree "$repo_root/build-sanitize" -DE2NVM_SANITIZE=ON
+  run_ctest "$repo_root/build-sanitize"
 
   echo "== concurrency tests under TSan =="
-  run_suite "$repo_root/build-tsan" \
-    "thread_pool|parallel_ml|background_retrain" -DE2NVM_SANITIZE=thread
+  build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
+  run_ctest "$repo_root/build-tsan" --timeout 600 \
+    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -40,6 +54,7 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   (cd "$perf_dir" && E2NVM_OPS_SMOKE=1 \
     ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
   for key in serial_sync_retrain pooled_background_retrain batched_put \
+             sharded_put speedup_vs_pooled_put \
              put_ops_per_s get_ops_per_s alloc_per_put; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
       echo "perf smoke: key '$key' missing from BENCH_ops.json" >&2
@@ -48,5 +63,10 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   done
   echo "perf smoke OK"
 fi
+
+echo "== slowest tests =="
+sed -nE 's@^ *[0-9]+/[0-9]+ Test +#[0-9]+: +([A-Za-z0-9_]+) .* (Passed|\*\*\*[A-Za-z]+) +([0-9.]+) sec.*@\3 \1@p' \
+    "$timing_log" \
+  | sort -rn | head -10 | awk '{printf "%8.2f s  %s\n", $1, $2}'
 
 echo "All checks passed."

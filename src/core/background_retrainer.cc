@@ -6,6 +6,34 @@ namespace e2nvm::core {
 
 BackgroundRetrainer::~BackgroundRetrainer() {
   if (worker_.joinable()) worker_.join();
+  // Pool mode: the submitted task captures `this`; wait until it has
+  // published (running_ release pairs with this acquire, so result_ and
+  // the flags are fully written before we destruct).
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void BackgroundRetrainer::TrainAndPublish(
+    std::unique_ptr<placement::ContentClusterer> shadow,
+    ml::Matrix contents) {
+  result_.status = shadow->Train(contents);
+  if (result_.status.ok()) {
+    result_.train_flops = shadow->LastTrainFlops();
+    const size_t n = contents.rows();
+    result_.clusters.resize(n);
+    std::vector<float> row(contents.cols());
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = contents.Row(i);
+      row.assign(src, src + contents.cols());
+      result_.clusters[i] = shadow->PredictCluster(row);
+      result_.predict_flops += shadow->PredictFlops();
+    }
+    result_.model = std::move(shadow);
+  }
+  generations_.fetch_add(1, std::memory_order_acq_rel);
+  ready_.store(true, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
 }
 
 bool BackgroundRetrainer::Start(
@@ -20,25 +48,21 @@ bool BackgroundRetrainer::Start(
 
   // The worker owns the shadow and the snapshot until the ready_ release;
   // the foreground only reads result_ after the matching acquire.
+  if (pool_ != nullptr) {
+    // Submit takes a copyable std::function; park the move-only payload
+    // in a shared_ptr the (single) execution steals from.
+    auto job = std::make_shared<
+        std::pair<std::unique_ptr<placement::ContentClusterer>, ml::Matrix>>(
+        std::move(shadow), std::move(contents));
+    pool_->Submit([this, job] {
+      TrainAndPublish(std::move(job->first), std::move(job->second));
+    });
+    return true;
+  }
   worker_ = std::thread(
-      [this, shadow = std::move(shadow), contents = std::move(contents)]() mutable {
-        result_.status = shadow->Train(contents);
-        if (result_.status.ok()) {
-          result_.train_flops = shadow->LastTrainFlops();
-          const size_t n = contents.rows();
-          result_.clusters.resize(n);
-          std::vector<float> row(contents.cols());
-          for (size_t i = 0; i < n; ++i) {
-            const float* src = contents.Row(i);
-            row.assign(src, src + contents.cols());
-            result_.clusters[i] = shadow->PredictCluster(row);
-            result_.predict_flops += shadow->PredictFlops();
-          }
-          result_.model = std::move(shadow);
-        }
-        generations_.fetch_add(1, std::memory_order_acq_rel);
-        ready_.store(true, std::memory_order_release);
-        running_.store(false, std::memory_order_release);
+      [this, shadow = std::move(shadow),
+       contents = std::move(contents)]() mutable {
+        TrainAndPublish(std::move(shadow), std::move(contents));
       });
   return true;
 }

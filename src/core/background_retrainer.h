@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "ml/matrix.h"
 #include "placement/clusterer.h"
 
@@ -51,9 +52,17 @@ class BackgroundRetrainer {
     double predict_flops = 0;
   };
 
-  BackgroundRetrainer() = default;
+  /// With no pool, every training runs on a dedicated std::thread (one
+  /// store, one occasional trainer — the PR 2 behavior). With a pool, the
+  /// training is submitted to it instead: a ShardedStore hands every
+  /// shard's retrainer the one shared common/thread_pool, so N shards
+  /// queue trainings onto a bounded worker set rather than spawning N
+  /// threads. A training running *on* a pool worker executes its ML
+  /// kernels inline (nested ParallelFor), which is still bit-identical —
+  /// kernel results are pool-size invariant by design.
+  explicit BackgroundRetrainer(ThreadPool* pool = nullptr) : pool_(pool) {}
 
-  /// Joins any in-flight training.
+  /// Joins (or, in pool mode, waits out) any in-flight training.
   ~BackgroundRetrainer();
 
   BackgroundRetrainer(const BackgroundRetrainer&) = delete;
@@ -83,6 +92,12 @@ class BackgroundRetrainer {
   std::optional<Result> TryCollect();
 
  private:
+  /// The training body shared by both execution modes: trains `shadow`,
+  /// classifies the snapshot, publishes result_ and flips ready_/running_.
+  void TrainAndPublish(std::unique_ptr<placement::ContentClusterer> shadow,
+                       ml::Matrix contents);
+
+  ThreadPool* pool_ = nullptr;  // Borrowed; must outlive the retrainer.
   std::thread worker_;
   std::atomic<bool> running_{false};
   std::atomic<bool> ready_{false};

@@ -8,6 +8,24 @@
 
 namespace e2nvm::core {
 
+void EngineStats::MergeFrom(const EngineStats& other) {
+  placements += other.placements;
+  releases += other.releases;
+  retrains += other.retrains;
+  fallback_acquires += other.fallback_acquires;
+  predict_flops += other.predict_flops;
+  train_flops += other.train_flops;
+  fallback_placements += other.fallback_placements;
+  quarantine_skips += other.quarantine_skips;
+  quarantined_segments += other.quarantined_segments;
+  write_retries += other.write_retries;
+  model_fallbacks += other.model_fallbacks;
+  failed_retrains += other.failed_retrains;
+  background_retrains += other.background_retrains;
+  swap_repredictions += other.swap_repredictions;
+  release_cluster_hits += other.release_cluster_hits;
+}
+
 PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
                                  placement::ContentClusterer* clusterer,
                                  const Config& config)
@@ -409,8 +427,8 @@ void PlacementEngine::OnRetrainFailure(const Status& s) {
          s.ToString().c_str());
 }
 
-void PlacementEngine::EnableBackgroundRetrain() {
-  if (bg_ == nullptr) bg_ = std::make_unique<BackgroundRetrainer>();
+void PlacementEngine::EnableBackgroundRetrain(ThreadPool* pool) {
+  if (bg_ == nullptr) bg_ = std::make_unique<BackgroundRetrainer>(pool);
 }
 
 void PlacementEngine::SwapInShadow(BackgroundRetrainer::Result result) {

@@ -18,6 +18,10 @@
 namespace e2nvm::core {
 
 /// Statistics of a placement engine's lifetime.
+///
+/// Plain counters, mutated by the engine under the caller's external
+/// serialization (see the PlacementEngine threading contract below) and
+/// read through stats(). Merge per-shard instances with MergeFrom.
 struct EngineStats {
   uint64_t placements = 0;
   uint64_t releases = 0;
@@ -55,6 +59,10 @@ struct EngineStats {
   /// of re-encoding the segment content (full-width values whose model
   /// has not changed since the write).
   uint64_t release_cluster_hits = 0;
+
+  /// Accumulates `other` into this instance (ShardedStore's merged
+  /// snapshot: every field is a sum, so shard stats add freely).
+  void MergeFrom(const EngineStats& other);
 };
 
 /// The heart of E2-NVM (§3.3): content-aware placement of value writes.
@@ -70,6 +78,25 @@ struct EngineStats {
 /// borrowed. CPU costs of prediction and training are charged to the
 /// device's energy meter so software overhead shows up in the energy
 /// experiments (Figs 8, 16, 18).
+///
+/// ## Threading contract (external locking)
+///
+/// The engine is **single-caller**: Place/PlaceMany/Release/WriteAt/
+/// Retrain/ExtendRegion/PumpBackgroundRetrain and the stats()/pool()
+/// accessors must be serialized by the caller — they mutate and read
+/// unsynchronized state (`stats_` counters, the `placed_cluster_` memo,
+/// the inference scratch, the padding RNG and running 1-ratios) that a
+/// concurrent second caller would race on. The DynamicAddressPool's own
+/// mutex protects only the pool's internals, NOT these engine fields;
+/// it is not a substitute for caller serialization. The one sanctioned
+/// cross-thread actor is the BackgroundRetrainer worker, which touches
+/// nothing of the engine (the handoff is its own release/acquire pair).
+///
+/// Concurrency across *engines* is free: ShardedStore runs one engine
+/// per shard, each behind that shard's mutex, over disjoint segment
+/// ranges of one shared device (tests/sharded_stress_test.cc runs this
+/// contract under TSan; store_model_test.cc pins the single-caller
+/// invariants the contract protects).
 class PlacementEngine : public index::ValuePlacer {
  public:
   struct Config {
@@ -132,7 +159,10 @@ class PlacementEngine : public index::ValuePlacer {
   /// keeps serving from the old model during training. The failure
   /// backoff and quarantine handling of the synchronous path are
   /// preserved. Requires config.auto_retrain for the policy to fire.
-  void EnableBackgroundRetrain();
+  /// With `pool`, trainings are submitted to that shared ThreadPool
+  /// instead of a dedicated thread per training (the ShardedStore mode);
+  /// the pool must outlive the engine.
+  void EnableBackgroundRetrain(ThreadPool* pool = nullptr);
   bool background_retrain_enabled() const { return bg_ != nullptr; }
 
   /// True while a shadow model is training off the write path.

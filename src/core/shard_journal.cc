@@ -1,0 +1,126 @@
+#include "core/shard_journal.h"
+
+#include <cstring>
+
+#include "pmem/tx.h"
+
+namespace e2nvm::core {
+
+StatusOr<std::unique_ptr<ShardJournal>> ShardJournal::Create(
+    size_t capacity, size_t max_value_bits) {
+  if (capacity == 0 || max_value_bits == 0) {
+    return Status::InvalidArgument("empty journal geometry");
+  }
+  const size_t slot_bytes = SlotBytes(max_value_bits);
+  const size_t region_bytes = sizeof(Header) + capacity * slot_bytes;
+  // Header + undo log + heap metadata + the slot region (with allocator
+  // rounding headroom), rounded up to pages.
+  size_t pool_bytes = pmem::Pool::kHeaderBytes + pmem::TxLog::kLogBytes +
+                      8192 + 2 * region_bytes;
+  pool_bytes = (pool_bytes + 4095) & ~size_t{4095};
+
+  std::unique_ptr<ShardJournal> j(new ShardJournal());
+  E2_ASSIGN_OR_RETURN(j->pool_,
+                      pmem::Pool::CreateAnonymous("shard-journal",
+                                                  pool_bytes));
+  pmem::Allocator alloc(j->pool_.get());
+  E2_ASSIGN_OR_RETURN(j->header_off_, alloc.Alloc(region_bytes));
+
+  auto* h = j->pool_->As<Header>(j->header_off_);
+  h->magic = Header::kMagic;
+  h->capacity = capacity;
+  h->slot_bytes = slot_bytes;
+  h->max_value_bits = max_value_bits;
+  h->count = 0;
+  j->pool_->Persist(j->header_off_, sizeof(Header));
+  // The root offset is how ReplayImage finds the journal after recovery.
+  j->pool_->set_root(j->header_off_);
+
+  j->capacity_ = capacity;
+  j->max_value_bits_ = max_value_bits;
+  j->slot_bytes_ = slot_bytes;
+  return j;
+}
+
+size_t ShardJournal::count() const {
+  return pool_->As<Header>(header_off_)->count;
+}
+
+Status ShardJournal::Append(Op op, uint64_t key, const BitVector& value) {
+  auto* h = pool_->As<Header>(header_off_);
+  if (h->count >= capacity_) {
+    return Status::ResourceExhausted("journal full");
+  }
+  if (op == Op::kPut && value.size() > max_value_bits_) {
+    return Status::InvalidArgument("value wider than the journal slot");
+  }
+
+  const pmem::PoolOffset slot_off =
+      header_off_ + sizeof(Header) + h->count * slot_bytes_;
+
+  pmem::Transaction tx(pool_.get());
+  E2_RETURN_IF_ERROR(tx.Begin());
+
+  // Step 1: fill the slot. These bytes are dead until the count bump, so
+  // they need no undo image; a crash here leaves them invisible.
+  auto* slot = pool_->As<SlotHeader>(slot_off);
+  slot->op = static_cast<uint64_t>(op);
+  slot->key = key;
+  slot->value_bits = value.size();
+  auto* words = reinterpret_cast<uint8_t*>(slot + 1);
+  std::memset(words, 0, slot_bytes_ - sizeof(SlotHeader));
+  if (!value.empty()) {
+    std::memcpy(words, value.words().data(), value.num_words() * 8);
+  }
+  pool_->Persist(slot_off, slot_bytes_);
+
+  // Steps 2-4: undo-image the count, bump it (the commit point), commit.
+  const pmem::PoolOffset count_off =
+      header_off_ + offsetof(Header, count);
+  E2_RETURN_IF_ERROR(tx.AddRange(count_off, sizeof(uint64_t)));
+  ++h->count;
+  pool_->Persist(count_off, sizeof(uint64_t));
+  tx.Commit();
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ShardJournal::Record>> ShardJournal::ReplayImage(
+    const std::vector<uint8_t>& image) {
+  E2_ASSIGN_OR_RETURN(auto pool,
+                      pmem::Pool::OpenFromImage(image, "shard-journal"));
+  const pmem::PoolOffset root = pool->root();
+  if (root == pmem::kNullOffset) {
+    return Status::DataLoss("journal image has no root");
+  }
+  const auto* h = pool->As<Header>(root);
+  if (h->magic != Header::kMagic) {
+    return Status::DataLoss("bad journal magic");
+  }
+  if (h->count > h->capacity) {
+    return Status::DataLoss("journal count exceeds capacity");
+  }
+
+  std::vector<Record> records;
+  records.reserve(h->count);
+  for (uint64_t i = 0; i < h->count; ++i) {
+    const pmem::PoolOffset slot_off =
+        root + sizeof(Header) + i * h->slot_bytes;
+    const auto* slot = pool->As<SlotHeader>(slot_off);
+    Record r;
+    r.op = static_cast<Op>(slot->op);
+    r.key = slot->key;
+    if (slot->value_bits > h->max_value_bits) {
+      return Status::DataLoss("journal slot wider than the journal");
+    }
+    if (slot->value_bits > 0) {
+      const auto* bytes = reinterpret_cast<const uint8_t*>(slot + 1);
+      const size_t nwords = (slot->value_bits + 63) / 64;
+      r.value = BitVector::FromBytes(bytes, nwords * 8)
+                    .Slice(0, slot->value_bits);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace e2nvm::core

@@ -1,0 +1,110 @@
+#ifndef E2NVM_CORE_SHARD_JOURNAL_H_
+#define E2NVM_CORE_SHARD_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/status.h"
+#include "pmem/allocator.h"
+#include "pmem/pool.h"
+
+namespace e2nvm::core {
+
+/// A per-shard persistent redo journal of logical operations, the durable
+/// companion to a ShardedStore shard (the simulated NVM device itself is
+/// volatile state of the simulator; the journal is what a crash leaves
+/// behind, in the style of MCAS/FlatStore per-core logs).
+///
+/// Layout: one pmem::Pool per journal holding a fixed-capacity slot array
+/// preallocated at creation time — appends never touch allocator state, so
+/// a crash mid-append can only be about the record itself, never heap
+/// metadata. Each Append is one undo-log transaction:
+///
+///   1. write the record into slot[count]   (dead bytes until step 3)
+///   2. AddRange(header.count)              (undo image of the old count)
+///   3. header.count++                      (the commit point)
+///   4. Commit                              (log back to idle)
+///
+/// A crash at any persist ordinal inside Append leaves either the old count
+/// (record invisible; partial slot bytes are dead) or, after recovery rolls
+/// back an active transaction, exactly the pre-append state. Replay of a
+/// crash image therefore yields a prefix of the appended operations —
+/// asserted per-persist-ordinal by tests/crash_recovery_test.cc.
+///
+/// Thread-compatibility: not synchronized; the owning shard serializes
+/// appends behind its shard mutex.
+class ShardJournal {
+ public:
+  enum class Op : uint64_t { kPut = 1, kDelete = 2 };
+
+  /// One replayed logical operation. `value` is empty for kDelete.
+  struct Record {
+    Op op;
+    uint64_t key;
+    BitVector value;
+  };
+
+  /// Creates an anonymous-pool journal with room for `capacity` records of
+  /// up to `max_value_bits` bits each.
+  static StatusOr<std::unique_ptr<ShardJournal>> Create(
+      size_t capacity, size_t max_value_bits);
+
+  /// Appends one record transactionally. `value` must be empty for
+  /// kDelete and at most max_value_bits wide for kPut.
+  Status Append(Op op, uint64_t key, const BitVector& value);
+
+  /// Records appended so far (the persistent count).
+  size_t count() const;
+  size_t capacity() const { return capacity_; }
+  size_t max_value_bits() const { return max_value_bits_; }
+
+  /// The backing pool, for CrashPoint attachment and snapshots.
+  pmem::Pool& pool() { return *pool_; }
+
+  /// Byte image of the journal as a power loss right now would leave it.
+  std::vector<uint8_t> SnapshotImage() const {
+    return pool_->SnapshotImage();
+  }
+
+  /// Reopens `image` (running crash recovery) and returns every committed
+  /// record in append order.
+  static StatusOr<std::vector<Record>> ReplayImage(
+      const std::vector<uint8_t>& image);
+
+ private:
+  /// Persistent journal header, stored at the pool root offset, followed
+  /// immediately by the slot array.
+  struct Header {
+    static constexpr uint64_t kMagic = 0x5A4A4E414C4C5A31ull;
+    uint64_t magic;
+    uint64_t capacity;
+    uint64_t slot_bytes;
+    uint64_t max_value_bits;
+    uint64_t count;
+  };
+
+  /// Per-slot record header, followed by the value words.
+  struct SlotHeader {
+    uint64_t op;
+    uint64_t key;
+    uint64_t value_bits;
+  };
+
+  ShardJournal() = default;
+
+  static size_t SlotBytes(size_t max_value_bits) {
+    return sizeof(SlotHeader) + ((max_value_bits + 63) / 64) * 8;
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  pmem::PoolOffset header_off_ = pmem::kNullOffset;
+  size_t capacity_ = 0;
+  size_t max_value_bits_ = 0;
+  size_t slot_bytes_ = 0;
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_SHARD_JOURNAL_H_

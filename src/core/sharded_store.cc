@@ -1,0 +1,189 @@
+#include "core/sharded_store.h"
+
+#include "ml/matrix.h"
+
+namespace e2nvm::core {
+
+ShardedStore::ShardedStore(const ShardedStoreConfig& config)
+    : config_(config), num_shards_(config.num_shards) {}
+
+ShardedStore::~ShardedStore() {
+  // Shard engines join their background retrainers; do that while the
+  // shared pool is still alive.
+  shards_.clear();
+  if (installed_pool_ && ml::compute_pool() == pool_.get()) {
+    ml::SetComputePool(nullptr);
+  }
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
+    const ShardedStoreConfig& config) {
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  if (config.shard.num_segments == 0 || config.shard.segment_bits == 0) {
+    return Status::InvalidArgument("empty shard geometry");
+  }
+  if (config.shard.psi != 0) {
+    return Status::InvalidArgument(
+        "Start-Gap wear leveling is per-device and cannot run under "
+        "sharding; set shard.psi = 0");
+  }
+
+  std::unique_ptr<ShardedStore> store(new ShardedStore(config));
+
+  if (config.pool_threads > 0) {
+    store->pool_ = std::make_unique<ThreadPool>(config.pool_threads);
+    if (ml::compute_pool() == nullptr) {
+      ml::SetComputePool(store->pool_.get());
+      store->installed_pool_ = true;
+    }
+  }
+
+  nvm::DeviceConfig dc;
+  dc.num_segments = config.num_shards * config.shard.num_segments;
+  dc.segment_bits = config.shard.segment_bits;
+  dc.track_bit_wear = config.shard.track_bit_wear;
+  dc.pcm = config.shard.pcm;
+  dc.verify_writes = config.shard.verify_writes;
+  dc.max_write_retries = config.shard.max_write_retries;
+  store->device_ = std::make_unique<nvm::NvmDevice>(dc, &store->meter_);
+
+  store->shard_mu_ = std::make_unique<std::mutex[]>(config.num_shards);
+  store->shards_.reserve(config.num_shards);
+  store->journals_.resize(config.num_shards);
+  for (size_t s = 0; s < config.num_shards; ++s) {
+    E2KvStore::ShardAttachment attach;
+    attach.device = store->device_.get();
+    attach.first_segment = s * config.shard.num_segments;
+    attach.retrain_pool = store->pool_.get();
+    E2_ASSIGN_OR_RETURN(auto shard,
+                        E2KvStore::CreateShard(config.shard, attach));
+    store->shards_.push_back(std::move(shard));
+    if (config.journal) {
+      E2_ASSIGN_OR_RETURN(
+          store->journals_[s],
+          ShardJournal::Create(config.journal_capacity,
+                               config.shard.segment_bits));
+    }
+  }
+  return store;
+}
+
+void ShardedStore::Seed(const workload::BitDataset& contents) {
+  for (auto& shard : shards_) shard->Seed(contents);
+}
+
+Status ShardedStore::Bootstrap() {
+  for (auto& shard : shards_) {
+    E2_RETURN_IF_ERROR(shard->Bootstrap());
+  }
+  return Status::Ok();
+}
+
+Status ShardedStore::Put(uint64_t key, const BitVector& value) {
+  const size_t s = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  if (journals_[s] != nullptr) {
+    E2_RETURN_IF_ERROR(
+        journals_[s]->Append(ShardJournal::Op::kPut, key, value));
+  }
+  return shards_[s]->Put(key, value);
+}
+
+Status ShardedStore::MultiPutShard(
+    size_t s, const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  if (journals_[s] != nullptr) {
+    for (const auto& [key, value] : kvs) {
+      E2_RETURN_IF_ERROR(
+          journals_[s]->Append(ShardJournal::Op::kPut, key, value));
+    }
+  }
+  return shards_[s]->MultiPut(kvs);
+}
+
+Status ShardedStore::MultiPut(
+    const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
+  if (kvs.empty()) return Status::Ok();
+  // A batch that lands entirely on one shard — the natural shape for
+  // clients that batch per partition for locality — goes straight to the
+  // owning shard with the caller's vector, no value copies.
+  const size_t s0 = ShardOf(kvs.front().first);
+  bool uniform = true;
+  for (const auto& kv : kvs) {
+    if (ShardOf(kv.first) != s0) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) return MultiPutShard(s0, kvs);
+
+  // Split by owning shard, preserving each shard's arrival order so the
+  // per-shard placement stream matches sequential Puts.
+  std::vector<std::vector<std::pair<uint64_t, BitVector>>> by_shard(
+      num_shards_);
+  for (const auto& kv : kvs) by_shard[ShardOf(kv.first)].push_back(kv);
+
+  Status first_error = Status::Ok();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (by_shard[s].empty()) continue;
+    Status st = MultiPutShard(s, by_shard[s]);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+StatusOr<BitVector> ShardedStore::Get(uint64_t key) {
+  const size_t s = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  return shards_[s]->Get(key);
+}
+
+Status ShardedStore::Delete(uint64_t key) {
+  const size_t s = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  if (journals_[s] != nullptr) {
+    E2_RETURN_IF_ERROR(
+        journals_[s]->Append(ShardJournal::Op::kDelete, key, BitVector()));
+  }
+  return shards_[s]->Delete(key);
+}
+
+size_t ShardedStore::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    total += shards_[s]->size();
+  }
+  return total;
+}
+
+ShardedStore::Snapshot ShardedStore::TakeSnapshot() {
+  // Lock every shard (index order, so concurrent snapshots can't
+  // deadlock) for a cut consistent with in-flight operations.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shard_mu_[s]);
+  }
+  Snapshot snap;
+  for (auto& shard : shards_) {
+    snap.engine.MergeFrom(shard->engine().stats());
+    snap.keys += shard->size();
+  }
+  snap.device = device_->stats();
+  snap.total_pj = meter_.TotalPj();
+  return snap;
+}
+
+size_t ShardedStore::PumpRetrains() {
+  size_t swapped = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    if (shards_[s]->engine().PumpBackgroundRetrain()) ++swapped;
+  }
+  return swapped;
+}
+
+}  // namespace e2nvm::core

@@ -1,0 +1,152 @@
+#ifndef E2NVM_CORE_SHARDED_STORE_H_
+#define E2NVM_CORE_SHARDED_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/shard_journal.h"
+#include "core/store.h"
+#include "nvm/device.h"
+#include "nvm/energy.h"
+
+namespace e2nvm::core {
+
+struct ShardedStoreConfig {
+  /// Number of independent shards. Keys are hash-partitioned; each shard
+  /// owns `shard.num_segments` segments of the one shared device, so the
+  /// device holds num_shards * shard.num_segments segments total.
+  size_t num_shards = 1;
+
+  /// Per-shard configuration (geometry, model, retraining, fault knobs).
+  /// `shard.psi` must be 0 (Start-Gap would migrate cells across shard
+  /// ranges) and `shard.pool_threads` is ignored — the sharded store owns
+  /// the one compute pool, sized by `pool_threads` below.
+  StoreConfig shard;
+
+  /// Worker threads of the shared compute pool (ML kernels + background
+  /// retraining for every shard). 0 = serial kernels and, when
+  /// `shard.background_retrain` is set, dedicated retrain threads.
+  size_t pool_threads = 0;
+
+  /// Attach a persistent redo journal (ShardJournal) to every shard:
+  /// PUT/DELETE is appended durably before it touches the shard, so a
+  /// crash image replays to a prefix of the applied operations.
+  bool journal = false;
+  /// Slots per shard journal (appends beyond this fail).
+  size_t journal_capacity = 4096;
+};
+
+/// A sharded concurrent front-end over N independent E2KvStore shards
+/// (MCAS-style hash partitioning): every key is owned by exactly one
+/// shard, each shard runs the full E2-NVM pipeline — its own placement
+/// engine, model, DAP, index and segment range — behind its own mutex, and
+/// all shards share one NvmDevice, one EnergyMeter and one ThreadPool.
+///
+/// Concurrency model:
+///  - Client threads: any number; operations lock only the owning shard,
+///    so operations on different shards proceed concurrently.
+///  - Shared device: per-segment state is touched only by the owning shard
+///    (ranges are disjoint), device-wide counters and the energy meter are
+///    internally synchronized (see nvm/device.h, nvm/energy.h).
+///  - Background retraining: each shard's engine hands training to the
+///    shared pool (BackgroundRetrainer pool mode); the swap happens under
+///    that shard's mutex on its next Place.
+///
+/// Determinism contract: with num_shards == 1 every placement decision,
+/// bit flip and retrain trigger is bit-identical to a plain E2KvStore with
+/// the same StoreConfig, and with one client thread runs are reproducible
+/// at any shard count (pinned by tests/sharded_store_test.cc).
+class ShardedStore {
+ public:
+  static StatusOr<std::unique_ptr<ShardedStore>> Create(
+      const ShardedStoreConfig& config);
+
+  /// Joins all background retraining, then tears down shards before the
+  /// shared pool/device.
+  ~ShardedStore();
+
+  /// Seeds every shard's segment range with initial content. Each shard
+  /// cycles the dataset from its start, so a 1-shard store seeds exactly
+  /// like E2KvStore::Seed.
+  void Seed(const workload::BitDataset& contents);
+
+  /// Trains every shard's model on its seeded contents and populates its
+  /// DAP. Serial per shard (deterministic).
+  Status Bootstrap();
+
+  /// Inserts or updates `key` on its owning shard.
+  Status Put(uint64_t key, const BitVector& value);
+
+  /// Batched insert/update: splits the batch by owning shard (preserving
+  /// per-shard order) and runs one E2KvStore::MultiPut per shard, so each
+  /// shard's placement model runs once over its sub-batch. A batch whose
+  /// keys all hash to one shard is forwarded copy-free. Returns the
+  /// first per-shard error, after attempting every shard.
+  Status MultiPut(const std::vector<std::pair<uint64_t, BitVector>>& kvs);
+
+  StatusOr<BitVector> Get(uint64_t key);
+
+  Status Delete(uint64_t key);
+
+  /// Total keys across all shards.
+  size_t size() const;
+
+  /// Which shard owns `key` (splitmix-style mix, then mod num_shards).
+  size_t ShardOf(uint64_t key) const {
+    uint64_t x = key * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 32;
+    return static_cast<size_t>(x % num_shards_);
+  }
+
+  /// Merged view across shards for experiments and benchmarks: summed
+  /// engine stats, the shared device counters and the total energy.
+  struct Snapshot {
+    EngineStats engine;       // Summed across shards (EngineStats::MergeFrom).
+    nvm::DeviceStats device;  // The one shared device.
+    double total_pj = 0.0;
+    size_t keys = 0;
+  };
+  /// Takes every shard lock (in index order), so the snapshot is
+  /// consistent with respect to in-flight operations.
+  Snapshot TakeSnapshot();
+
+  /// Adopts any finished shadow models immediately on every shard
+  /// (test/harness hook; see PlacementEngine::PumpBackgroundRetrain).
+  /// Returns the number of shards that swapped.
+  size_t PumpRetrains();
+
+  size_t num_shards() const { return num_shards_; }
+  nvm::NvmDevice& device() { return *device_; }
+  nvm::EnergyMeter& meter() { return meter_; }
+  /// Direct shard access for tests; the caller owns synchronization.
+  E2KvStore& shard(size_t i) { return *shards_[i]; }
+  /// This shard's journal, or nullptr when journaling is off.
+  ShardJournal* journal(size_t i) { return journals_[i].get(); }
+  const ShardedStoreConfig& config() const { return config_; }
+
+ private:
+  explicit ShardedStore(const ShardedStoreConfig& config);
+
+  /// Journals (if enabled) and applies one shard's sub-batch under its
+  /// shard lock.
+  Status MultiPutShard(size_t s,
+                       const std::vector<std::pair<uint64_t, BitVector>>& kvs);
+
+  ShardedStoreConfig config_;
+  size_t num_shards_ = 1;
+  nvm::EnergyMeter meter_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool installed_pool_ = false;
+  std::unique_ptr<nvm::NvmDevice> device_;
+  std::vector<std::unique_ptr<ShardJournal>> journals_;
+  // Shards destruct first (declared last): their engines may still hold
+  // background-retrain jobs on pool_ and addresses on device_.
+  std::unique_ptr<std::mutex[]> shard_mu_;
+  std::vector<std::unique_ptr<E2KvStore>> shards_;
+};
+
+}  // namespace e2nvm::core
+
+#endif  // E2NVM_CORE_SHARDED_STORE_H_

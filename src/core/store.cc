@@ -2,6 +2,35 @@
 
 namespace e2nvm::core {
 
+namespace {
+
+/// Model + engine construction shared by the standalone and shard
+/// factories (the stack above the device/controller is identical).
+void BuildModelAndEngine(const StoreConfig& config, uint64_t first_segment,
+                         nvm::MemoryController* ctrl,
+                         std::unique_ptr<E2Model>* model,
+                         std::unique_ptr<PlacementEngine>* engine,
+                         ThreadPool* retrain_pool) {
+  E2ModelConfig mc = config.model;
+  mc.input_dim = config.segment_bits;
+  *model = std::make_unique<E2Model>(mc);
+
+  PlacementEngine::Config ec;
+  ec.first_segment = first_segment;
+  ec.num_segments = config.num_segments;
+  ec.search_best_in_cluster = config.search_best_in_cluster;
+  ec.auto_retrain = config.auto_retrain || config.background_retrain;
+  ec.retrain = config.retrain;
+  ec.retrain_backoff_writes = config.retrain_backoff_writes;
+  ec.reference_inference = config.reference_inference;
+  *engine = std::make_unique<PlacementEngine>(ctrl, model->get(), ec);
+  if (config.background_retrain) {
+    (*engine)->EnableBackgroundRetrain(retrain_pool);
+  }
+}
+
+}  // namespace
+
 E2KvStore::E2KvStore(const StoreConfig& config) : config_(config) {}
 
 E2KvStore::~E2KvStore() {
@@ -37,27 +66,50 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   dc.max_write_retries = config.max_write_retries;
   store->device_ =
       std::make_unique<nvm::NvmDevice>(dc, &store->meter_);
+  store->dev_ = store->device_.get();
   store->ctrl_ = std::make_unique<nvm::MemoryController>(
       store->device_.get(), &store->scheme_, config.num_segments,
       config.psi);
 
-  E2ModelConfig mc = config.model;
-  mc.input_dim = config.segment_bits;
-  store->model_ = std::make_unique<E2Model>(mc);
+  BuildModelAndEngine(config, /*first_segment=*/0, store->ctrl_.get(),
+                      &store->model_, &store->engine_,
+                      /*retrain_pool=*/nullptr);
+  return store;
+}
 
-  PlacementEngine::Config ec;
-  ec.first_segment = 0;
-  ec.num_segments = config.num_segments;
-  ec.search_best_in_cluster = config.search_best_in_cluster;
-  ec.auto_retrain = config.auto_retrain || config.background_retrain;
-  ec.retrain = config.retrain;
-  ec.retrain_backoff_writes = config.retrain_backoff_writes;
-  ec.reference_inference = config.reference_inference;
-  store->engine_ = std::make_unique<PlacementEngine>(
-      store->ctrl_.get(), store->model_.get(), ec);
-  if (config.background_retrain) {
-    store->engine_->EnableBackgroundRetrain();
+StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::CreateShard(
+    const StoreConfig& config, const ShardAttachment& attach) {
+  if (config.num_segments == 0 || config.segment_bits == 0) {
+    return Status::InvalidArgument("empty shard geometry");
   }
+  if (attach.device == nullptr) {
+    return Status::InvalidArgument("shard needs a shared device");
+  }
+  if (config.psi != 0) {
+    return Status::InvalidArgument(
+        "Start-Gap wear leveling cannot run under a shard (gap moves "
+        "would migrate cells across shard ranges)");
+  }
+  if (config.segment_bits != attach.device->segment_bits()) {
+    return Status::InvalidArgument(
+        "shard segment_bits does not match the shared device");
+  }
+  if (attach.first_segment + config.num_segments >
+      attach.device->num_segments()) {
+    return Status::OutOfRange("shard range exceeds the shared device");
+  }
+  std::unique_ptr<E2KvStore> store(new E2KvStore(config));
+  store->dev_ = attach.device;
+  store->first_segment_ = attach.first_segment;
+  // The controller spans the whole shared device (identity mapping, no
+  // leveler); this shard's engine only ever addresses its own range.
+  store->ctrl_ = std::make_unique<nvm::MemoryController>(
+      attach.device, &store->scheme_, attach.device->num_segments(),
+      /*psi=*/0);
+
+  BuildModelAndEngine(config, attach.first_segment, store->ctrl_.get(),
+                      &store->model_, &store->engine_,
+                      attach.retrain_pool);
   return store;
 }
 
@@ -65,7 +117,7 @@ void E2KvStore::Seed(const workload::BitDataset& contents) {
   workload::BitDataset sized =
       workload::ResizeItems(contents, config_.segment_bits);
   for (size_t i = 0; i < config_.num_segments; ++i) {
-    ctrl_->Seed(i, sized.items[i % sized.items.size()]);
+    ctrl_->Seed(first_segment_ + i, sized.items[i % sized.items.size()]);
   }
 }
 

@@ -75,6 +75,31 @@ class E2KvStore {
   static StatusOr<std::unique_ptr<E2KvStore>> Create(
       const StoreConfig& config);
 
+  /// How a shard attaches to resources owned by a ShardedStore.
+  struct ShardAttachment {
+    /// The shared device, already sized to cover every shard. Must
+    /// outlive the store.
+    nvm::NvmDevice* device = nullptr;
+    /// First logical segment of this shard's range; the shard manages
+    /// [first_segment, first_segment + config.num_segments).
+    uint64_t first_segment = 0;
+    /// Shared worker pool for background retraining (nullptr keeps the
+    /// dedicated-thread retrainer). Must outlive the store.
+    ThreadPool* retrain_pool = nullptr;
+  };
+
+  /// Builds one shard of a ShardedStore: the same model/engine/index
+  /// stack as Create, but over a borrowed device and a segment range
+  /// instead of an owned device. `config.num_segments` is the *shard's*
+  /// segment count; `config.psi` must be 0 (Start-Gap would migrate
+  /// cells across shard ranges) and `config.pool_threads` is ignored
+  /// (the ShardedStore owns the one compute pool). With first_segment 0
+  /// and a device covering exactly config.num_segments, behavior is
+  /// bit-identical to Create (the shards=1 determinism contract,
+  /// pinned by tests/sharded_store_test.cc).
+  static StatusOr<std::unique_ptr<E2KvStore>> CreateShard(
+      const StoreConfig& config, const ShardAttachment& attach);
+
   /// Joins any background retraining and uninstalls the compute pool if
   /// this store installed it.
   ~E2KvStore();
@@ -108,7 +133,9 @@ class E2KvStore {
   size_t size() const { return tree_.size(); }
 
   // --- Introspection for experiments ---
-  nvm::NvmDevice& device() { return *device_; }
+  nvm::NvmDevice& device() { return *dev_; }
+  /// First logical segment this store manages (0 unless a shard).
+  uint64_t first_segment() const { return first_segment_; }
   nvm::MemoryController& controller() { return *ctrl_; }
   PlacementEngine& engine() { return *engine_; }
   E2Model& model() { return *model_; }
@@ -123,7 +150,9 @@ class E2KvStore {
   nvm::EnergyMeter meter_;
   std::unique_ptr<ThreadPool> pool_;
   bool installed_pool_ = false;
-  std::unique_ptr<nvm::NvmDevice> device_;
+  std::unique_ptr<nvm::NvmDevice> device_;  // Owned (standalone mode).
+  nvm::NvmDevice* dev_ = nullptr;  // The device in use (owned or shared).
+  uint64_t first_segment_ = 0;
   schemes::Dcw scheme_;
   std::unique_ptr<nvm::MemoryController> ctrl_;
   std::unique_ptr<E2Model> model_;

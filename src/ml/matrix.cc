@@ -20,6 +20,14 @@ std::atomic<ThreadPool*> g_compute_pool{nullptr};
 /// serial).
 constexpr double kMinParallelMacs = 64.0 * 1024.0;
 
+/// Minimum multiply-accumulates in the WHOLE kernel before it dispatches
+/// at all. Below this (inference-sized GEMMs: a MultiPut batch is at
+/// most a few dozen rows) the kernel finishes in tens of microseconds —
+/// fork-join latency is comparable, and splitting the row range
+/// fragments the p-outer loop's B-row reuse. Training-sized GEMMs
+/// (hundreds of rows) clear it easily and still fan out.
+constexpr double kMinParallelTotalMacs = 2.0 * 1024.0 * 1024.0;
+
 /// Splits `rows` into at most 64 blocks (>=1 row each). Row-parallel
 /// kernels write disjoint output rows with unchanged per-row arithmetic,
 /// so any blocking — and any pool size — reproduces the serial result
@@ -40,9 +48,12 @@ size_t WorkGrain(size_t rows, double macs_per_row) {
 }
 
 /// Inline-below-grain check: parallel dispatch only pays when the range
-/// splits into at least two blocks.
-bool UsePool(ThreadPool* pool, size_t rows, size_t grain) {
-  return pool != nullptr && ThreadPool::NumBlocks(rows, grain) > 1;
+/// splits into at least two blocks and the kernel as a whole carries
+/// enough arithmetic to amortize the fork-join.
+bool UsePool(ThreadPool* pool, size_t rows, size_t grain,
+             double total_macs) {
+  return pool != nullptr && total_macs >= kMinParallelTotalMacs &&
+         ThreadPool::NumBlocks(rows, grain) > 1;
 }
 
 }  // namespace
@@ -72,21 +83,36 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   c->EnsureShape(m, n);
   std::fill(c->data().begin(), c->data().end(), 0.0f);
+  // p-outer within each row block: every B row is loaded once per block
+  // and reused across all of the block's A rows, so a batched GEMM
+  // touches B ~block-height times less than row-at-a-time GEMVs would.
+  // Each c[i][j] still accumulates its k products in ascending-p order,
+  // so the result is bit-identical to the naive i-outer loop (this is
+  // what lets MultiPut's one-GEMM placement match sequential Puts).
+  // The av == 1.0f lane matters more than it looks: encoder inputs are
+  // featurized bit patterns (every element 0.0 or 1.0), so the write
+  // path's GEMMs reduce to summing the B rows selected by set bits —
+  // and 1.0f * x == x exactly, so the specialization stays bit-identical
+  // for every input.
   auto rows = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* arow = a.Row(i);
-      float* crow = c->Row(i);
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
+    for (size_t p = 0; p < k; ++p) {
+      const float* brow = b.Row(p);
+      for (size_t i = lo; i < hi; ++i) {
+        const float av = a.Row(i)[p];
         if (av == 0.0f) continue;
-        const float* brow = b.Row(p);
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        float* crow = c->Row(i);
+        if (av == 1.0f) {
+          for (size_t j = 0; j < n; ++j) crow[j] += brow[j];
+        } else {
+          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
       }
     }
   };
   ThreadPool* pool = compute_pool();
-  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
-  if (UsePool(pool, m, grain)) {
+  const double macs_per_row = static_cast<double>(k) * n;
+  const size_t grain = WorkGrain(m, macs_per_row);
+  if (UsePool(pool, m, grain, macs_per_row * m)) {
     pool->ParallelForBlocks(0, m, grain,
                             [&](size_t lo, size_t hi, size_t) {
                               rows(lo, hi);
@@ -119,8 +145,9 @@ void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
     }
   };
   ThreadPool* pool = compute_pool();
-  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
-  if (UsePool(pool, m, grain)) {
+  const double macs_per_row = static_cast<double>(k) * n;
+  const size_t grain = WorkGrain(m, macs_per_row);
+  if (UsePool(pool, m, grain, macs_per_row * m)) {
     pool->ParallelForBlocks(0, m, grain,
                             [&](size_t lo, size_t hi, size_t) {
                               rows(lo, hi);
@@ -141,8 +168,9 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   ThreadPool* pool = compute_pool();
-  const size_t grain = WorkGrain(m, static_cast<double>(k) * n);
-  if (UsePool(pool, m, grain)) {
+  const double macs_per_row = static_cast<double>(k) * n;
+  const size_t grain = WorkGrain(m, macs_per_row);
+  if (UsePool(pool, m, grain, macs_per_row * m)) {
     // Parallel over output rows i (columns of a): each c row accumulates
     // over p in the same ascending order as the serial loop below, so the
     // result is bit-identical; only the loop nest is exchanged.

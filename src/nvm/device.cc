@@ -47,7 +47,10 @@ void NvmDevice::AttachFaultInjector(FaultInjector* injector) {
 
 const BitVector& NvmDevice::ReadSegment(size_t seg) {
   E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
-  ++stats_.reads;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reads;
+  }
   meter_->Charge(EnergyDomain::kPmemRead,
                  model_.ReadPj(config_.segment_bits));
   size_t lines = (config_.segment_bits + kCacheLineBits - 1) / kCacheLineBits;
@@ -55,6 +58,7 @@ const BitVector& NvmDevice::ReadSegment(size_t seg) {
   if (injector_ != nullptr) {
     read_buf_ = segments_[seg];
     if (injector_->MutateRead(seg, &read_buf_)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.read_disturbs;
       return read_buf_;
     }
@@ -101,17 +105,20 @@ void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
 void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
                              bool allow_tear) {
   BitVector target = intended;
-  if (injector_ != nullptr &&
-      injector_->MutateWrite(seg, segments_[seg], &target, allow_tear)) {
-    ++stats_.faults_injected;
-  }
+  bool injected = injector_ != nullptr &&
+                  injector_->MutateWrite(seg, segments_[seg], &target,
+                                         allow_tear);
   size_t dirty = target.DirtyLines(segments_[seg], kCacheLineBits);
   size_t set_bits = 0;
   size_t reset_bits = 0;
   CommitStored(seg, target, &set_bits, &reset_bits);
-  stats_.set_transitions += set_bits;
-  stats_.reset_transitions += reset_bits;
-  stats_.dirty_lines += dirty;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (injected) ++stats_.faults_injected;
+    stats_.set_transitions += set_bits;
+    stats_.reset_transitions += reset_bits;
+    stats_.dirty_lines += dirty;
+  }
   meter_->Charge(EnergyDomain::kPmemWrite,
                  model_.WritePj(set_bits, reset_bits, dirty));
   meter_->AdvanceTime(model_.WriteNs(dirty));
@@ -128,11 +135,14 @@ WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
            "scheme %s produced wrong stored size",
            std::string(scheme.name()).c_str());
 
-  ++stats_.writes;
   ++seg_writes_[seg];
-  stats_.data_bits_flipped += result.data_bits_flipped;
-  stats_.aux_bits_flipped += result.aux_bits_flipped;
-  stats_.logical_bits_written += data.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+    stats_.data_bits_flipped += result.data_bits_flipped;
+    stats_.aux_bits_flipped += result.aux_bits_flipped;
+    stats_.logical_bits_written += data.size();
+  }
   uint64_t torn_before =
       injector_ != nullptr ? injector_->stats().torn_writes : 0;
 
@@ -151,8 +161,11 @@ WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
     size_t max_attempts = std::max<size_t>(config_.max_write_retries, 1);
     while (!(segments_[seg] == result.stored) && attempts < max_attempts) {
       ++attempts;
-      ++stats_.verify_retries;
       ++result.verify_retries;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.verify_retries;
+      }
       ProgramCells(seg, result.stored, /*allow_tear=*/true);
     }
     if (!(segments_[seg] == result.stored)) {
@@ -161,18 +174,23 @@ WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
       // intended image with a final careful (no-tear) pulse.
       std::vector<size_t> bad = DiffBits(segments_[seg], result.stored);
       if (injector_->RepairCells(seg, bad)) {
-        stats_.repaired_cells += bad.size();
-        ++stats_.verify_retries;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.repaired_cells += bad.size();
+          ++stats_.verify_retries;
+        }
         ++result.verify_retries;
         ProgramCells(seg, result.stored, /*allow_tear=*/false);
       }
       if (!(segments_[seg] == result.stored)) {
         result.verify_failed = true;
+        std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.verify_failures;
       }
     }
   }
   if (injector_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.torn_writes += injector_->stats().torn_writes - torn_before;
   }
   return result;
@@ -201,18 +219,24 @@ void NvmDevice::MigrateSegment(size_t src, size_t dst) {
   size_t reset_bits = 0;
   ++seg_writes_[dst];
   CommitStored(dst, stored, &set_bits, &reset_bits);
-  ++stats_.writes;
-  stats_.data_bits_flipped += flips;
-  stats_.set_transitions += set_bits;
-  stats_.reset_transitions += reset_bits;
-  stats_.dirty_lines += dirty;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+    stats_.data_bits_flipped += flips;
+    stats_.set_transitions += set_bits;
+    stats_.reset_transitions += reset_bits;
+    stats_.dirty_lines += dirty;
+  }
   meter_->Charge(EnergyDomain::kPmemWrite,
                  model_.WritePj(set_bits, reset_bits, dirty) +
                      model_.ReadPj(config_.segment_bits));
   meter_->AdvanceTime(model_.WriteNs(dirty));
 }
 
-void NvmDevice::ResetStats() { stats_ = DeviceStats{}; }
+void NvmDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = DeviceStats{};
+}
 
 Histogram NvmDevice::SegmentWriteHistogram() const {
   Histogram h;

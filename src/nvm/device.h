@@ -2,6 +2,7 @@
 #define E2NVM_NVM_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -80,6 +81,16 @@ struct DeviceStats {
 /// reduction ... cannot be measured using the real device") and shows
 /// (Fig 1) that Optane energy is monotone in flips, which is precisely the
 /// coupling this model implements.
+///
+/// Concurrency (DESIGN.md §10): one device may serve N shards, each
+/// reading/writing only its own segment range from its own thread.
+/// Per-segment state (cells, write counts, bit wear) needs no locking
+/// under that discipline; the *shared* aggregate counters (`stats_`) are
+/// guarded by an internal mutex, and the EnergyMeter synchronizes itself.
+/// `stats()` is a plain reference — snapshot it only while no writer is
+/// active (after joining client threads). Fault injection is NOT
+/// concurrency-safe (the injector and `read_buf_` are shared); attach an
+/// injector only to single-caller devices.
 class NvmDevice {
  public:
   /// Creates a device with all cells zero. The meter is optional; if null,
@@ -161,6 +172,9 @@ class NvmDevice {
   void ProgramCells(size_t seg, const BitVector& intended, bool allow_tear);
 
   DeviceConfig config_;
+  /// Guards `stats_` — the only cross-segment mutable state — so shards
+  /// writing disjoint segments from different threads stay race-free.
+  mutable std::mutex stats_mu_;
   std::vector<BitVector> segments_;
   std::vector<uint64_t> seg_writes_;
   std::vector<uint32_t> bit_wear_;  // Flattened [seg * segment_bits + bit].

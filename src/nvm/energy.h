@@ -2,6 +2,7 @@
 #define E2NVM_NVM_ENERGY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,45 +27,74 @@ enum class EnergyDomain : int {
 ///
 /// The meter also carries a simulated clock (nanoseconds) so timeline
 /// experiments (Fig 16) can plot cumulative energy against simulated time.
+///
+/// Thread-safe: charges take an internal mutex, so one meter can absorb
+/// concurrent accounting from every shard of a ShardedStore (the shared
+/// device charges reads/writes while each shard's engine charges model
+/// flops). Under concurrency the accumulation order — and hence the
+/// floating-point rounding — depends on the interleaving; with a single
+/// caller the sums are bit-identical to the pre-lock implementation.
+/// `now_ns` accumulates *serialized* simulated time: concurrent charges
+/// from N shards add up as if the operations ran back to back.
 class EnergyMeter {
  public:
   /// Adds `pj` picojoules to `domain`.
   void Charge(EnergyDomain domain, double pj) {
+    std::lock_guard<std::mutex> lock(mu_);
     pj_[static_cast<int>(domain)] += pj;
   }
 
   /// Advances the simulated clock.
-  void AdvanceTime(double ns) { now_ns_ += ns; }
+  void AdvanceTime(double ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ns_ += ns;
+  }
 
-  double now_ns() const { return now_ns_; }
+  double now_ns() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_ns_;
+  }
 
   /// Energy of one domain, picojoules.
   double DomainPj(EnergyDomain domain) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return pj_[static_cast<int>(domain)];
   }
 
   /// Total "package" energy across all domains, picojoules.
   double TotalPj() const {
-    double s = 0;
-    for (double v : pj_) s += v;
-    return s;
+    std::lock_guard<std::mutex> lock(mu_);
+    return TotalPjLocked();
   }
 
   /// Total energy in millijoules, convenient for printing.
   double TotalMj() const { return TotalPj() * 1e-9; }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (double& v : pj_) v = 0;
     now_ns_ = 0;
   }
 
   /// Records a (time, cumulative total energy) sample, for timelines.
-  void Sample() { samples_.emplace_back(now_ns_, TotalPj()); }
+  void Sample() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.emplace_back(now_ns_, TotalPjLocked());
+  }
+  /// Timeline samples. Not synchronized: read only while no charger is
+  /// active (the timeline harnesses are single-threaded).
   const std::vector<std::pair<double, double>>& samples() const {
     return samples_;
   }
 
  private:
+  double TotalPjLocked() const {
+    double s = 0;
+    for (double v : pj_) s += v;
+    return s;
+  }
+
+  mutable std::mutex mu_;
   double pj_[static_cast<int>(EnergyDomain::kNumDomains)] = {0, 0, 0, 0};
   double now_ns_ = 0;
   std::vector<std::pair<double, double>> samples_;

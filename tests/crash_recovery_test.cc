@@ -3,9 +3,11 @@
 #include <cstring>
 #include <vector>
 
+#include "core/sharded_store.h"
 #include "pmem/allocator.h"
 #include "pmem/pool.h"
 #include "pmem/tx.h"
+#include "workload/datasets.h"
 
 namespace e2nvm::pmem {
 namespace {
@@ -135,3 +137,137 @@ TEST(CrashRecoveryTest, OpenFromImageValidatesHeader) {
 
 }  // namespace
 }  // namespace e2nvm::pmem
+
+namespace e2nvm::core {
+namespace {
+
+// Crash consistency of the sharded store's per-shard journals: a power
+// loss at ANY persist ordinal inside one shard's journal Append must
+// (a) leave that shard's journal replaying to an exact prefix of its
+// appended operations — the in-flight record either fully visible or
+// fully invisible — and (b) leave every other shard's journal byte-intact,
+// since shards journal into independent pools.
+
+constexpr size_t kCrashShards = 2;
+constexpr size_t kCrashSegments = 64;  // Per shard.
+constexpr size_t kCrashBits = 128;
+
+std::unique_ptr<ShardedStore> MakeJournaledStore() {
+  workload::ProtoConfig pc;
+  pc.dim = kCrashBits;
+  pc.num_classes = 4;
+  pc.samples = kCrashSegments + 16;
+  pc.noise = 0.03;
+  pc.seed = 41;
+  auto ds = workload::MakeProtoDataset(pc);
+
+  ShardedStoreConfig cfg;
+  cfg.num_shards = kCrashShards;
+  cfg.shard.num_segments = kCrashSegments;
+  cfg.shard.segment_bits = kCrashBits;
+  cfg.shard.model.k = 4;
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.model.finetune_rounds = 1;
+  cfg.journal = true;
+  cfg.journal_capacity = 128;
+  auto store_or = ShardedStore::Create(cfg);
+  EXPECT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  EXPECT_TRUE(store->Bootstrap().ok());
+  return store;
+}
+
+BitVector ValueFor(uint64_t key) {
+  BitVector v(kCrashBits);
+  for (size_t i = 0; i < kCrashBits; ++i) {
+    v.Set(i, ((key * 0x9E3779B97F4A7C15ull) >> (i % 64)) & 1);
+  }
+  return v;
+}
+
+TEST(ShardedCrashRecovery, MidPutCrashOnOneShardLeavesOthersIntact) {
+  auto store = MakeJournaledStore();
+
+  // Collect keys owned by each shard.
+  std::vector<std::vector<uint64_t>> keys(kCrashShards);
+  for (uint64_t key = 0; keys[0].size() < 40 || keys[1].size() < 8;
+       ++key) {
+    keys[store->ShardOf(key)].push_back(key);
+  }
+
+  // Committed baseline on both shards.
+  const size_t kBaseline1 = 8;
+  for (size_t i = 0; i < kBaseline1; ++i) {
+    ASSERT_TRUE(store->Put(keys[1][i], ValueFor(keys[1][i])).ok());
+  }
+  const size_t kBaseline0 = 4;
+  for (size_t i = 0; i < kBaseline0; ++i) {
+    ASSERT_TRUE(store->Put(keys[0][i], ValueFor(keys[0][i])).ok());
+  }
+
+  // Count the persist ordinals inside one shard-0 journal Append.
+  pmem::CrashPoint cp;
+  store->journal(0)->pool().SetCrashPoint(&cp);
+  cp.ArmAt(1'000'000);
+  size_t next0 = kBaseline0;
+  ASSERT_TRUE(
+      store->Put(keys[0][next0], ValueFor(keys[0][next0])).ok());
+  ++next0;
+  const uint64_t body = cp.persists_seen();
+  ASSERT_GE(body, 4u);  // Begin, slot, undo snapshot, count, commit.
+
+  for (uint64_t k = 0; k < body; ++k) {
+    // Fire the crash at the k-th persist of a fresh key's Append. The
+    // live store keeps running (the CrashPoint only captures an image),
+    // so one store serves every ordinal.
+    cp.ArmAt(k);
+    const uint64_t key = keys[0][next0];
+    ASSERT_TRUE(store->Put(key, ValueFor(key)).ok()) << "k=" << k;
+    ++next0;
+    ASSERT_TRUE(cp.fired()) << "k=" << k;
+
+    // (a) The crashed shard's journal replays to an exact prefix: every
+    // append before this Put, plus at most the in-flight record.
+    auto replay_or = ShardJournal::ReplayImage(cp.image());
+    ASSERT_TRUE(replay_or.ok())
+        << "k=" << k << ": " << replay_or.status().ToString();
+    const auto& replayed = *replay_or;
+    const size_t before = next0 - 1;  // Appends committed before this Put.
+    ASSERT_TRUE(replayed.size() == before ||
+                replayed.size() == before + 1)
+        << "k=" << k << " replayed " << replayed.size()
+        << " records, expected " << before << " or " << before + 1;
+    for (size_t i = 0; i < replayed.size(); ++i) {
+      EXPECT_EQ(replayed[i].op, ShardJournal::Op::kPut) << "k=" << k;
+      EXPECT_EQ(replayed[i].key, keys[0][i]) << "k=" << k;
+      EXPECT_EQ(replayed[i].value, ValueFor(keys[0][i])) << "k=" << k;
+    }
+
+    // (b) The other shard's journal is untouched by the crash.
+    auto other_or =
+        ShardJournal::ReplayImage(store->journal(1)->SnapshotImage());
+    ASSERT_TRUE(other_or.ok()) << "k=" << k;
+    ASSERT_EQ(other_or->size(), kBaseline1) << "k=" << k;
+    for (size_t i = 0; i < kBaseline1; ++i) {
+      EXPECT_EQ((*other_or)[i].key, keys[1][i]) << "k=" << k;
+      EXPECT_EQ((*other_or)[i].value, ValueFor(keys[1][i])) << "k=" << k;
+    }
+  }
+  store->journal(0)->pool().SetCrashPoint(nullptr);
+
+  // The live store itself was never disturbed by the image captures.
+  for (size_t i = 0; i < next0; ++i) {
+    auto got = store->Get(keys[0][i]);
+    ASSERT_TRUE(got.ok()) << "key " << keys[0][i];
+    EXPECT_EQ(*got, ValueFor(keys[0][i]));
+  }
+  for (size_t i = 0; i < kBaseline1; ++i) {
+    auto got = store->Get(keys[1][i]);
+    ASSERT_TRUE(got.ok()) << "key " << keys[1][i];
+    EXPECT_EQ(*got, ValueFor(keys[1][i]));
+  }
+}
+
+}  // namespace
+}  // namespace e2nvm::core

@@ -1,0 +1,285 @@
+// ShardedStore unit tests: the shards=1 determinism contract (bit-identical
+// placements, flips and retrain schedule vs a plain E2KvStore), merged
+// stats across shards, shard-range containment, construction validation,
+// and the ShardJournal append/replay protocol.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/shard_journal.h"
+#include "core/sharded_store.h"
+#include "core/store.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::core {
+namespace {
+
+constexpr size_t kSegments = 128;  // Per shard.
+constexpr size_t kBits = 256;
+constexpr uint64_t kKeys = 48;
+
+workload::BitDataset ClusteredData(uint64_t seed) {
+  workload::ProtoConfig cfg;
+  cfg.dim = kBits;
+  cfg.num_classes = 4;
+  cfg.samples = kSegments + 64;
+  cfg.noise = 0.03;
+  cfg.seed = seed;
+  return workload::MakeProtoDataset(cfg);
+}
+
+StoreConfig ShardConfig(bool background_retrain = false) {
+  StoreConfig sc;
+  sc.num_segments = kSegments;
+  sc.segment_bits = kBits;
+  sc.model.k = 4;
+  sc.model.pretrain_epochs = 2;
+  sc.model.finetune_rounds = 1;
+  sc.auto_retrain = true;
+  sc.background_retrain = background_retrain;
+  sc.retrain.min_free_per_cluster = 8;
+  return sc;
+}
+
+std::unique_ptr<E2KvStore> MakePlainStore(const workload::BitDataset& ds,
+                                          bool background_retrain = false) {
+  auto store_or = E2KvStore::Create(ShardConfig(background_retrain));
+  EXPECT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  EXPECT_TRUE(store->Bootstrap().ok());
+  return store;
+}
+
+std::unique_ptr<ShardedStore> MakeSharded(const workload::BitDataset& ds,
+                                          size_t num_shards,
+                                          bool background_retrain = false,
+                                          bool journal = false) {
+  ShardedStoreConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.shard = ShardConfig(background_retrain);
+  cfg.journal = journal;
+  auto store_or = ShardedStore::Create(cfg);
+  EXPECT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  EXPECT_TRUE(store->Bootstrap().ok());
+  return store;
+}
+
+TEST(ShardedStore, OneShardIsBitIdenticalToPlainStore) {
+  for (uint64_t seed : {2u, 11u}) {
+    auto ds = ClusteredData(seed);
+    auto plain = MakePlainStore(ds);
+    auto sharded = MakeSharded(ds, /*num_shards=*/1);
+    for (uint64_t i = 0; i < 300; ++i) {
+      const auto& v = ds.items[i % ds.items.size()];
+      ASSERT_TRUE(plain->Put(i % kKeys, v).ok()) << "seed " << seed;
+      ASSERT_TRUE(sharded->Put(i % kKeys, v).ok()) << "seed " << seed;
+    }
+    E2KvStore& shard = sharded->shard(0);
+    // Same final address for every key...
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      EXPECT_EQ(plain->tree().Get(key), shard.tree().Get(key))
+          << "seed " << seed << " key " << key;
+    }
+    // ...the same device activity bit for bit...
+    EXPECT_EQ(plain->device().stats().writes,
+              sharded->device().stats().writes);
+    EXPECT_EQ(plain->device().stats().data_bits_flipped,
+              sharded->device().stats().data_bits_flipped);
+    EXPECT_EQ(plain->device().stats().dirty_lines,
+              sharded->device().stats().dirty_lines);
+    // ...and the same engine schedule (placements, fallbacks, retrains).
+    EXPECT_EQ(plain->engine().stats().placements,
+              shard.engine().stats().placements);
+    EXPECT_EQ(plain->engine().stats().fallback_placements,
+              shard.engine().stats().fallback_placements);
+    EXPECT_EQ(plain->engine().stats().retrains,
+              shard.engine().stats().retrains);
+    EXPECT_GT(shard.engine().stats().retrains, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ShardedStore, OneShardBackgroundRetrainScheduleMatchesPlainStore) {
+  // Drain each in-flight shadow training deterministically after every op
+  // (the fastpath_equivalence_test pattern) so swaps land at the same
+  // operation index on both sides.
+  auto ds = ClusteredData(17);
+  auto plain = MakePlainStore(ds, /*background_retrain=*/true);
+  auto sharded = MakeSharded(ds, /*num_shards=*/1,
+                             /*background_retrain=*/true);
+  auto drain = [](E2KvStore& s) {
+    while (s.engine().RetrainInFlight()) {
+    }
+    s.engine().PumpBackgroundRetrain();
+  };
+  for (uint64_t i = 0; i < 300; ++i) {
+    const auto& v = ds.items[i % ds.items.size()];
+    ASSERT_TRUE(plain->Put(i % kKeys, v).ok());
+    ASSERT_TRUE(sharded->Put(i % kKeys, v).ok());
+    drain(*plain);
+    drain(sharded->shard(0));
+    ASSERT_EQ(plain->engine().model_generation(),
+              sharded->shard(0).engine().model_generation())
+        << "op " << i;
+  }
+  EXPECT_GT(sharded->shard(0).engine().model_generation(), 0u);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(plain->tree().Get(key), sharded->shard(0).tree().Get(key));
+  }
+  EXPECT_EQ(plain->device().stats().data_bits_flipped,
+            sharded->device().stats().data_bits_flipped);
+}
+
+TEST(ShardedStore, SnapshotMergesEngineStatsAcrossShards) {
+  auto ds = ClusteredData(5);
+  auto sharded = MakeSharded(ds, /*num_shards=*/4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(sharded->Put(i % 96, ds.items[i % ds.items.size()]).ok());
+  }
+  auto snap = sharded->TakeSnapshot();
+  uint64_t placements = 0, releases = 0;
+  size_t keys = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    placements += sharded->shard(s).engine().stats().placements;
+    releases += sharded->shard(s).engine().stats().releases;
+    keys += sharded->shard(s).size();
+  }
+  EXPECT_EQ(snap.engine.placements, placements);
+  EXPECT_EQ(snap.engine.releases, releases);
+  EXPECT_EQ(snap.engine.placements, 200u);
+  EXPECT_EQ(snap.keys, keys);
+  EXPECT_EQ(snap.keys, sharded->size());
+  EXPECT_EQ(snap.device.writes, sharded->device().stats().writes);
+  EXPECT_GT(snap.total_pj, 0.0);
+}
+
+TEST(ShardedStore, ShardsPlaceOnlyInsideTheirSegmentRange) {
+  auto ds = ClusteredData(7);
+  auto sharded = MakeSharded(ds, /*num_shards=*/4);
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(sharded->Put(i % 96, ds.items[i % ds.items.size()]).ok());
+  }
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    const uint64_t first = sharded->shard(s).first_segment();
+    EXPECT_EQ(first, s * kSegments);
+    sharded->shard(s).tree().ForEach([&](uint64_t key, uint64_t addr) {
+      EXPECT_EQ(sharded->ShardOf(key), s) << "key " << key;
+      EXPECT_GE(addr, first) << "key " << key;
+      EXPECT_LT(addr, first + kSegments) << "key " << key;
+    });
+  }
+}
+
+TEST(ShardedStore, RejectsInvalidConfigs) {
+  ShardedStoreConfig cfg;
+  cfg.num_shards = 0;
+  EXPECT_FALSE(ShardedStore::Create(cfg).ok());
+  cfg.num_shards = 2;
+  cfg.shard = ShardConfig();
+  cfg.shard.psi = 64;
+  EXPECT_FALSE(ShardedStore::Create(cfg).ok());
+}
+
+TEST(ShardedStore, CreateShardValidatesAttachment) {
+  StoreConfig sc = ShardConfig();
+  nvm::DeviceConfig dc;
+  dc.num_segments = kSegments;
+  dc.segment_bits = kBits;
+  nvm::EnergyMeter meter;
+  nvm::NvmDevice device(dc, &meter);
+
+  E2KvStore::ShardAttachment attach;
+  EXPECT_FALSE(E2KvStore::CreateShard(sc, attach).ok());  // No device.
+  attach.device = &device;
+  attach.first_segment = 1;  // Range [1, 1+kSegments) overflows.
+  EXPECT_FALSE(E2KvStore::CreateShard(sc, attach).ok());
+  attach.first_segment = 0;
+  sc.psi = 64;  // Start-Gap under a shard.
+  EXPECT_FALSE(E2KvStore::CreateShard(sc, attach).ok());
+  sc.psi = 0;
+  EXPECT_TRUE(E2KvStore::CreateShard(sc, attach).ok());
+}
+
+TEST(ShardJournal, AppendsReplayInOrder) {
+  auto j_or = ShardJournal::Create(/*capacity=*/16, /*max_value_bits=*/96);
+  ASSERT_TRUE(j_or.ok());
+  auto j = std::move(*j_or);
+  EXPECT_EQ(j->count(), 0u);
+
+  BitVector a = BitVector::FromString("1011");
+  BitVector b(96);
+  b.Set(0, true);
+  b.Set(95, true);
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, 7, a).ok());
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, 9, b).ok());
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kDelete, 7, BitVector()).ok());
+  EXPECT_EQ(j->count(), 3u);
+
+  auto records_or = ShardJournal::ReplayImage(j->SnapshotImage());
+  ASSERT_TRUE(records_or.ok());
+  const auto& records = *records_or;
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].op, ShardJournal::Op::kPut);
+  EXPECT_EQ(records[0].key, 7u);
+  EXPECT_EQ(records[0].value, a);
+  EXPECT_EQ(records[1].key, 9u);
+  EXPECT_EQ(records[1].value, b);
+  EXPECT_EQ(records[2].op, ShardJournal::Op::kDelete);
+  EXPECT_TRUE(records[2].value.empty());
+}
+
+TEST(ShardJournal, RejectsOverflowAndOversizedValues) {
+  auto j_or = ShardJournal::Create(/*capacity=*/2, /*max_value_bits=*/64);
+  ASSERT_TRUE(j_or.ok());
+  auto j = std::move(*j_or);
+  BitVector wide(65);
+  EXPECT_FALSE(j->Append(ShardJournal::Op::kPut, 1, wide).ok());
+  BitVector v(64);
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, 1, v).ok());
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, 2, v).ok());
+  EXPECT_FALSE(j->Append(ShardJournal::Op::kPut, 3, v).ok());
+  EXPECT_EQ(j->count(), 2u);
+}
+
+TEST(ShardedStore, JournaledShardsRecordEveryOperation) {
+  auto ds = ClusteredData(9);
+  auto sharded = MakeSharded(ds, /*num_shards=*/2,
+                             /*background_retrain=*/false,
+                             /*journal=*/true);
+  for (uint64_t key = 0; key < 20; ++key) {
+    ASSERT_TRUE(sharded->Put(key, ds.items[key % ds.items.size()]).ok());
+  }
+  ASSERT_TRUE(sharded->Delete(3).ok());
+  size_t journaled = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    ASSERT_NE(sharded->journal(s), nullptr);
+    journaled += sharded->journal(s)->count();
+  }
+  EXPECT_EQ(journaled, 21u);  // 20 puts + 1 delete.
+  // Replaying a shard's journal reproduces that shard's live key set.
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    auto records_or =
+        ShardJournal::ReplayImage(sharded->journal(s)->SnapshotImage());
+    ASSERT_TRUE(records_or.ok());
+    std::unordered_map<uint64_t, BitVector> replayed;
+    for (const auto& r : *records_or) {
+      if (r.op == ShardJournal::Op::kPut) {
+        replayed[r.key] = r.value;
+      } else {
+        replayed.erase(r.key);
+      }
+    }
+    EXPECT_EQ(replayed.size(), sharded->shard(s).size());
+    for (const auto& [key, value] : replayed) {
+      auto got = sharded->Get(key);
+      ASSERT_TRUE(got.ok()) << "key " << key;
+      EXPECT_EQ(*got, value) << "key " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2nvm::core

@@ -1,0 +1,224 @@
+// Concurrent stress of the sharded store, written to run under TSan
+// (registered in the E2NVM_SANITIZE=thread stage of scripts/check.sh):
+//
+//  - 8 client threads drive a mixed PUT/GET/DELETE/MultiPut workload over
+//    disjoint key stripes with background retraining forced on, while a
+//    monitor thread takes merged snapshots and pumps retrain swaps. After
+//    join, every stripe's shadow oracle must agree with the store and the
+//    per-shard DAP conservation invariant must hold.
+//
+//  - A same-shard hammer aims every thread at ONE shard, so the shard
+//    mutex is the only thing between concurrent callers and the
+//    placement engine's unsynchronized internals (Release's
+//    placed_cluster_ memo, EngineStats counters) — the regression test
+//    for the engine's documented external-locking contract.
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sharded_store.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::core {
+namespace {
+
+constexpr size_t kShards = 4;
+constexpr size_t kSegmentsPerShard = 128;
+constexpr size_t kBits = 256;
+constexpr size_t kThreads = 8;
+
+workload::BitDataset ClusteredData(uint64_t seed) {
+  workload::ProtoConfig cfg;
+  cfg.dim = kBits;
+  cfg.num_classes = 4;
+  cfg.samples = kSegmentsPerShard + 32;
+  cfg.noise = 0.03;
+  cfg.seed = seed;
+  return workload::MakeProtoDataset(cfg);
+}
+
+std::unique_ptr<ShardedStore> MakeStore(const workload::BitDataset& ds,
+                                        size_t num_shards,
+                                        size_t pool_threads,
+                                        size_t min_free_per_cluster = 8) {
+  ShardedStoreConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.shard.num_segments = kSegmentsPerShard;
+  cfg.shard.segment_bits = kBits;
+  cfg.shard.model.k = 4;
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.model.finetune_rounds = 1;
+  cfg.shard.auto_retrain = true;
+  cfg.shard.background_retrain = true;
+  cfg.shard.retrain.min_free_per_cluster = min_free_per_cluster;
+  cfg.pool_threads = pool_threads;
+  auto store_or = ShardedStore::Create(cfg);
+  EXPECT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  EXPECT_TRUE(store->Bootstrap().ok());
+  return store;
+}
+
+void CheckConservation(ShardedStore& store) {
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    E2KvStore& shard = store.shard(s);
+    EXPECT_EQ(shard.engine().pool().TotalFree() + shard.size(),
+              kSegmentsPerShard)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedStress, ConcurrentMixedWorkloadAgreesWithOracles) {
+  auto ds = ClusteredData(29);
+  auto store = MakeStore(ds, kShards, /*pool_threads=*/2);
+
+  // Thread t owns keys with key % kThreads == t: stripes are disjoint, so
+  // each thread's private oracle is exact, while stripes interleave
+  // across shards so every shard sees contention from several threads.
+  const uint64_t keys_per_thread = 32;
+  const size_t ops_per_thread = 300;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> stop_monitor{false};
+
+  std::thread monitor([&] {
+    while (!stop_monitor.load(std::memory_order_acquire)) {
+      auto snap = store->TakeSnapshot();
+      if (snap.keys > kThreads * keys_per_thread) {
+        failed.store(true, std::memory_order_release);
+      }
+      store->PumpRetrains();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::unordered_map<uint64_t, BitVector>> oracles(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      auto& oracle = oracles[t];
+      auto pick_key = [&] {
+        return t + kThreads * rng.NextBounded(keys_per_thread);
+      };
+      for (size_t op = 0; op < ops_per_thread && !failed.load(); ++op) {
+        const double dice = rng.NextDouble();
+        const uint64_t key = pick_key();
+        if (dice < 0.50) {
+          BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+          v.FlipRandomBits(rng.NextBounded(4), rng);
+          if (!store->Put(key, v).ok()) failed.store(true);
+          oracle[key] = std::move(v);
+        } else if (dice < 0.62) {
+          bool ok = store->Delete(key).ok();
+          if (ok != (oracle.erase(key) > 0)) failed.store(true);
+        } else if (dice < 0.90) {
+          auto got = store->Get(key);
+          auto it = oracle.find(key);
+          if (got.ok() != (it != oracle.end())) failed.store(true);
+          if (got.ok() && !(*got == it->second)) failed.store(true);
+        } else {
+          std::vector<std::pair<uint64_t, BitVector>> kvs;
+          for (size_t i = 0; i < 6; ++i) {
+            BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+            v.FlipRandomBits(rng.NextBounded(4), rng);
+            kvs.emplace_back(pick_key(), std::move(v));
+          }
+          if (!store->MultiPut(kvs).ok()) failed.store(true);
+          for (auto& [k, v] : kvs) oracle[k] = std::move(v);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop_monitor.store(true, std::memory_order_release);
+  monitor.join();
+  ASSERT_FALSE(failed.load()) << "a concurrent operation misbehaved";
+
+  // Quiescent: every stripe agrees with its oracle.
+  size_t live = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (const auto& [key, value] : oracles[t]) {
+      auto got = store->Get(key);
+      ASSERT_TRUE(got.ok()) << "thread " << t << " key " << key;
+      ASSERT_EQ(*got, value) << "thread " << t << " key " << key;
+    }
+    live += oracles[t].size();
+  }
+  EXPECT_EQ(store->size(), live);
+  CheckConservation(*store);
+
+  auto snap = store->TakeSnapshot();
+  EXPECT_EQ(snap.keys, live);
+  EXPECT_GT(snap.engine.placements, 0u);
+  EXPECT_GT(snap.total_pj, 0.0);
+}
+
+TEST(ShardedStress, SameShardHammerSerializesEngineInternals) {
+  // Every thread targets keys of shard 0 only: all contention lands on
+  // one mutex, one engine, one DAP — with background retraining swapping
+  // models underneath. TSan verifies the shard mutex is sufficient to
+  // serialize the engine's unsynchronized state (its documented
+  // threading contract); the oracle check verifies nothing was lost.
+  auto ds = ClusteredData(31);
+  // A high per-cluster free floor (~the 128/4 average with two dozen
+  // live keys) keeps the retrain trigger firing throughout the hammer.
+  auto store = MakeStore(ds, kShards, /*pool_threads=*/2,
+                         /*min_free_per_cluster=*/28);
+
+  // Precompute a pool of keys owned by shard 0.
+  std::vector<uint64_t> shard0_keys;
+  for (uint64_t key = 0; shard0_keys.size() < 24; ++key) {
+    if (store->ShardOf(key) == 0) shard0_keys.push_back(key);
+  }
+
+  constexpr size_t kHammerThreads = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  // Stripe the shard-0 key pool across threads (disjoint, exact oracles).
+  std::vector<std::unordered_map<uint64_t, BitVector>> oracles(
+      kHammerThreads);
+  for (size_t t = 0; t < kHammerThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      auto& oracle = oracles[t];
+      for (size_t op = 0; op < 250 && !failed.load(); ++op) {
+        uint64_t key =
+            shard0_keys[t + kHammerThreads *
+                                rng.NextBounded(shard0_keys.size() /
+                                                kHammerThreads)];
+        if (rng.NextDouble() < 0.7) {
+          BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+          v.FlipRandomBits(rng.NextBounded(4), rng);
+          if (!store->Put(key, v).ok()) failed.store(true);
+          oracle[key] = std::move(v);
+        } else {
+          bool ok = store->Delete(key).ok();
+          if (ok != (oracle.erase(key) > 0)) failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  ASSERT_FALSE(failed.load());
+  for (size_t t = 0; t < kHammerThreads; ++t) {
+    for (const auto& [key, value] : oracles[t]) {
+      auto got = store->Get(key);
+      ASSERT_TRUE(got.ok()) << "key " << key;
+      ASSERT_EQ(*got, value) << "key " << key;
+    }
+  }
+  CheckConservation(*store);
+  // The hammer must actually have exercised retraining on shard 0 for
+  // the regression to mean anything.
+  EXPECT_GT(store->shard(0).engine().stats().background_retrains, 0u);
+}
+
+}  // namespace
+}  // namespace e2nvm::core
