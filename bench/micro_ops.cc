@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "common/kernels.h"
 #include "core/sharded_store.h"
 #include "core/store.h"
 #include "placement/clusterer.h"
@@ -309,16 +310,42 @@ OpsResult RunBatchedBench(size_t pool_threads, bool background_retrain) {
     batches.push_back(std::move(kvs));
   }
 
+  // alloc_per_put here is the *steady-state write path*: the warm-up
+  // batches (first insertion of each key in the universe grows the
+  // index and the scratch buffers/rings to working size) and any batch
+  // during which a retrain launched or was adopted (gathering the
+  // training snapshot / rebuilding the DAP allocates, by design, on the
+  // calling thread) are excluded from the allocation accounting — they
+  // are one-off events, not per-PUT cost. Throughput still covers the
+  // whole stream, retrains included.
   OpsResult r;
-  uint64_t alloc0 = t_alloc_count;
+  uint64_t steady_allocs = 0;
+  uint64_t steady_puts = 0;
+  const size_t warmup_batches = (p.keys + p.batch - 1) / p.batch;
+  auto retrain_epoch = [&] {
+    const auto& st = store->engine().stats();
+    return st.retrains + st.background_retrains + st.failed_retrains;
+  };
   auto t0 = Clock::now();
-  for (const auto& kvs : batches) {
-    if (!store->MultiPut(kvs).ok()) std::abort();
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const uint64_t a0 = t_alloc_count;
+    const uint64_t e0 = retrain_epoch();
+    if (!store->MultiPut(batches[bi]).ok()) std::abort();
+    if (bi >= warmup_batches && retrain_epoch() == e0) {
+      steady_allocs += t_alloc_count - a0;
+      steady_puts += batches[bi].size();
+      if (t_alloc_count != a0 &&
+          std::getenv("E2NVM_OPS_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[batched] batch %zu allocated %llu\n", bi,
+                     (unsigned long long)(t_alloc_count - a0));
+      }
+    }
   }
   double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
   r.put_ops_s = p.puts / put_s;
-  r.alloc_per_put =
-      static_cast<double>(t_alloc_count - alloc0) / p.puts;
+  r.alloc_per_put = steady_puts > 0
+                        ? static_cast<double>(steady_allocs) / steady_puts
+                        : 0.0;
   r.retrains = store->engine().stats().retrains;
   r.background_retrains = store->engine().stats().background_retrains;
   if (std::getenv("E2NVM_OPS_DEBUG") != nullptr) {
@@ -511,11 +538,29 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                  static_cast<unsigned long long>(r.background_retrains),
                  last ? "" : ",");
   };
-  std::fprintf(f, "{\n  \"pool_threads\": %u,\n  \"batch_size\": %zu,\n",
-               threads, batch);
+  std::fprintf(f,
+               "{\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"simd_level\": \"%s\",\n"
+               "  \"pool_threads\": %u,\n"
+               "  \"batch_size\": %zu,\n",
+               std::thread::hardware_concurrency(),
+               SimdLevelName(ActiveSimdLevel()), threads, batch);
   emit("serial_sync_retrain", serial, false);
   emit("pooled_background_retrain", pooled, false);
-  emit("batched_put", batched, false);
+  // The batched section only measures the PUT stream: no keys for the
+  // GET/DELETE/latency fields it never timed, instead of fake zeros a
+  // reader could mistake for measurements.
+  std::fprintf(f,
+               "  \"batched_put\": {\n"
+               "    \"put_ops_per_s\": %.1f,\n"
+               "    \"alloc_per_put\": %.2f,\n"
+               "    \"retrains\": %llu,\n"
+               "    \"background_retrains\": %llu\n"
+               "  },\n",
+               batched.put_ops_s, batched.alloc_per_put,
+               static_cast<unsigned long long>(batched.retrains),
+               static_cast<unsigned long long>(batched.background_retrains));
   std::fprintf(f,
                "  \"sharded_put\": {\n"
                "    \"shards\": %zu,\n"

@@ -28,8 +28,10 @@ run_ctest() {
 
 echo "== plain build =="
 build_tree "$repo_root/build"
-echo "== unit tests =="
+echo "== unit tests (native SIMD dispatch) =="
 run_ctest "$repo_root/build" -L unit
+echo "== unit tests (forced scalar kernels, E2NVM_SIMD=scalar) =="
+E2NVM_SIMD=scalar run_ctest "$repo_root/build" -L unit
 echo "== stress tests (oracle model check + concurrent shards) =="
 run_ctest "$repo_root/build" -L stress --timeout 600
 
@@ -55,7 +57,8 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
     ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
   for key in serial_sync_retrain pooled_background_retrain batched_put \
              sharded_put speedup_vs_pooled_put \
-             put_ops_per_s get_ops_per_s alloc_per_put; do
+             put_ops_per_s get_ops_per_s alloc_per_put \
+             hardware_concurrency simd_level; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
       echo "perf smoke: key '$key' missing from BENCH_ops.json" >&2
       exit 1

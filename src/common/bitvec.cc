@@ -30,18 +30,21 @@ BitVector BitVector::FromFloats(const std::vector<float>& features,
 }
 
 size_t BitVector::Popcount() const {
-  size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
-  return n;
+  return Ops().popcount_words(words_.data(), words_.size());
 }
 
 size_t BitVector::HammingDistance(const BitVector& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return n;
+  return Ops().hamming_words(words_.data(), other.words_.data(),
+                             words_.size());
+}
+
+DiffCounts BitVector::DiffStats(const BitVector& old_value,
+                                const BitVector& new_value) {
+  assert(old_value.num_bits_ == new_value.num_bits_);
+  return Ops().diff_words(old_value.words_.data(),
+                          new_value.words_.data(),
+                          old_value.words_.size());
 }
 
 BitVector BitVector::Inverted() const {
@@ -94,9 +97,20 @@ size_t BitVector::DirtyLines(const BitVector& other, size_t line_bits) const {
   size_t dirty = 0;
   for (size_t start = 0; start < num_bits_; start += line_bits) {
     size_t end = std::min(start + line_bits, num_bits_);
+    // Word-level scan of [start, end): XOR whole words, masking the
+    // partial first/last word of lines not aligned to 64 bits.
     bool differs = false;
-    for (size_t i = start; i < end && !differs; ++i) {
-      differs = Get(i) != other.Get(i);
+    const size_t w0 = start >> 6;
+    const size_t w1 = (end + 63) >> 6;
+    for (size_t w = w0; w < w1 && !differs; ++w) {
+      uint64_t diff = words_[w] ^ other.words_[w];
+      if (w == w0 && (start & 63) != 0) {
+        diff &= ~uint64_t{0} << (start & 63);
+      }
+      if (w == w1 - 1 && (end & 63) != 0) {
+        diff &= (uint64_t{1} << (end & 63)) - 1;
+      }
+      differs = diff != 0;
     }
     if (differs) ++dirty;
   }
@@ -110,22 +124,7 @@ std::vector<float> BitVector::ToFloats() const {
 }
 
 void BitVector::AppendFloatsTo(float* out) const {
-  const size_t full_words = num_bits_ / 64;
-  for (size_t w = 0; w < full_words; ++w) {
-    uint64_t word = words_[w];
-    float* o = out + w * 64;
-    for (size_t b = 0; b < 64; ++b) {
-      o[b] = static_cast<float>((word >> b) & 1u);
-    }
-  }
-  const size_t tail = num_bits_ & 63;
-  if (tail != 0) {
-    uint64_t word = words_[full_words];
-    float* o = out + full_words * 64;
-    for (size_t b = 0; b < tail; ++b) {
-      o[b] = static_cast<float>((word >> b) & 1u);
-    }
-  }
+  Ops().bits_to_floats(words_.data(), num_bits_, out);
 }
 
 std::string BitVector::ToString() const {

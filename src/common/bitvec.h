@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels.h"
+
 namespace e2nvm {
 
 /// A dense, fixed-size bit string backed by 64-bit words.
@@ -73,6 +75,12 @@ class BitVector {
   /// same size. This is the similarity metric of the paper (§1).
   size_t HammingDistance(const BitVector& other) const;
 
+  /// Set (0->1) and reset (1->0) transition counts of reprogramming
+  /// cells holding `old_value` to `new_value` (same sizes) — Alg. 1's
+  /// differential-write accounting in one SIMD-dispatched pass.
+  static DiffCounts DiffStats(const BitVector& old_value,
+                              const BitVector& new_value);
+
   /// Returns a vector with every bit inverted (used by Flip-N-Write).
   BitVector Inverted() const;
 
@@ -97,10 +105,10 @@ class BitVector {
   /// Converts to a float vector (0.0f / 1.0f per bit) for model input.
   std::vector<float> ToFloats() const;
 
-  /// Writes size() floats (0.0f / 1.0f per bit) to `out`, expanding a
-  /// whole 64-bit word per iteration instead of calling Get() per bit —
-  /// the shared featurization kernel behind Bootstrap/Retrain snapshots
-  /// and ToFloats. `out` must have room for size() floats.
+  /// Writes size() floats (0.0f / 1.0f per bit) to `out` through the
+  /// dispatched bit->float expansion kernel — the shared featurization
+  /// path behind Bootstrap/Retrain snapshots, the write-path scratch
+  /// inference, and ToFloats. `out` must have room for size() floats.
   void AppendFloatsTo(float* out) const;
 
   /// Renders as a '0'/'1' string (bit 0 first).

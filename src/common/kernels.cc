@@ -1,0 +1,206 @@
+#include "common/kernels.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace e2nvm {
+
+namespace {
+
+// ------------------------------------------------- scalar reference --
+
+size_t ScalarPopcount(const uint64_t* w, size_t n) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<size_t>(std::popcount(w[i]));
+  }
+  return c;
+}
+
+size_t ScalarHamming(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return c;
+}
+
+DiffCounts ScalarDiff(const uint64_t* old_w, const uint64_t* new_w,
+                      size_t n) {
+  DiffCounts d;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t diff = old_w[i] ^ new_w[i];
+    if (diff == 0) continue;
+    d.sets += static_cast<size_t>(std::popcount(diff & new_w[i]));
+    d.resets += static_cast<size_t>(std::popcount(diff & old_w[i]));
+  }
+  return d;
+}
+
+void ScalarBitsToFloats(const uint64_t* words, size_t num_bits,
+                        float* out) {
+  const size_t full_words = num_bits / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t word = words[w];
+    float* o = out + w * 64;
+    for (size_t b = 0; b < 64; ++b) {
+      o[b] = static_cast<float>((word >> b) & 1u);
+    }
+  }
+  const size_t tail = num_bits & 63;
+  if (tail != 0) {
+    uint64_t word = words[full_words];
+    float* o = out + full_words * 64;
+    for (size_t b = 0; b < tail; ++b) {
+      o[b] = static_cast<float>((word >> b) & 1u);
+    }
+  }
+}
+
+void ScalarAdd(float* dst, const float* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void ScalarAxpy(float* dst, const float* src, float a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+void ScalarDot8(const float* a, const float* b, size_t ldb, size_t k,
+                float* out) {
+  for (size_t j = 0; j < 8; ++j) {
+    const float* brow = b + j * ldb;
+    float s = 0.0f;
+    for (size_t p = 0; p < k; ++p) s += a[p] * brow[p];
+    out[j] = s;
+  }
+}
+
+void ScalarGemv(const float* a, const float* b, size_t k, size_t n,
+                float* c) {
+  for (size_t j = 0; j < n; ++j) c[j] = 0.0f;
+  for (size_t p = 0; p < k; ++p) {
+    const float av = a[p];
+    if (av == 0.0f) continue;
+    const float* brow = b + p * n;
+    for (size_t j = 0; j < n; ++j) c[j] += av * brow[j];
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    ScalarPopcount, ScalarHamming, ScalarDiff, ScalarBitsToFloats,
+    ScalarAdd,      ScalarAxpy,    ScalarDot8, ScalarGemv,
+};
+
+// ----------------------------------------------------- dispatch --
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define E2NVM_X86_CPUID 1
+#endif
+
+bool CpuHasAvx2() {
+#ifdef E2NVM_X86_CPUID
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#ifdef E2NVM_X86_CPUID
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
+/// Best tier both compiled in and supported by this CPU.
+SimdLevel DetectBest() {
+  SimdLevel best = SimdLevel::kScalar;
+#ifdef E2NVM_HAVE_AVX2
+  if (CpuHasAvx2()) best = SimdLevel::kAvx2;
+#endif
+#ifdef E2NVM_HAVE_AVX512
+  if (CpuHasAvx512()) best = SimdLevel::kAvx512;
+#endif
+  return best;
+}
+
+/// Applies the E2NVM_SIMD override: the requested tier, clamped to what
+/// the build + CPU can actually deliver (never *above* `best`).
+SimdLevel ApplyOverride(const char* env, SimdLevel best) {
+  if (env == nullptr || *env == '\0') return best;
+  SimdLevel req;
+  if (std::strcmp(env, "scalar") == 0) {
+    req = SimdLevel::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    req = SimdLevel::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    req = SimdLevel::kAvx512;
+  } else {
+    E2_LOG(kWarning,
+           "unknown E2NVM_SIMD value '%s' (want scalar|avx2|avx512); "
+           "using autodetected tier",
+           env);
+    return best;
+  }
+  return req < best ? req : best;
+}
+
+struct Dispatch {
+  SimdLevel level;
+  const KernelOps* ops;
+};
+
+const Dispatch& GetDispatch() {
+  static const Dispatch d = [] {
+    SimdLevel level =
+        ApplyOverride(std::getenv("E2NVM_SIMD"), DetectBest());
+    const KernelOps* ops = OpsFor(level);
+    return Dispatch{level, ops != nullptr ? ops : &kScalarOps};
+  }();
+  return d;
+}
+
+}  // namespace
+
+const KernelOps& Ops() { return *GetDispatch().ops; }
+
+SimdLevel ActiveSimdLevel() { return GetDispatch().level; }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const KernelOps* OpsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarOps;
+    case SimdLevel::kAvx2:
+#ifdef E2NVM_HAVE_AVX2
+      if (CpuHasAvx2()) return internal::Avx2Ops();
+#endif
+      return nullptr;
+    case SimdLevel::kAvx512:
+#ifdef E2NVM_HAVE_AVX512
+      if (CpuHasAvx512()) return internal::Avx512Ops();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace e2nvm

@@ -1,0 +1,100 @@
+#ifndef E2NVM_COMMON_KERNELS_H_
+#define E2NVM_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace e2nvm {
+
+/// Sets/resets decomposition of a word-level bit diff (Alg. 1
+/// bookkeeping: a 0->1 program is a SET pulse, a 1->0 program a RESET
+/// pulse; PCM charges them differently).
+struct DiffCounts {
+  size_t sets = 0;
+  size_t resets = 0;
+};
+
+/// Instruction-set tiers of the kernel layer, ordered so that a higher
+/// value strictly extends the lower ones on the CPUs we dispatch for.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  // Requires AVX-512F + VPOPCNTDQ.
+};
+
+/// The dispatchable hot-loop kernels. Every E2-NVM operation bottoms out
+/// in one of these: the bit kernels carry Alg. 1's differential-write
+/// accounting and the DAP's Hamming scans, the float kernels carry the
+/// VAE encode GEMM and the fused k-means assignment.
+///
+/// ## Bit-identity contract
+///
+/// Each tier must produce results bit-identical to the scalar reference:
+///  - integer kernels are trivially exact (popcounts over any grouping);
+///  - float kernels vectorize across independent *output elements* only.
+///    `add_f32`/`axpy_f32` are element-wise; `dot8_f32` keeps 8 output
+///    columns in 8 lanes, each accumulating its k products in the same
+///    ascending order as the scalar loop. No tier may reassociate an
+///    accumulation or fuse a multiply-add: every product is rounded,
+///    then added and rounded again, exactly like `c += a * b` compiled
+///    without FP contraction. The SIMD translation units are therefore
+///    built with `-ffp-contract=off` and WITHOUT `-mfma`.
+struct KernelOps {
+  /// Total set bits in `w[0..n)`.
+  size_t (*popcount_words)(const uint64_t* w, size_t n);
+  /// popcount(a ^ b) over n words — the placement similarity metric.
+  size_t (*hamming_words)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// Set/reset transition counts of programming `new_w` over `old_w`.
+  DiffCounts (*diff_words)(const uint64_t* old_w, const uint64_t* new_w,
+                           size_t n);
+  /// Expands the low `num_bits` bits (LSB-first per word) to
+  /// 0.0f/1.0f floats — the model featurization kernel.
+  void (*bits_to_floats)(const uint64_t* words, size_t num_bits,
+                         float* out);
+  /// dst[i] += src[i] — the GEMM av == 1.0 lane (featurized inputs).
+  void (*add_f32)(float* dst, const float* src, size_t n);
+  /// dst[i] += a * src[i] (two roundings per element, never an FMA).
+  void (*axpy_f32)(float* dst, const float* src, float a, size_t n);
+  /// Eight independent dot products against consecutive rows of a
+  /// row-major matrix: out[j] = sum_p a[p] * b[j * ldb + p] for
+  /// j in [0, 8), each lane accumulating in ascending p.
+  void (*dot8_f32)(const float* a, const float* b, size_t ldb, size_t k,
+                   float* out);
+  /// Row-vector times row-major matrix: c[j] = sum_p a[p] * b[p * n + j]
+  /// for j in [0, n), overwriting c. Each c[j] accumulates in ascending
+  /// p with zero a[p] terms skipped — the same element order (and the
+  /// same skip) as MatMulInto's scalar loop, so the register-blocked
+  /// SIMD tiers are bit-identical to it. This is the single-row encode
+  /// GEMV of the write path: keeping the whole k-loop inside one kernel
+  /// call holds the accumulators in registers instead of re-loading the
+  /// output row once per nonzero a[p].
+  void (*gemv_f32)(const float* a, const float* b, size_t k, size_t n,
+                   float* c);
+};
+
+/// The process-wide kernel table. Chosen once on first use: the best
+/// tier both compiled in and reported by CPUID, clamped down by the
+/// `E2NVM_SIMD=scalar|avx2|avx512` environment override. Thread-safe.
+const KernelOps& Ops();
+
+/// Tier behind Ops().
+SimdLevel ActiveSimdLevel();
+
+/// Stable lowercase name ("scalar", "avx2", "avx512") for reports.
+const char* SimdLevelName(SimdLevel level);
+
+/// Table for one specific tier, or nullptr when that tier was not
+/// compiled in or this CPU lacks it — lets tests compare every
+/// available tier against the scalar reference in a single process.
+const KernelOps* OpsFor(SimdLevel level);
+
+namespace internal {
+/// Defined by the feature-gated TUs (kernels_avx2.cc, kernels_avx512.cc);
+/// referenced only when the matching E2NVM_HAVE_* macro is set.
+const KernelOps* Avx2Ops();
+const KernelOps* Avx512Ops();
+}  // namespace internal
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_KERNELS_H_

@@ -1,0 +1,225 @@
+// AVX2 kernel tier. This translation unit is the only place in the
+// library compiled with -mavx2, and it is also compiled with
+// -ffp-contract=off and WITHOUT -mfma: the bit-identity contract in
+// kernels.h requires every multiply-add to round twice, exactly like the
+// scalar reference. x86 is little-endian, which the byte/word reinterpret
+// casts below rely on.
+#include "common/kernels.h"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace e2nvm::internal {
+namespace {
+
+/// Per-64-bit-lane popcount via the classic nibble-LUT pshufb trick:
+/// split each byte into nibbles, look both up in a 16-entry bit-count
+/// table, then horizontally sum bytes per lane with SAD.
+inline __m256i PopcountEpi64(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline uint64_t SumEpi64(__m256i acc) {
+  __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  return static_cast<uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+inline __m256i Load4(const uint64_t* w) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+}
+
+size_t Avx2Popcount(const uint64_t* w, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, PopcountEpi64(Load4(w + i)));
+  }
+  size_t c = static_cast<size_t>(SumEpi64(acc));
+  for (; i < n; ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(w[i]));
+  }
+  return c;
+}
+
+size_t Avx2Hamming(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i diff = _mm256_xor_si256(Load4(a + i), Load4(b + i));
+    acc = _mm256_add_epi64(acc, PopcountEpi64(diff));
+  }
+  size_t c = static_cast<size_t>(SumEpi64(acc));
+  for (; i < n; ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(a[i] ^ b[i]));
+  }
+  return c;
+}
+
+DiffCounts Avx2Diff(const uint64_t* old_w, const uint64_t* new_w,
+                    size_t n) {
+  __m256i set_acc = _mm256_setzero_si256();
+  __m256i reset_acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i ov = Load4(old_w + i);
+    __m256i nv = Load4(new_w + i);
+    __m256i diff = _mm256_xor_si256(ov, nv);
+    set_acc = _mm256_add_epi64(set_acc,
+                               PopcountEpi64(_mm256_and_si256(diff, nv)));
+    reset_acc = _mm256_add_epi64(
+        reset_acc, PopcountEpi64(_mm256_and_si256(diff, ov)));
+  }
+  DiffCounts d;
+  d.sets = static_cast<size_t>(SumEpi64(set_acc));
+  d.resets = static_cast<size_t>(SumEpi64(reset_acc));
+  for (; i < n; ++i) {
+    uint64_t diff = old_w[i] ^ new_w[i];
+    if (diff == 0) continue;
+    d.sets += static_cast<size_t>(__builtin_popcountll(diff & new_w[i]));
+    d.resets +=
+        static_cast<size_t>(__builtin_popcountll(diff & old_w[i]));
+  }
+  return d;
+}
+
+void Avx2BitsToFloats(const uint64_t* words, size_t num_bits,
+                      float* out) {
+  // One source byte expands to 8 floats: broadcast the byte, isolate
+  // each lane's bit, compare to produce an all-ones mask, and AND with
+  // the bit pattern of 1.0f.
+  const __m256i bit_of_lane =
+      _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  const size_t full_bytes = num_bits / 8;
+  for (size_t i = 0; i < full_bytes; ++i) {
+    __m256i b = _mm256_set1_epi32(bytes[i]);
+    __m256i is_set =
+        _mm256_cmpeq_epi32(_mm256_and_si256(b, bit_of_lane), bit_of_lane);
+    _mm256_storeu_ps(out + i * 8,
+                     _mm256_and_ps(_mm256_castsi256_ps(is_set), ones));
+  }
+  for (size_t bit = full_bytes * 8; bit < num_bits; ++bit) {
+    out[bit] = static_cast<float>((words[bit >> 6] >> (bit & 63)) & 1u);
+  }
+}
+
+void Avx2Add(float* dst, const float* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void Avx2Axpy(float* dst, const float* src, float a, size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(src + i));
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += a * src[i];
+}
+
+void Avx2Dot8(const float* a, const float* b, size_t ldb, size_t k,
+              float* out) {
+  // Eight output columns live in eight lanes; a strided gather pulls
+  // b[j][p] for j = 0..7 each step, and every lane accumulates its
+  // products in ascending p — the scalar accumulation order.
+  const __m256i idx = _mm256_setr_epi32(
+      0, static_cast<int>(ldb), static_cast<int>(2 * ldb),
+      static_cast<int>(3 * ldb), static_cast<int>(4 * ldb),
+      static_cast<int>(5 * ldb), static_cast<int>(6 * ldb),
+      static_cast<int>(7 * ldb));
+  __m256 acc = _mm256_setzero_ps();
+  for (size_t p = 0; p < k; ++p) {
+    __m256 bv = _mm256_i32gather_ps(b + p, idx, 4);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[p]), bv));
+  }
+  _mm256_storeu_ps(out, acc);
+}
+
+void Avx2Gemv(const float* a, const float* b, size_t k, size_t n,
+              float* c) {
+  // Column tiles wide enough to keep the accumulators in registers for
+  // the whole k-loop: 32 floats (4 ymm), then 8, then a scalar tail.
+  // Every c[j] still sums its nonzero a[p] terms in ascending p with
+  // one mul and one add per term — bit-identical to the scalar loop.
+  size_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      const __m256 vav = _mm256_set1_ps(av);
+      const float* brow = b + p * n + j;
+      acc0 = _mm256_add_ps(acc0,
+                           _mm256_mul_ps(vav, _mm256_loadu_ps(brow)));
+      acc1 = _mm256_add_ps(acc1,
+                           _mm256_mul_ps(vav, _mm256_loadu_ps(brow + 8)));
+      acc2 = _mm256_add_ps(
+          acc2, _mm256_mul_ps(vav, _mm256_loadu_ps(brow + 16)));
+      acc3 = _mm256_add_ps(
+          acc3, _mm256_mul_ps(vav, _mm256_loadu_ps(brow + 24)));
+    }
+    _mm256_storeu_ps(c + j, acc0);
+    _mm256_storeu_ps(c + j + 8, acc1);
+    _mm256_storeu_ps(c + j + 16, acc2);
+    _mm256_storeu_ps(c + j + 24, acc3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                                             _mm256_loadu_ps(b + p * n + j)));
+    }
+    _mm256_storeu_ps(c + j, acc);
+  }
+  if (j < n) {
+    for (size_t jj = j; jj < n; ++jj) c[jj] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t jj = j; jj < n; ++jj) c[jj] += av * brow[jj];
+    }
+  }
+}
+
+const KernelOps kAvx2Ops = {
+    Avx2Popcount, Avx2Hamming, Avx2Diff, Avx2BitsToFloats,
+    Avx2Add,      Avx2Axpy,    Avx2Dot8, Avx2Gemv,
+};
+
+}  // namespace
+
+const KernelOps* Avx2Ops() { return &kAvx2Ops; }
+
+}  // namespace e2nvm::internal
+
+#else  // !__AVX2__
+
+namespace e2nvm::internal {
+const KernelOps* Avx2Ops() { return nullptr; }
+}  // namespace e2nvm::internal
+
+#endif  // __AVX2__

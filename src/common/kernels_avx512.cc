@@ -1,0 +1,210 @@
+// AVX-512 kernel tier (AVX-512F + VPOPCNTDQ). Compiled with exactly
+// those ISA flags plus -ffp-contract=off and WITHOUT -mfma — see the
+// bit-identity contract in kernels.h. The masked loads/stores make every
+// tail exact without scalar epilogues: masked-out lanes are
+// architecturally guaranteed not to fault.
+#include "common/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+namespace e2nvm::internal {
+namespace {
+
+inline __mmask8 TailMask8(size_t remaining) {
+  return static_cast<__mmask8>((1u << remaining) - 1);
+}
+
+inline __mmask16 TailMask16(size_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1);
+}
+
+size_t Avx512Popcount(const uint64_t* w, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(w + i)));
+  }
+  if (i < n) {
+    __m512i v = _mm512_maskz_loadu_epi64(TailMask8(n - i), w + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+size_t Avx512Hamming(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i diff = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                    _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(diff));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask8(n - i);
+    __m512i diff = _mm512_xor_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                    _mm512_maskz_loadu_epi64(m, b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(diff));
+  }
+  return static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+DiffCounts Avx512Diff(const uint64_t* old_w, const uint64_t* new_w,
+                      size_t n) {
+  __m512i set_acc = _mm512_setzero_si512();
+  __m512i reset_acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i ov = _mm512_loadu_si512(old_w + i);
+    __m512i nv = _mm512_loadu_si512(new_w + i);
+    __m512i diff = _mm512_xor_si512(ov, nv);
+    set_acc = _mm512_add_epi64(
+        set_acc, _mm512_popcnt_epi64(_mm512_and_si512(diff, nv)));
+    reset_acc = _mm512_add_epi64(
+        reset_acc, _mm512_popcnt_epi64(_mm512_and_si512(diff, ov)));
+  }
+  if (i < n) {
+    __mmask8 m = TailMask8(n - i);
+    __m512i ov = _mm512_maskz_loadu_epi64(m, old_w + i);
+    __m512i nv = _mm512_maskz_loadu_epi64(m, new_w + i);
+    __m512i diff = _mm512_xor_si512(ov, nv);
+    set_acc = _mm512_add_epi64(
+        set_acc, _mm512_popcnt_epi64(_mm512_and_si512(diff, nv)));
+    reset_acc = _mm512_add_epi64(
+        reset_acc, _mm512_popcnt_epi64(_mm512_and_si512(diff, ov)));
+  }
+  DiffCounts d;
+  d.sets = static_cast<size_t>(_mm512_reduce_add_epi64(set_acc));
+  d.resets = static_cast<size_t>(_mm512_reduce_add_epi64(reset_acc));
+  return d;
+}
+
+void Avx512BitsToFloats(const uint64_t* words, size_t num_bits,
+                        float* out) {
+  // Sixteen bits expand per step: the chunk itself is the write mask,
+  // so a masked move of 1.0f materializes the floats directly.
+  const __m512 ones = _mm512_set1_ps(1.0f);
+  const uint16_t* chunks = reinterpret_cast<const uint16_t*>(words);
+  const size_t full = num_bits / 16;
+  for (size_t i = 0; i < full; ++i) {
+    _mm512_storeu_ps(
+        out + i * 16,
+        _mm512_maskz_mov_ps(static_cast<__mmask16>(chunks[i]), ones));
+  }
+  for (size_t bit = full * 16; bit < num_bits; ++bit) {
+    out[bit] = static_cast<float>((words[bit >> 6] >> (bit & 63)) & 1u);
+  }
+}
+
+void Avx512Add(float* dst, const float* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                                            _mm512_loadu_ps(src + i)));
+  }
+  if (i < n) {
+    __mmask16 m = TailMask16(n - i);
+    __m512 sum = _mm512_add_ps(_mm512_maskz_loadu_ps(m, dst + i),
+                               _mm512_maskz_loadu_ps(m, src + i));
+    _mm512_mask_storeu_ps(dst + i, m, sum);
+  }
+}
+
+void Avx512Axpy(float* dst, const float* src, float a, size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(src + i));
+    _mm512_storeu_ps(dst + i,
+                     _mm512_add_ps(_mm512_loadu_ps(dst + i), prod));
+  }
+  if (i < n) {
+    __mmask16 m = TailMask16(n - i);
+    __m512 prod = _mm512_mul_ps(va, _mm512_maskz_loadu_ps(m, src + i));
+    __m512 sum = _mm512_add_ps(_mm512_maskz_loadu_ps(m, dst + i), prod);
+    _mm512_mask_storeu_ps(dst + i, m, sum);
+  }
+}
+
+void Avx512Dot8(const float* a, const float* b, size_t ldb, size_t k,
+                float* out) {
+  // Same column-lane layout as the AVX2 tier (8 outputs fit a __m256);
+  // each lane accumulates its products in ascending p.
+  const __m256i idx = _mm256_setr_epi32(
+      0, static_cast<int>(ldb), static_cast<int>(2 * ldb),
+      static_cast<int>(3 * ldb), static_cast<int>(4 * ldb),
+      static_cast<int>(5 * ldb), static_cast<int>(6 * ldb),
+      static_cast<int>(7 * ldb));
+  __m256 acc = _mm256_setzero_ps();
+  for (size_t p = 0; p < k; ++p) {
+    __m256 bv = _mm256_i32gather_ps(b + p, idx, 4);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a[p]), bv));
+  }
+  _mm256_storeu_ps(out, acc);
+}
+
+void Avx512Gemv(const float* a, const float* b, size_t k, size_t n,
+                float* c) {
+  // Column tiles of 64 floats (4 zmm accumulators held across the whole
+  // k-loop), then masked 16-wide steps for the tail. Per-element math is
+  // ascending-p mul-then-add with zero a[p] skipped — bit-identical to
+  // the scalar reference.
+  size_t j = 0;
+  for (; j + 64 <= n; j += 64) {
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    __m512 acc2 = _mm512_setzero_ps();
+    __m512 acc3 = _mm512_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      const __m512 vav = _mm512_set1_ps(av);
+      const float* brow = b + p * n + j;
+      acc0 = _mm512_add_ps(acc0,
+                           _mm512_mul_ps(vav, _mm512_loadu_ps(brow)));
+      acc1 = _mm512_add_ps(
+          acc1, _mm512_mul_ps(vav, _mm512_loadu_ps(brow + 16)));
+      acc2 = _mm512_add_ps(
+          acc2, _mm512_mul_ps(vav, _mm512_loadu_ps(brow + 32)));
+      acc3 = _mm512_add_ps(
+          acc3, _mm512_mul_ps(vav, _mm512_loadu_ps(brow + 48)));
+    }
+    _mm512_storeu_ps(c + j, acc0);
+    _mm512_storeu_ps(c + j + 16, acc1);
+    _mm512_storeu_ps(c + j + 32, acc2);
+    _mm512_storeu_ps(c + j + 48, acc3);
+  }
+  for (; j < n; j += 16) {
+    const __mmask16 m =
+        n - j >= 16 ? static_cast<__mmask16>(0xFFFF) : TailMask16(n - j);
+    __m512 acc = _mm512_setzero_ps();
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      __m512 bv = _mm512_maskz_loadu_ps(m, b + p * n + j);
+      acc = _mm512_add_ps(acc, _mm512_mul_ps(_mm512_set1_ps(av), bv));
+    }
+    _mm512_mask_storeu_ps(c + j, m, acc);
+  }
+}
+
+const KernelOps kAvx512Ops = {
+    Avx512Popcount, Avx512Hamming, Avx512Diff, Avx512BitsToFloats,
+    Avx512Add,      Avx512Axpy,    Avx512Dot8, Avx512Gemv,
+};
+
+}  // namespace
+
+const KernelOps* Avx512Ops() { return &kAvx512Ops; }
+
+}  // namespace e2nvm::internal
+
+#else  // !(__AVX512F__ && __AVX512VPOPCNTDQ__)
+
+namespace e2nvm::internal {
+const KernelOps* Avx512Ops() { return nullptr; }
+}  // namespace e2nvm::internal
+
+#endif  // __AVX512F__ && __AVX512VPOPCNTDQ__

@@ -91,9 +91,10 @@ size_t DynamicAddressPool::MinClusterFree() const {
 
 size_t DynamicAddressPool::MemoryFootprintBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  // 8 bytes per stored address plus fixed per-cluster list headers.
-  return total_free_ * sizeof(uint64_t) +
-         lists_.size() * (sizeof(std::deque<uint64_t>) + 64);
+  // Ring capacity per cluster (>= stored addresses) plus list headers.
+  size_t bytes = lists_.size() * sizeof(FreeList);
+  for (const auto& l : lists_) bytes += l.capacity() * sizeof(uint64_t);
+  return bytes;
 }
 
 std::vector<uint64_t> DynamicAddressPool::AllFree() const {
@@ -101,7 +102,7 @@ std::vector<uint64_t> DynamicAddressPool::AllFree() const {
   std::vector<uint64_t> out;
   out.reserve(total_free_);
   for (const auto& l : lists_) {
-    out.insert(out.end(), l.begin(), l.end());
+    for (size_t i = 0; i < l.size(); ++i) out.push_back(l[i]);
   }
   return out;
 }

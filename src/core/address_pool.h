@@ -2,7 +2,6 @@
 #define E2NVM_CORE_ADDRESS_POOL_H_
 
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -10,6 +9,69 @@
 #include "common/bitvec.h"
 
 namespace e2nvm::core {
+
+/// Grow-only circular FIFO of segment addresses. Free lists see a
+/// push_back/pop_front on every PUT; a deque releases and reacquires
+/// block storage as elements cycle through, which shows up as steady-
+/// state heap churn on the write path. This ring only ever allocates to
+/// grow (power-of-two capacity, kept by clear()).
+class FreeList {
+ public:
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t capacity() const { return buf_.size(); }
+
+  /// i-th element in FIFO order (0 = oldest). No bounds check.
+  uint64_t operator[](size_t i) const {
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  uint64_t front() const { return buf_[head_]; }
+
+  void push_back(uint64_t addr) {
+    if (count_ == buf_.size()) Grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = addr;
+    ++count_;
+  }
+
+  uint64_t pop_front() {
+    uint64_t addr = buf_[head_];
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return addr;
+  }
+
+  /// Removes the i-th element, preserving FIFO order of the rest
+  /// (AcquireBest picks from the middle). O(size - i).
+  void erase_at(size_t i) {
+    const size_t mask = buf_.size() - 1;
+    for (size_t j = i + 1; j < count_; ++j) {
+      buf_[(head_ + j - 1) & mask] = buf_[(head_ + j) & mask];
+    }
+    --count_;
+  }
+
+  /// Empties the list but keeps the ring storage (retraining clears and
+  /// repopulates the pool on every rebuild).
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void Grow() {
+    const size_t cap = buf_.size();
+    std::vector<uint64_t> grown(cap == 0 ? 8 : cap * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      grown[i] = buf_[(head_ + i) & (cap - 1)];
+    }
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<uint64_t> buf_;  // Power-of-two sized (or empty).
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
 
 /// The Cluster-to-Memory Dynamic Address Pool (DAP, §3.3.1): a map from
 /// cluster id to the list of free segment addresses predicted to belong to
@@ -74,8 +136,7 @@ class DynamicAddressPool {
       }
     }
     uint64_t addr = lists_[c][best_i];
-    lists_[c].erase(lists_[c].begin() +
-                    static_cast<std::ptrdiff_t>(best_i));
+    lists_[c].erase_at(best_i);
     --total_free_;
     return addr;
   }
@@ -105,7 +166,7 @@ class DynamicAddressPool {
   size_t ClampClusterLocked(size_t cluster) const;
 
   mutable std::mutex mu_;
-  std::vector<std::deque<uint64_t>> lists_;
+  std::vector<FreeList> lists_;
   size_t total_free_ = 0;
   mutable uint64_t clamped_ids_ = 0;
 };

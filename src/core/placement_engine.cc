@@ -298,7 +298,10 @@ StatusOr<uint64_t> PlacementEngine::PlaceAt(const BitVector& value,
       continue;
     }
 
-    nvm::WriteResult r = index::MergeWrite(*ctrl_, *addr, value);
+    // The scratch result's stored image reuses its capacity across
+    // placements, keeping the steady-state PUT path off the heap.
+    nvm::WriteResult& r = write_scratch_;
+    index::MergeWriteInto(*ctrl_, *addr, value, &r);
     stats_.write_retries += r.verify_retries;
     if (r.verify_failed) {
       // The controller quarantined this segment; its cells may hold a
@@ -569,7 +572,11 @@ Status PlacementEngine::Release(uint64_t addr) {
     cluster = clusterer_->PredictCluster(content.ToFloats());
   } else {
     scratch_.in.EnsureShape(1, ctrl_->segment_bits());
-    ctrl_->Peek(addr).AppendFloatsTo(scratch_.in.Row(0));
+    // PeekInto + the reused peek buffer keep the memo-miss path (first
+    // release of a key, or any release right after a model swap
+    // invalidated the cache) off the heap, like the rest of the chain.
+    ctrl_->PeekInto(addr, &peek_scratch_);
+    peek_scratch_.AppendFloatsTo(scratch_.in.Row(0));
     ChargePrediction();
     clusterer_->AssignScratch(&scratch_);
     cluster = scratch_.clusters[0];
@@ -584,7 +591,7 @@ BitVector PlacementEngine::Read(uint64_t addr, size_t bits) {
 }
 
 Status PlacementEngine::WriteAt(uint64_t addr, const BitVector& value) {
-  index::MergeWrite(*ctrl_, addr, value);
+  index::MergeWriteInto(*ctrl_, addr, value, &write_scratch_);
   // The content changed behind the placement memo.
   if (addr >= config_.first_segment &&
       addr - config_.first_segment < placed_cluster_.size()) {

@@ -282,6 +282,13 @@ class PlacementEngine : public index::ValuePlacer {
   // engine, reused across every Place/PlaceMany/Release, allocation-free
   // once warm.
   ml::InferenceScratch scratch_;
+  // Scratch write outcome for PlaceAt/WriteAt: its stored image reuses
+  // its heap capacity, so steady-state placements never allocate
+  // (guarded by the engine's single-caller contract above).
+  nvm::WriteResult write_scratch_;
+  // Reused buffer for Release's memo-miss content peeks (same
+  // single-caller contract as the scratches above).
+  BitVector peek_scratch_;
   // placed_cluster_[addr - first_segment]: cluster the serving model
   // assigned to the full-width value most recently placed at addr, or -1
   // when unknown. Lets Release recycle the address without re-encoding

@@ -5,14 +5,21 @@
 namespace e2nvm::core {
 
 void RetrainPolicy::RecordWrite(size_t bits_flipped, size_t bits_written) {
-  window_.emplace_back(bits_flipped, bits_written);
-  window_flips_ += bits_flipped;
-  window_bits_ += bits_written;
-  while (window_.size() > config_.window) {
-    auto [f, b] = window_.front();
-    window_.pop_front();
-    window_flips_ -= f;
-    window_bits_ -= b;
+  if (config_.window > 0) {
+    if (window_.empty()) window_.resize(config_.window);
+    if (window_count_ == config_.window) {
+      // Full: the oldest write slides out of the moving window.
+      auto [f, b] = window_[window_head_];
+      window_flips_ -= f;
+      window_bits_ -= b;
+      window_head_ = (window_head_ + 1) % config_.window;
+      --window_count_;
+    }
+    window_[(window_head_ + window_count_) % config_.window] = {
+        bits_flipped, bits_written};
+    ++window_count_;
+    window_flips_ += bits_flipped;
+    window_bits_ += bits_written;
   }
   ++writes_since_retrain_;
   if (baseline_ratio_ < 0 &&
@@ -25,7 +32,8 @@ void RetrainPolicy::RecordWrite(size_t bits_flipped, size_t bits_written) {
 void RetrainPolicy::OnRetrain() {
   writes_since_retrain_ = 0;
   baseline_ratio_ = -1.0;
-  window_.clear();
+  window_head_ = 0;
+  window_count_ = 0;  // The ring's capacity is kept.
   window_flips_ = 0;
   window_bits_ = 0;
 }
@@ -41,7 +49,7 @@ bool RetrainPolicy::ShouldRetrain(const DynamicAddressPool& pool) const {
   // A perfect (zero-flip) baseline would make any degradation infinite;
   // floor it so the trigger compares against a meaningful reference.
   constexpr double kBaselineFloor = 0.01;
-  if (baseline_ratio_ >= 0 && window_.size() >= config_.window &&
+  if (baseline_ratio_ >= 0 && WindowSize() >= config_.window &&
       CurrentRatio() > config_.degradation_factor *
                            std::max(baseline_ratio_, kBaselineFloor)) {
     return true;

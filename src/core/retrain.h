@@ -3,7 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "core/address_pool.h"
 
@@ -48,8 +49,15 @@ class RetrainPolicy {
   const Config& config() const { return config_; }
 
  private:
+  size_t WindowSize() const { return window_count_; }
+
   Config config_;
-  std::deque<std::pair<size_t, size_t>> window_;  // (flips, bits)
+  // Fixed-capacity ring over the last `config_.window` writes of
+  // (flips, bits): RecordWrite runs on every placement, so the window
+  // must not churn heap blocks the way a deque does.
+  std::vector<std::pair<size_t, size_t>> window_;
+  size_t window_head_ = 0;
+  size_t window_count_ = 0;
   size_t window_flips_ = 0;
   size_t window_bits_ = 0;
   size_t writes_since_retrain_ = 0;

@@ -138,10 +138,12 @@ Status E2KvStore::Put(uint64_t key, const BitVector& value) {
 Status E2KvStore::MultiPut(
     const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
   if (kvs.empty()) return Status::Ok();
-  std::vector<const BitVector*> values;
+  std::vector<const BitVector*>& values = mp_values_;
+  values.clear();
   values.reserve(kvs.size());
   for (const auto& [key, value] : kvs) values.push_back(&value);
-  std::vector<uint64_t> addrs;
+  std::vector<uint64_t>& addrs = mp_addrs_;
+  addrs.clear();
   addrs.reserve(kvs.size());
   Status placed = engine_->PlaceMany(values, &addrs);
   // Index every value that made it, even when the batch failed part-way

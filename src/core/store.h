@@ -159,6 +159,11 @@ class E2KvStore {
   std::unique_ptr<PlacementEngine> engine_;
   index::RbTree tree_;
   std::unordered_map<uint64_t, size_t> value_bits_;
+  // MultiPut staging scratch, reused across batches so steady-state
+  // batched PUTs stay off the heap (safe under the store's single-caller
+  // contract; MultiPut is not reentrant).
+  std::vector<const BitVector*> mp_values_;
+  std::vector<uint64_t> mp_addrs_;
 };
 
 }  // namespace e2nvm::core

@@ -15,14 +15,22 @@ Status ValuePlacer::PlaceMany(const std::vector<const BitVector*>& values,
 
 nvm::WriteResult MergeWrite(nvm::MemoryController& ctrl, uint64_t addr,
                             const BitVector& value) {
+  nvm::WriteResult r;
+  MergeWriteInto(ctrl, addr, value, &r);
+  return r;
+}
+
+void MergeWriteInto(nvm::MemoryController& ctrl, uint64_t addr,
+                    const BitVector& value, nvm::WriteResult* out) {
   E2_CHECK(value.size() <= ctrl.segment_bits(),
            "value wider than a segment");
   if (value.size() == ctrl.segment_bits()) {
-    return ctrl.Write(addr, value);
+    ctrl.WriteInto(addr, value, out);
+    return;
   }
   BitVector full = ctrl.Peek(addr);
   full.Overlay(0, value);
-  return ctrl.Write(addr, full);
+  ctrl.WriteInto(addr, full, out);
 }
 
 ArbitraryPlacer::ArbitraryPlacer(nvm::MemoryController* ctrl,

@@ -80,6 +80,12 @@ class ArbitraryPlacer : public ValuePlacer {
 nvm::WriteResult MergeWrite(nvm::MemoryController& ctrl, uint64_t addr,
                             const BitVector& value);
 
+/// MergeWrite into a caller-owned scratch result: the full-width case —
+/// the PUT fast path — runs allocation-free (WriteScheme::WriteInto
+/// reuse contract); the narrow case still peeks/overlays a temporary.
+void MergeWriteInto(nvm::MemoryController& ctrl, uint64_t addr,
+                    const BitVector& value, nvm::WriteResult* out);
+
 }  // namespace e2nvm::index
 
 #endif  // E2NVM_INDEX_VALUE_PLACER_H_

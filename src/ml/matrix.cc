@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/kernels.h"
 #include "common/thread_pool.h"
 
 namespace e2nvm::ml {
@@ -82,6 +83,14 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   assert(a.cols() == b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   c->EnsureShape(m, n);
+  if (m == 1) {
+    // The write path's single-row encode: one register-blocked GEMV call
+    // instead of k dispatched row updates. Same per-element ascending-p
+    // accumulation (and the same a[p] == 0 skip), so still bit-identical
+    // to the block loop below — see kernels.h gemv_f32.
+    Ops().gemv_f32(a.Row(0), b.Row(0), k, n, c->Row(0));
+    return;
+  }
   std::fill(c->data().begin(), c->data().end(), 0.0f);
   // p-outer within each row block: every B row is loaded once per block
   // and reused across all of the block's A rows, so a batched GEMM
@@ -93,7 +102,10 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   // featurized bit patterns (every element 0.0 or 1.0), so the write
   // path's GEMMs reduce to summing the B rows selected by set bits —
   // and 1.0f * x == x exactly, so the specialization stays bit-identical
-  // for every input.
+  // for every input. The j-inner lanes run through the dispatched SIMD
+  // kernels, which are element-wise over j (each c[i][j] still sees its
+  // products in ascending-p, mul-then-add order — see kernels.h).
+  const KernelOps& kern = Ops();
   auto rows = [&](size_t lo, size_t hi) {
     for (size_t p = 0; p < k; ++p) {
       const float* brow = b.Row(p);
@@ -102,9 +114,9 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
         if (av == 0.0f) continue;
         float* crow = c->Row(i);
         if (av == 1.0f) {
-          for (size_t j = 0; j < n; ++j) crow[j] += brow[j];
+          kern.add_f32(crow, brow, n);
         } else {
-          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          kern.axpy_f32(crow, brow, av, n);
         }
       }
     }
@@ -132,11 +144,20 @@ void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   assert(a.cols() == b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   c->EnsureShape(m, n);
+  // Panels of 8 output columns run as 8 SIMD lanes, each accumulating
+  // its dot product in the same ascending-p order as the scalar loop
+  // below (kernels.h dot8_f32 contract), so any column split is
+  // bit-identical to the all-scalar result.
+  const KernelOps& kern = Ops();
   auto rows = [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const float* arow = a.Row(i);
       float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
+      size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        kern.dot8_f32(arow, b.Row(j), k, k, crow + j);
+      }
+      for (; j < n; ++j) {
         const float* brow = b.Row(j);
         float s = 0.0f;
         for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
@@ -168,6 +189,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   ThreadPool* pool = compute_pool();
+  const KernelOps& kern = Ops();
   const double macs_per_row = static_cast<double>(k) * n;
   const size_t grain = WorkGrain(m, macs_per_row);
   if (UsePool(pool, m, grain, macs_per_row * m)) {
@@ -181,8 +203,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
             for (size_t p = 0; p < k; ++p) {
               const float av = a.Row(p)[i];
               if (av == 0.0f) continue;
-              const float* brow = b.Row(p);
-              for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+              kern.axpy_f32(crow, b.Row(p), av, n);
             }
           }
         });
@@ -194,8 +215,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
     for (size_t i = 0; i < m; ++i) {
       const float av = arow[i];
       if (av == 0.0f) continue;
-      float* crow = c.Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      kern.axpy_f32(c.Row(i), brow, av, n);
     }
   }
   return c;
@@ -203,19 +223,19 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 void AddInPlace(Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
-  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+  Ops().add_f32(a.data().data(), b.data().data(), a.size());
 }
 
 void Axpy(Matrix& a, const Matrix& b, float scale) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
-  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += scale * b.data()[i];
+  Ops().axpy_f32(a.data().data(), b.data().data(), scale, a.size());
 }
 
 void AddRowVector(Matrix& a, const std::vector<float>& bias) {
   assert(bias.size() == a.cols());
+  const KernelOps& kern = Ops();
   for (size_t i = 0; i < a.rows(); ++i) {
-    float* row = a.Row(i);
-    for (size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
+    kern.add_f32(a.Row(i), bias.data(), a.cols());
   }
 }
 

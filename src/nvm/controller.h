@@ -50,17 +50,31 @@ class MemoryController {
     return scheme_->Decode(pa, device_->PeekSegment(pa));
   }
 
+  /// Peek into a caller-owned buffer (reuses `out`'s capacity) — the
+  /// allocation-free variant for steady-state Release-path peeks.
+  void PeekInto(size_t logical, BitVector* out) const {
+    size_t pa = Physical(logical);
+    scheme_->DecodeInto(pa, device_->PeekSegment(pa), out);
+  }
+
   /// Logical write through the scheme; advances wear leveling (scheme
   /// aux state migrates with the moved cells). A write whose read-back
   /// verify still fails after retries and spare-cell repair quarantines
   /// the logical segment: it stays mapped (its cells remain readable)
   /// but callers should stop placing fresh data onto it.
   WriteResult Write(size_t logical, const BitVector& data) {
-    size_t pa = Physical(logical);
-    WriteResult r = device_->WriteSegment(pa, data, *scheme_);
-    if (r.verify_failed) quarantined_.insert(logical);
-    if (leveler_) leveler_->OnWrite(*device_, scheme_);
+    WriteResult r;
+    WriteInto(logical, data, &r);
     return r;
+  }
+
+  /// Allocation-free Write: commits into the caller's scratch result
+  /// (see WriteScheme::WriteInto for the reuse contract).
+  void WriteInto(size_t logical, const BitVector& data, WriteResult* r) {
+    size_t pa = Physical(logical);
+    device_->WriteSegmentInto(pa, data, *scheme_, r);
+    if (r->verify_failed) quarantined_.insert(logical);
+    if (leveler_) leveler_->OnWrite(*device_, scheme_);
   }
 
   /// True if `logical` has been quarantined (write-verify keeps failing).

@@ -69,31 +69,38 @@ const BitVector& NvmDevice::ReadSegment(size_t seg) {
 void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
                              size_t* set_bits, size_t* reset_bits) {
   BitVector& cells = segments_[seg];
+  const bool walk_bits = config_.track_bit_wear || injector_ != nullptr;
+  if (!walk_bits) {
+    // Fast case: only the aggregate transition counts are needed, and
+    // the dispatched diff kernel produces both in one vectorized pass.
+    DiffCounts d = BitVector::DiffStats(cells, stored);
+    cells = stored;
+    *set_bits = d.sets;
+    *reset_bits = d.resets;
+    return;
+  }
   size_t sets = 0;
   size_t resets = 0;
   const auto& old_words = cells.words();
   const auto& new_words = stored.words();
-  const bool walk_bits = config_.track_bit_wear || injector_ != nullptr;
   for (size_t w = 0; w < old_words.size(); ++w) {
     uint64_t diff = old_words[w] ^ new_words[w];
     if (diff == 0) continue;
     sets += static_cast<size_t>(std::popcount(diff & new_words[w]));
     resets += static_cast<size_t>(std::popcount(diff & old_words[w]));
-    if (walk_bits) {
-      uint64_t d = diff;
-      while (d != 0) {
-        int bit = std::countr_zero(d);
-        d &= d - 1;
-        size_t bit_index = w * 64 + static_cast<size_t>(bit);
-        size_t idx = seg * config_.segment_bits + bit_index;
-        uint64_t wear = seg_writes_[seg];
-        if (config_.track_bit_wear && idx < bit_wear_.size()) {
-          wear = ++bit_wear_[idx];
-        }
-        if (injector_ != nullptr) {
-          injector_->OnCellProgrammed(seg, bit_index,
-                                      (new_words[w] >> bit) & 1, wear);
-        }
+    uint64_t d = diff;
+    while (d != 0) {
+      int bit = std::countr_zero(d);
+      d &= d - 1;
+      size_t bit_index = w * 64 + static_cast<size_t>(bit);
+      size_t idx = seg * config_.segment_bits + bit_index;
+      uint64_t wear = seg_writes_[seg];
+      if (config_.track_bit_wear && idx < bit_wear_.size()) {
+        wear = ++bit_wear_[idx];
+      }
+      if (injector_ != nullptr) {
+        injector_->OnCellProgrammed(seg, bit_index,
+                                    (new_words[w] >> bit) & 1, wear);
       }
     }
   }
@@ -104,14 +111,22 @@ void NvmDevice::CommitStored(size_t seg, const BitVector& stored,
 
 void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
                              bool allow_tear) {
-  BitVector target = intended;
-  bool injected = injector_ != nullptr &&
-                  injector_->MutateWrite(seg, segments_[seg], &target,
-                                         allow_tear);
-  size_t dirty = target.DirtyLines(segments_[seg], kCacheLineBits);
+  // Only the injector may perturb the program image; without one the
+  // intended bits are committed directly, with no copy on the hot path.
+  // (write_buf_ reuses its capacity, so even the injector path settles
+  // into zero allocations.)
+  const BitVector* target = &intended;
+  bool injected = false;
+  if (injector_ != nullptr) {
+    write_buf_ = intended;
+    injected = injector_->MutateWrite(seg, segments_[seg], &write_buf_,
+                                      allow_tear);
+    target = &write_buf_;
+  }
+  size_t dirty = target->DirtyLines(segments_[seg], kCacheLineBits);
   size_t set_bits = 0;
   size_t reset_bits = 0;
-  CommitStored(seg, target, &set_bits, &reset_bits);
+  CommitStored(seg, *target, &set_bits, &reset_bits);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (injected) ++stats_.faults_injected;
@@ -126,11 +141,20 @@ void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
 
 WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
                                     WriteScheme& scheme) {
+  WriteResult result;
+  WriteSegmentInto(seg, data, scheme, &result);
+  return result;
+}
+
+void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
+                                 WriteScheme& scheme,
+                                 WriteResult* result_out) {
+  WriteResult& result = *result_out;
   E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
   E2_CHECK(data.size() == config_.segment_bits,
            "data size %zu != segment bits %zu", data.size(),
            config_.segment_bits);
-  WriteResult result = scheme.Write(seg, segments_[seg], data);
+  scheme.WriteInto(seg, segments_[seg], data, &result);
   E2_CHECK(result.stored.size() == config_.segment_bits,
            "scheme %s produced wrong stored size",
            std::string(scheme.name()).c_str());
@@ -193,7 +217,6 @@ WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.torn_writes += injector_->stats().torn_writes - torn_before;
   }
-  return result;
 }
 
 void NvmDevice::SeedSegment(size_t seg, const BitVector& content) {

@@ -121,6 +121,12 @@ class NvmDevice {
   WriteResult WriteSegment(size_t seg, const BitVector& data,
                            WriteScheme& scheme);
 
+  /// Allocation-free WriteSegment: encodes and commits into `*result`,
+  /// whose `stored` BitVector reuses its capacity across calls (the
+  /// write path's per-PUT scratch). Same semantics as WriteSegment.
+  void WriteSegmentInto(size_t seg, const BitVector& data,
+                        WriteScheme& scheme, WriteResult* result);
+
   /// Seeds a segment's cells without counting flips or energy (device
   /// initialization; the paper's "load phase" content).
   void SeedSegment(size_t seg, const BitVector& content);
@@ -184,6 +190,8 @@ class NvmDevice {
   EnergyMeter* meter_;
   FaultInjector* injector_ = nullptr;
   BitVector read_buf_;  // Holds read-disturbed copies handed to readers.
+  BitVector write_buf_;  // Injector-perturbed program images (shares the
+                         // injector's single-caller restriction).
 };
 
 }  // namespace e2nvm::nvm

@@ -55,10 +55,30 @@ class WriteScheme {
   virtual WriteResult Write(uint64_t segment_id, const BitVector& old,
                             const BitVector& data) = 0;
 
+  /// Write into a caller-provided result, enabling scratch reuse on the
+  /// hot write path: `out` may hold a previous write's outcome, and the
+  /// implementation must overwrite EVERY field (including the
+  /// device-populated verify_retries/verify_failed), while `out->stored`
+  /// keeps its heap capacity across calls. The default delegates to
+  /// Write; schemes on the PUT path override it allocation-free.
+  virtual void WriteInto(uint64_t segment_id, const BitVector& old,
+                         const BitVector& data, WriteResult* out) {
+    *out = Write(segment_id, old, data);
+  }
+
   /// Decodes the raw cell content of `segment_id` back to the logical
   /// value. For schemes that store data verbatim this is the identity.
   virtual BitVector Decode(uint64_t segment_id,
                            const BitVector& stored) const = 0;
+
+  /// Decode into a caller-owned buffer (`out` keeps its heap capacity
+  /// across calls, like WriteInto's `stored`). The default delegates to
+  /// Decode; verbatim schemes override it with a capacity-reusing copy
+  /// so Release-path content peeks stay off the heap.
+  virtual void DecodeInto(uint64_t segment_id, const BitVector& stored,
+                          BitVector* out) const {
+    *out = Decode(segment_id, stored);
+  }
 
   /// Auxiliary metadata cells the scheme consumes per segment of
   /// `segment_bits` data bits (flag/tag overhead, for capacity accounting).

@@ -13,10 +13,19 @@ using nvm::WriteResult;
 WriteResult NaiveWrite::Write(uint64_t segment_id, const BitVector& old,
                               const BitVector& data) {
   WriteResult r;
-  r.stored = data;
-  r.data_bits_flipped = old.HammingDistance(data);
-  r.bits_programmed = data.size();  // Every cell is driven.
+  WriteInto(segment_id, old, data, &r);
   return r;
+}
+
+void NaiveWrite::WriteInto(uint64_t segment_id, const BitVector& old,
+                           const BitVector& data, WriteResult* out) {
+  (void)segment_id;
+  out->stored = data;  // Capacity-reusing copy-assign.
+  out->data_bits_flipped = old.HammingDistance(data);
+  out->aux_bits_flipped = 0;
+  out->bits_programmed = data.size();  // Every cell is driven.
+  out->verify_retries = 0;
+  out->verify_failed = false;
 }
 
 // ------------------------------------------------------------------ DCW --
@@ -24,10 +33,19 @@ WriteResult NaiveWrite::Write(uint64_t segment_id, const BitVector& old,
 WriteResult Dcw::Write(uint64_t segment_id, const BitVector& old,
                        const BitVector& data) {
   WriteResult r;
-  r.stored = data;
-  r.data_bits_flipped = old.HammingDistance(data);
-  r.bits_programmed = r.data_bits_flipped;  // Only differing cells.
+  WriteInto(segment_id, old, data, &r);
   return r;
+}
+
+void Dcw::WriteInto(uint64_t segment_id, const BitVector& old,
+                    const BitVector& data, WriteResult* out) {
+  (void)segment_id;
+  out->stored = data;  // Capacity-reusing copy-assign.
+  out->data_bits_flipped = old.HammingDistance(data);
+  out->aux_bits_flipped = 0;
+  out->bits_programmed = out->data_bits_flipped;  // Only differing cells.
+  out->verify_retries = 0;
+  out->verify_failed = false;
 }
 
 // ------------------------------------------------------------------ FNW --

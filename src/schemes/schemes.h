@@ -20,9 +20,15 @@ class NaiveWrite : public nvm::WriteScheme {
   std::string_view name() const override { return "Naive"; }
   nvm::WriteResult Write(uint64_t segment_id, const BitVector& old,
                          const BitVector& data) override;
+  void WriteInto(uint64_t segment_id, const BitVector& old,
+                 const BitVector& data, nvm::WriteResult* out) override;
   BitVector Decode(uint64_t segment_id,
                    const BitVector& stored) const override {
     return stored;
+  }
+  void DecodeInto(uint64_t segment_id, const BitVector& stored,
+                  BitVector* out) const override {
+    *out = stored;
   }
 };
 
@@ -34,9 +40,17 @@ class Dcw : public nvm::WriteScheme {
   std::string_view name() const override { return "DCW"; }
   nvm::WriteResult Write(uint64_t segment_id, const BitVector& old,
                          const BitVector& data) override;
+  /// Allocation-free DCW encode: `out->stored` reuses its capacity, so
+  /// the store's steady-state PUT path never touches the heap here.
+  void WriteInto(uint64_t segment_id, const BitVector& old,
+                 const BitVector& data, nvm::WriteResult* out) override;
   BitVector Decode(uint64_t segment_id,
                    const BitVector& stored) const override {
     return stored;
+  }
+  void DecodeInto(uint64_t segment_id, const BitVector& stored,
+                  BitVector* out) const override {
+    *out = stored;
   }
 };
 

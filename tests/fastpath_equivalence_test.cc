@@ -241,5 +241,57 @@ TEST(FastPathEquivalence, SteadyStatePredictionIsAllocationFree) {
   EXPECT_GT(t_alloc_count, before);
 }
 
+TEST(FastPathEquivalence, SteadyStatePutsAreAllocationFree) {
+  // The full PUT pipeline — placement inference, DAP acquire, DCW write,
+  // index update, old-address recycling, retrain-window accounting —
+  // must stay off the heap once every scratch buffer and ring has grown
+  // to its working size. auto_retrain stays off: a retrain legitimately
+  // rebuilds the model and repopulates the pool, which allocates.
+  auto ds = ClusteredData(19);
+  StoreConfig sc;
+  sc.num_segments = kSegments;
+  sc.segment_bits = kBits;
+  sc.model.k = 4;
+  sc.model.pretrain_epochs = 2;
+  sc.model.finetune_rounds = 1;
+  sc.auto_retrain = false;
+  auto store_or = E2KvStore::Create(sc);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+
+  // Warm up: grow inference scratch, WriteResult buffers, free-list
+  // rings, and the retrain window to steady-state capacity.
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        store->Put(i % kKeys, ds.items[i % ds.items.size()]).ok());
+  }
+
+  uint64_t before = t_alloc_count;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        store->Put(i % kKeys, ds.items[i % ds.items.size()]).ok());
+  }
+  EXPECT_EQ(t_alloc_count - before, 0u)
+      << "steady-state Put allocated on the heap";
+
+  // Same contract for the batched path: reuse one staged batch so only
+  // MultiPut's own work is measured.
+  std::vector<std::pair<uint64_t, BitVector>> kvs;
+  for (uint64_t i = 0; i < 16; ++i) {
+    kvs.emplace_back(i % kKeys, ds.items[i % ds.items.size()]);
+  }
+  for (int warm = 0; warm < 8; ++warm) {
+    ASSERT_TRUE(store->MultiPut(kvs).ok());
+  }
+  before = t_alloc_count;
+  for (int round = 0; round < 16; ++round) {
+    ASSERT_TRUE(store->MultiPut(kvs).ok());
+  }
+  EXPECT_EQ(t_alloc_count - before, 0u)
+      << "steady-state MultiPut allocated on the heap";
+}
+
 }  // namespace
 }  // namespace e2nvm::core

@@ -1,0 +1,324 @@
+#include "common/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ml/matrix.h"
+
+namespace e2nvm {
+namespace {
+
+/// Every tier compiled in AND supported by this CPU, scalar first.
+/// On a machine without AVX2 this collapses to {scalar} and the
+/// cross-tier comparisons become trivially true — the test still runs.
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> out = {SimdLevel::kScalar};
+  if (OpsFor(SimdLevel::kAvx2) != nullptr) out.push_back(SimdLevel::kAvx2);
+  if (OpsFor(SimdLevel::kAvx512) != nullptr) {
+    out.push_back(SimdLevel::kAvx512);
+  }
+  return out;
+}
+
+/// memcmp requires non-null pointers even for zero bytes (UBSan traps
+/// the empty-vector data() == nullptr case), so the size-0 corners of
+/// the sweeps go through this guard.
+bool BytesEqual(const void* a, const void* b, size_t bytes) {
+  return bytes == 0 || std::memcmp(a, b, bytes) == 0;
+}
+
+/// Fills `words` with random bits, then masks everything above
+/// `num_bits` the way BitVector does, so tail-word garbage can't hide
+/// (or fake) a kernel that reads past the last valid bit.
+void RandomBits(Rng& rng, size_t num_bits, std::vector<uint64_t>* words) {
+  words->assign((num_bits + 63) / 64, 0);
+  for (auto& w : *words) w = rng.NextU64();
+  if (num_bits % 64 != 0 && !words->empty()) {
+    words->back() &= (uint64_t{1} << (num_bits % 64)) - 1;
+  }
+}
+
+TEST(KernelsTest, DispatchReportsAConsistentTier) {
+  const SimdLevel active = ActiveSimdLevel();
+  EXPECT_NE(OpsFor(active), nullptr);
+  EXPECT_EQ(OpsFor(active), &Ops());
+  const std::string name = SimdLevelName(active);
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512");
+  // The scalar reference must always be reachable for A/B testing.
+  ASSERT_NE(OpsFor(SimdLevel::kScalar), nullptr);
+}
+
+// --- Bit kernels: exhaustive over sizes 0..257 so every tail-mask
+// shape (empty, sub-word, word-aligned, 4-word SIMD block + remainder)
+// is covered, with several random fills per size. ---
+
+TEST(KernelsTest, BitKernelsMatchScalarForAllSizes) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(0xfeedbeef);
+  std::vector<uint64_t> a, b;
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    for (size_t bits = 0; bits <= 257; ++bits) {
+      for (int trial = 0; trial < 4; ++trial) {
+        RandomBits(rng, bits, &a);
+        RandomBits(rng, bits, &b);
+        const size_t n = a.size();
+        ASSERT_EQ(ops.popcount_words(a.data(), n),
+                  ref.popcount_words(a.data(), n))
+            << SimdLevelName(level) << " popcount, bits=" << bits;
+        ASSERT_EQ(ops.hamming_words(a.data(), b.data(), n),
+                  ref.hamming_words(a.data(), b.data(), n))
+            << SimdLevelName(level) << " hamming, bits=" << bits;
+        DiffCounts dv = ops.diff_words(a.data(), b.data(), n);
+        DiffCounts ds = ref.diff_words(a.data(), b.data(), n);
+        ASSERT_EQ(dv.sets, ds.sets)
+            << SimdLevelName(level) << " diff sets, bits=" << bits;
+        ASSERT_EQ(dv.resets, ds.resets)
+            << SimdLevelName(level) << " diff resets, bits=" << bits;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, DiffCountsDecomposeHamming) {
+  Rng rng(77);
+  std::vector<uint64_t> a, b;
+  for (size_t bits : {0u, 1u, 63u, 64u, 65u, 200u, 257u}) {
+    RandomBits(rng, bits, &a);
+    RandomBits(rng, bits, &b);
+    for (SimdLevel level : AvailableLevels()) {
+      const KernelOps& ops = *OpsFor(level);
+      DiffCounts d = ops.diff_words(a.data(), b.data(), a.size());
+      EXPECT_EQ(d.sets + d.resets,
+                ops.hamming_words(a.data(), b.data(), a.size()));
+      // sets = bits that are 0 in old and 1 in new.
+      size_t sets = 0;
+      for (size_t w = 0; w < a.size(); ++w) {
+        sets += static_cast<size_t>(__builtin_popcountll(~a[w] & b[w]));
+      }
+      EXPECT_EQ(d.sets, sets);
+    }
+  }
+}
+
+TEST(KernelsTest, BitsToFloatsMatchScalarForAllSizes) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(123);
+  std::vector<uint64_t> words;
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    for (size_t bits = 0; bits <= 257; ++bits) {
+      RandomBits(rng, bits, &words);
+      // Canary-padded outputs: a kernel writing past `bits` floats
+      // breaks the trailing sentinel comparison.
+      std::vector<float> got(bits + 8, -7.0f), want(bits + 8, -7.0f);
+      ops.bits_to_floats(words.data(), bits, got.data());
+      ref.bits_to_floats(words.data(), bits, want.data());
+      ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                            got.size() * sizeof(float)),
+                0)
+          << SimdLevelName(level) << " bits=" << bits;
+      for (size_t i = 0; i < bits; ++i) {
+        ASSERT_TRUE(want[i] == 0.0f || want[i] == 1.0f);
+      }
+    }
+  }
+}
+
+// --- Float kernels: bitwise equality against scalar, unaligned start
+// offsets included so the vector loops can't assume 32-byte alignment. ---
+
+TEST(KernelsTest, AddAndAxpyMatchScalarBitwise) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(9);
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    for (size_t n = 0; n <= 257; ++n) {
+      for (size_t offset : {0u, 1u, 3u}) {  // Unaligned starts.
+        std::vector<float> base(offset + n), src(offset + n);
+        for (auto& v : base) v = rng.NextFloat() * 4.0f - 2.0f;
+        for (auto& v : src) v = rng.NextFloat() * 4.0f - 2.0f;
+        const float a = rng.NextFloat() * 2.0f - 1.0f;
+
+        std::vector<float> got = base, want = base;
+        ops.add_f32(got.data() + offset, src.data() + offset, n);
+        ref.add_f32(want.data() + offset, src.data() + offset, n);
+        ASSERT_TRUE(BytesEqual(got.data(), want.data(),
+                               got.size() * sizeof(float)))
+            << SimdLevelName(level) << " add n=" << n << " off=" << offset;
+
+        got = base;
+        want = base;
+        ops.axpy_f32(got.data() + offset, src.data() + offset, a, n);
+        ref.axpy_f32(want.data() + offset, src.data() + offset, a, n);
+        ASSERT_TRUE(BytesEqual(got.data(), want.data(),
+                               got.size() * sizeof(float)))
+            << SimdLevelName(level) << " axpy n=" << n << " off=" << offset;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Dot8MatchesScalarBitwise) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(31);
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    // k sweeps the accumulation depth; ldb > k exercises strided rows.
+    for (size_t k : {0u, 1u, 2u, 7u, 8u, 31u, 64u, 129u}) {
+      for (size_t ldb : {k, k + 1, k + 13}) {
+        if (ldb == 0) continue;
+        std::vector<float> a(k), b(8 * ldb);
+        for (auto& v : a) v = rng.NextFloat() * 2.0f - 1.0f;
+        for (auto& v : b) v = rng.NextFloat() * 2.0f - 1.0f;
+        float got[8], want[8];
+        ops.dot8_f32(a.data(), b.data(), ldb, k, got);
+        ref.dot8_f32(a.data(), b.data(), ldb, k, want);
+        ASSERT_EQ(std::memcmp(got, want, sizeof(got)), 0)
+            << SimdLevelName(level) << " k=" << k << " ldb=" << ldb;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemvMatchesScalarBitwise) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(41);
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    // n sweeps every tail shape of the 64/16 (avx512) and 32/8 (avx2)
+    // tiling; k == 0 must yield all zeros. A mix of 0.0/1.0/general
+    // values in `a` exercises the zero-skip against the reference.
+    for (size_t n : {0u,  1u,  7u,  8u,  9u,  15u,  16u,  17u, 31u,
+                     32u, 33u, 63u, 64u, 65u, 127u, 128u, 257u}) {
+      for (size_t k : {0u, 1u, 3u, 64u, 129u}) {
+        std::vector<float> a(k), b(k * n);
+        for (auto& v : a) {
+          const float r = rng.NextFloat();
+          v = r < 0.3f ? 0.0f : (r < 0.6f ? 1.0f : r * 2.0f - 1.0f);
+        }
+        for (auto& v : b) v = rng.NextFloat() * 2.0f - 1.0f;
+        std::vector<float> got(n + 4, -3.0f), want(n + 4, -3.0f);
+        ops.gemv_f32(a.data(), b.data(), k, n, got.data());
+        ref.gemv_f32(a.data(), b.data(), k, n, want.data());
+        ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                              got.size() * sizeof(float)),
+                  0)
+            << SimdLevelName(level) << " gemv k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+// --- BitVector front-end: the primitives agree with a per-bit oracle. ---
+
+TEST(KernelsTest, BitVectorDiffStatsMatchesPerBitWalk) {
+  Rng rng(55);
+  for (size_t bits : {0u, 1u, 64u, 100u, 257u, 2048u}) {
+    BitVector oldv(bits), newv(bits);
+    oldv.Randomize(rng);
+    newv.Randomize(rng);
+    DiffCounts d = BitVector::DiffStats(oldv, newv);
+    size_t sets = 0, resets = 0;
+    for (size_t i = 0; i < bits; ++i) {
+      if (oldv.Get(i) != newv.Get(i)) {
+        ++(newv.Get(i) ? sets : resets);
+      }
+    }
+    EXPECT_EQ(d.sets, sets) << "bits=" << bits;
+    EXPECT_EQ(d.resets, resets) << "bits=" << bits;
+    EXPECT_EQ(d.sets + d.resets, oldv.HammingDistance(newv));
+  }
+}
+
+// --- GEMM: the dispatched j-vectorized paths must be bit-identical to
+// a naive triple loop, serial and pooled alike. ---
+
+ml::Matrix RandomMatrix(size_t r, size_t c, Rng& rng) {
+  ml::Matrix m(r, c);
+  for (auto& v : m.data()) v = rng.NextFloat() * 2.0f - 1.0f;
+  return m;
+}
+
+/// c[i][j] = sum_p a[i][p] * b[p][j], scalar ascending-p — the
+/// accumulation order every MatMul path promises to preserve.
+ml::Matrix NaiveMatMul(const ml::Matrix& a, const ml::Matrix& b) {
+  ml::Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float s = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+ml::Matrix NaiveMatMulTransB(const ml::Matrix& a, const ml::Matrix& b) {
+  ml::Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      float s = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(j, p);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(KernelsTest, GemmBitIdenticalToNaiveSerialAndPooled) {
+  Rng rng(2024);
+  // Odd sizes force dot8/axpy tails; 0/1-valued A rows exercise the
+  // av==0 skip and av==1 add_f32 lanes the featurized encode GEMM hits.
+  const std::vector<std::tuple<size_t, size_t, size_t>> shapes = {
+      {1, 1, 1}, {3, 5, 7}, {8, 16, 24}, {13, 33, 65}, {17, 128, 9}};
+  for (auto [m, k, n] : shapes) {
+    ml::Matrix a = RandomMatrix(m, k, rng);
+    for (size_t p = 0; p < k; p += 3) a(0, p) = (p % 2 == 0) ? 0.0f : 1.0f;
+    ml::Matrix b = RandomMatrix(k, n, rng);
+    ml::Matrix bt = RandomMatrix(n, k, rng);
+
+    ml::Matrix want = NaiveMatMul(a, b);
+    ml::Matrix want_tb = NaiveMatMulTransB(a, bt);
+
+    ml::Matrix got;
+    ml::MatMulInto(a, b, &got);
+    EXPECT_EQ(std::memcmp(got.data().data(), want.data().data(),
+                          want.size() * sizeof(float)),
+              0)
+        << "MatMulInto " << m << "x" << k << "x" << n;
+
+    ml::Matrix got_tb;
+    ml::MatMulTransBInto(a, bt, &got_tb);
+    EXPECT_EQ(std::memcmp(got_tb.data().data(), want_tb.data().data(),
+                          want_tb.size() * sizeof(float)),
+              0)
+        << "MatMulTransBInto " << m << "x" << k << "x" << n;
+
+    {
+      ThreadPool pool(3);
+      ml::SetComputePool(&pool);
+      ml::Matrix pooled = ml::MatMul(a, b);
+      ml::Matrix pooled_tb = ml::MatMulTransB(a, bt);
+      ml::SetComputePool(nullptr);
+      EXPECT_EQ(std::memcmp(pooled.data().data(), want.data().data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "pooled MatMul " << m << "x" << k << "x" << n;
+      EXPECT_EQ(std::memcmp(pooled_tb.data().data(),
+                            want_tb.data().data(),
+                            want_tb.size() * sizeof(float)),
+                0)
+          << "pooled MatMulTransB " << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2nvm
