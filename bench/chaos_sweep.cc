@@ -1,0 +1,303 @@
+// Chaos sweep: drives the sharded store through randomized crash,
+// fault-injection, and bit-rot scenarios at increasing severity and
+// reports how the integrity machinery holds up:
+//
+//  - crash phase: journal pools are cut at randomized persist ordinals
+//    mid-workload; every captured image must replay (checksum-verified)
+//    to an exact prefix of the issued operation log. Reports the fired
+//    rate, recovered record counts, and replay+fold recovery latency.
+//
+//  - scrub phase: random cells are silently flipped in-array (retention
+//    drift), then full scrub sweeps run; reports detection, repair, and
+//    quarantine counts and the sweep latency.
+//
+// Results land in BENCH_chaos.json for scripts/check.sh to gate on:
+// `prefix_violations` must be 0 and every injected rot must be detected.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/shard_journal.h"
+#include "core/sharded_store.h"
+#include "nvm/fault_injector.h"
+#include "pmem/persist.h"
+#include "workload/datasets.h"
+
+namespace e2nvm::bench {
+namespace {
+
+constexpr size_t kShards = 2;
+constexpr size_t kSegmentsPerShard = 64;
+constexpr size_t kBits = 128;
+constexpr size_t kKeys = 40;
+constexpr size_t kRounds = 24;     // Crash scenarios per severity = this.
+constexpr size_t kOpsPerRound = 20;
+constexpr size_t kJournalCapacity = kRounds * kOpsPerRound + 8;
+
+struct Severity {
+  double stuck_fraction;
+  double torn_probability;
+  size_t rot_bits;
+};
+
+struct ChaosRow {
+  Severity sev;
+  // Crash phase.
+  size_t crash_scenarios = 0;
+  size_t crash_fired = 0;
+  size_t prefix_violations = 0;
+  uint64_t recovered_records = 0;
+  double recovery_latency_us_mean = 0;
+  // Scrub phase.
+  size_t rot_bits_injected = 0;
+  uint64_t scrub_mismatches = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_quarantined = 0;
+  double scrub_latency_us = 0;
+  uint64_t torn_writes = 0;
+  uint64_t stuck_clamps = 0;
+};
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+BitVector ValueFor(uint64_t key, uint64_t seq) {
+  BitVector v(kBits);
+  uint64_t x = key * 0x9E3779B97F4A7C15ull + seq * 0xBF58476D1CE4E5B9ull;
+  for (size_t i = 0; i < kBits; ++i) {
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    v.Set(i, x & 1);
+  }
+  return v;
+}
+
+ChaosRow RunOne(const Severity& sev, uint64_t seed) {
+  ChaosRow row;
+  row.sev = sev;
+
+  nvm::FaultConfig fc;
+  fc.seed = seed;
+  fc.initial_stuck_fraction = sev.stuck_fraction;
+  fc.torn_write_probability = sev.torn_probability;
+  fc.spare_cells_per_segment = 6;
+  nvm::FaultInjector injector(fc);
+
+  core::ShardedStoreConfig cfg;
+  cfg.num_shards = kShards;
+  cfg.shard.num_segments = kSegmentsPerShard;
+  cfg.shard.segment_bits = kBits;
+  cfg.shard.model = DefaultModel(kBits, /*k=*/4, /*seed=*/42);
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.model.finetune_rounds = 1;
+  cfg.shard.verify_writes = true;
+  cfg.shard.integrity_tracking = true;
+  cfg.journal = true;
+  cfg.journal_capacity = kJournalCapacity;
+  auto store = core::ShardedStore::Create(cfg).value();
+
+  workload::ProtoConfig pc;
+  pc.dim = kBits;
+  pc.num_classes = 4;
+  pc.samples = kSegmentsPerShard + 16;
+  pc.noise = 0.03;
+  pc.seed = 1;
+  store->Seed(workload::MakeProtoDataset(pc));
+  if (!store->Bootstrap().ok()) {
+    std::fprintf(stderr, "bootstrap failed\n");
+    std::abort();
+  }
+  store->device().AttachFaultInjector(&injector);
+
+  Rng rng(seed ^ 0xC4A05);
+  std::map<uint64_t, BitVector> oracle;
+  // Issued ops per shard, in order (single-threaded driver, so the
+  // journal order equals issue order exactly).
+  std::vector<std::vector<core::ShardJournal::Record>> issued(kShards);
+
+  std::vector<pmem::CrashPoint> cps(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    store->journal(s)->pool().SetCrashPoint(&cps[s]);
+  }
+  std::vector<uint64_t> window(kShards, 0);
+
+  double latency_sum = 0;
+  size_t latency_n = 0;
+  uint64_t seq = 0;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t s = 0; s < kShards; ++s) {
+      cps[s].ArmAt(window[s] == 0 ? ~0ull
+                                  : rng.NextBounded(window[s] + 1));
+    }
+    for (size_t op = 0; op < kOpsPerRound; ++op) {
+      const uint64_t key = rng.NextBounded(kKeys);
+      const size_t s = store->ShardOf(key);
+      if (rng.NextDouble() < 0.8 || oracle.empty()) {
+        BitVector value = ValueFor(key, ++seq);
+        issued[s].push_back(
+            {core::ShardJournal::Op::kPut, key, value});
+        if (store->Put(key, value).ok()) oracle[key] = std::move(value);
+      } else {
+        auto it = oracle.lower_bound(key);
+        if (it == oracle.end()) it = oracle.begin();
+        const uint64_t victim = it->first;
+        const size_t vs = store->ShardOf(victim);
+        issued[vs].push_back(
+            {core::ShardJournal::Op::kDelete, victim, BitVector()});
+        if (store->Delete(victim).ok()) oracle.erase(it);
+      }
+    }
+    for (size_t s = 0; s < kShards; ++s) {
+      window[s] = cps[s].persists_seen();
+      ++row.crash_scenarios;
+      if (!cps[s].fired()) continue;
+      ++row.crash_fired;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto replay_or =
+          core::ShardJournal::ReplayImageVerified(cps[s].image());
+      if (!replay_or.ok() || replay_or->torn_tail ||
+          replay_or->corrupted) {
+        ++row.prefix_violations;
+        continue;
+      }
+      // Fold the recovered history the way reopen would.
+      std::map<uint64_t, BitVector> folded;
+      for (const auto& rec : replay_or->records) {
+        if (rec.op == core::ShardJournal::Op::kPut) {
+          folded[rec.key] = rec.value;
+        } else {
+          folded.erase(rec.key);
+        }
+      }
+      latency_sum += MicrosSince(t0);
+      ++latency_n;
+      row.recovered_records += replay_or->records.size();
+      if (replay_or->records.size() > issued[s].size()) {
+        ++row.prefix_violations;
+        continue;
+      }
+      for (size_t i = 0; i < replay_or->records.size(); ++i) {
+        const auto& got = replay_or->records[i];
+        const auto& want = issued[s][i];
+        if (got.op != want.op || got.key != want.key ||
+            (want.op == core::ShardJournal::Op::kPut &&
+             !(got.value == want.value))) {
+          ++row.prefix_violations;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    store->journal(s)->pool().SetCrashPoint(nullptr);
+  }
+  row.recovery_latency_us_mean =
+      latency_n ? latency_sum / static_cast<double>(latency_n) : 0;
+
+  // Scrub phase: rot cells in live segments, then sweep every segment.
+  for (size_t i = 0; i < sev.rot_bits; ++i) {
+    const size_t s = rng.NextBounded(kShards);
+    store->InjectBitRot(s, rng.NextBounded(kSegmentsPerShard),
+                        rng.NextBounded(kBits));
+    ++row.rot_bits_injected;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < kShards; ++s) {
+    store->ScrubShard(s, kSegmentsPerShard);
+  }
+  row.scrub_latency_us = MicrosSince(t0);
+  const auto scrub = store->TakeScrubStats();
+  row.scrub_mismatches = scrub.mismatches;
+  row.scrub_repaired = scrub.repaired;
+  row.scrub_quarantined = scrub.quarantined;
+
+  const auto stats = injector.stats();
+  row.torn_writes = stats.torn_writes;
+  row.stuck_clamps = stats.stuck_clamps;
+  store->device().AttachFaultInjector(nullptr);
+  return row;
+}
+
+void WriteChaosJson(const char* path, const std::vector<ChaosRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chaos_sweep\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ChaosRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"stuck_fraction\": %.4f, \"torn_probability\": %.4f, "
+        "\"crash_scenarios\": %zu, \"crash_fired\": %zu, "
+        "\"prefix_violations\": %zu, \"recovered_records\": %llu, "
+        "\"recovery_latency_us_mean\": %.2f, "
+        "\"rot_bits_injected\": %zu, \"scrub_mismatches\": %llu, "
+        "\"scrub_repaired\": %llu, \"scrub_quarantined\": %llu, "
+        "\"scrub_latency_us\": %.2f, \"torn_writes\": %llu, "
+        "\"stuck_clamps\": %llu}%s\n",
+        r.sev.stuck_fraction, r.sev.torn_probability, r.crash_scenarios,
+        r.crash_fired, r.prefix_violations,
+        static_cast<unsigned long long>(r.recovered_records),
+        r.recovery_latency_us_mean, r.rot_bits_injected,
+        static_cast<unsigned long long>(r.scrub_mismatches),
+        static_cast<unsigned long long>(r.scrub_repaired),
+        static_cast<unsigned long long>(r.scrub_quarantined),
+        r.scrub_latency_us,
+        static_cast<unsigned long long>(r.torn_writes),
+        static_cast<unsigned long long>(r.stuck_clamps),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main() {
+  PrintBanner("chaos sweep",
+              "crash recovery and scrub repair under escalating faults");
+  const std::vector<Severity> severities = {
+      {0.0, 0.0, 0},
+      {0.005, 0.02, 24},
+      {0.01, 0.05, 64},
+  };
+
+  std::printf("%-7s %-6s %-5s %-7s %-6s %-9s %-8s %-7s %-9s %-8s %-6s\n",
+              "stuck", "torn", "rot", "crash", "fired", "prefix_ok",
+              "rec_us", "detect", "repaired", "quar", "scrub_us");
+  std::vector<ChaosRow> rows;
+  bool ok = true;
+  for (size_t i = 0; i < severities.size(); ++i) {
+    ChaosRow r = RunOne(severities[i], 0xC4A05 + i);
+    std::printf(
+        "%-7.3f %-6.2f %-5zu %-7zu %-6zu %-9s %-8.1f %-7llu %-9llu "
+        "%-8llu %-6.0f\n",
+        r.sev.stuck_fraction, r.sev.torn_probability, r.rot_bits_injected,
+        r.crash_scenarios, r.crash_fired,
+        r.prefix_violations == 0 ? "yes" : "NO", r.recovery_latency_us_mean,
+        static_cast<unsigned long long>(r.scrub_mismatches),
+        static_cast<unsigned long long>(r.scrub_repaired),
+        static_cast<unsigned long long>(r.scrub_quarantined),
+        r.scrub_latency_us);
+    if (r.prefix_violations != 0) ok = false;
+    if (r.rot_bits_injected > 0 && r.scrub_mismatches == 0) ok = false;
+    rows.push_back(std::move(r));
+  }
+  WriteChaosJson("BENCH_chaos.json", rows);
+  std::printf("chaos sweep: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace e2nvm::bench
+
+int main() { return e2nvm::bench::Main(); }

@@ -32,7 +32,10 @@ echo "== unit tests (native SIMD dispatch) =="
 run_ctest "$repo_root/build" -L unit
 echo "== unit tests (forced scalar kernels, E2NVM_SIMD=scalar) =="
 E2NVM_SIMD=scalar run_ctest "$repo_root/build" -L unit
-echo "== stress tests (oracle model check + concurrent shards) =="
+echo "== stress tests (oracle model check + concurrent shards + recovery fuzz) =="
+# The recovery fuzzer runs its fixed-seed default budget (500 crash/fault
+# scenarios) here; set E2NVM_FUZZ_ITERS for longer soak runs, e.g.
+#   E2NVM_FUZZ_ITERS=20000 ctest --test-dir build -R recovery_fuzz
 run_ctest "$repo_root/build" -L stress --timeout 600
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
@@ -43,7 +46,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== concurrency tests under TSan =="
   build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
   run_ctest "$repo_root/build-tsan" --timeout 600 \
-    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model"
+    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -65,6 +68,20 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
     fi
   done
   echo "perf smoke OK"
+
+  echo "== chaos smoke (crash/fault/scrub sweep) =="
+  cmake --build "$perf_dir" -j "$jobs" --target chaos_sweep
+  # Exits nonzero on any recovered-prefix violation or undetected rot;
+  # writes BENCH_chaos.json into the build dir.
+  (cd "$perf_dir" && ./bench/chaos_sweep)
+  for key in prefix_violations recovered_records recovery_latency_us_mean \
+             scrub_mismatches scrub_repaired scrub_quarantined; do
+    if ! grep -q "\"$key\"" "$perf_dir/BENCH_chaos.json"; then
+      echo "chaos smoke: key '$key' missing from BENCH_chaos.json" >&2
+      exit 1
+    fi
+  done
+  echo "chaos smoke OK"
 fi
 
 echo "== slowest tests =="

@@ -89,9 +89,35 @@ void ScalarGemv(const float* a, const float* b, size_t k, size_t n,
   }
 }
 
+/// Byte-at-a-time table for the Castagnoli polynomial (reflected form
+/// 0x82F63B78) — the scalar reference the hardware tiers must match.
+struct Crc32cTable {
+  uint32_t t[256];
+  constexpr Crc32cTable() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+constexpr Crc32cTable kCrc32cTable;
+
+uint32_t ScalarCrc32c(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t state = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    state = kCrc32cTable.t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return ~state;
+}
+
 constexpr KernelOps kScalarOps = {
     ScalarPopcount, ScalarHamming, ScalarDiff, ScalarBitsToFloats,
     ScalarAdd,      ScalarAxpy,    ScalarDot8, ScalarGemv,
+    ScalarCrc32c,
 };
 
 // ----------------------------------------------------- dispatch --

@@ -70,6 +70,14 @@ struct KernelOps {
   /// output row once per nonzero a[p].
   void (*gemv_f32)(const float* a, const float* b, size_t k, size_t n,
                    float* c);
+  /// CRC32C (Castagnoli, reflected 0x82F63B78) of `data[0..n)` continued
+  /// from `crc` — the integrity checksum of the durability layer (pool
+  /// headers, journal slots, segment scrub). Standard convention: pass 0
+  /// to start, chain by passing the previous return value; the result of
+  /// one call over a buffer equals chained calls over any split of it.
+  /// Integer-exact, so every tier is trivially bit-identical (the x86
+  /// tiers use the SSE4.2 crc32 instruction, implied by AVX2).
+  uint32_t (*crc32c)(uint32_t crc, const void* data, size_t n);
 };
 
 /// The process-wide kernel table. Chosen once on first use: the best
@@ -87,6 +95,12 @@ const char* SimdLevelName(SimdLevel level);
 /// compiled in or this CPU lacks it — lets tests compare every
 /// available tier against the scalar reference in a single process.
 const KernelOps* OpsFor(SimdLevel level);
+
+/// Dispatched one-shot CRC32C of a buffer (seed 0). For incremental
+/// checksums call Ops().crc32c directly.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Ops().crc32c(0, data, n);
+}
 
 namespace internal {
 /// Defined by the feature-gated TUs (kernels_avx2.cc, kernels_avx512.cc);

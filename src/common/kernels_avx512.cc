@@ -190,9 +190,31 @@ void Avx512Gemv(const float* a, const float* b, size_t k, size_t n,
   }
 }
 
+// CRC32C through the same SSE4.2 crc32 unit as the AVX2 tier (baseline
+// on every AVX-512 CPU); duplicated here so the tier's table stands
+// alone. See kernels_avx2.cc for the inversion convention.
+uint32_t Avx512Crc32c(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t state = ~crc;
+  while (n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    state = _mm_crc32_u64(state, word);
+    p += 8;
+    n -= 8;
+  }
+  auto s32 = static_cast<uint32_t>(state);
+  while (n > 0) {
+    s32 = _mm_crc32_u8(s32, *p++);
+    --n;
+  }
+  return ~s32;
+}
+
 const KernelOps kAvx512Ops = {
     Avx512Popcount, Avx512Hamming, Avx512Diff, Avx512BitsToFloats,
     Avx512Add,      Avx512Axpy,    Avx512Dot8, Avx512Gemv,
+    Avx512Crc32c,
 };
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "core/sharded_store.h"
 
+#include <thread>
+
 #include "ml/matrix.h"
 
 namespace e2nvm::core {
@@ -8,6 +10,8 @@ ShardedStore::ShardedStore(const ShardedStoreConfig& config)
     : config_(config), num_shards_(config.num_shards) {}
 
 ShardedStore::~ShardedStore() {
+  // Park the scrubber before the shards it walks go away.
+  StopBackgroundScrub();
   // Shard engines join their background retrainers; do that while the
   // shared pool is still alive.
   shards_.clear();
@@ -52,6 +56,9 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
   store->shard_mu_ = std::make_unique<std::mutex[]>(config.num_shards);
   store->shards_.reserve(config.num_shards);
   store->journals_.resize(config.num_shards);
+  store->scrub_stats_.resize(config.num_shards);
+  store->scrub_cursor_.assign(config.num_shards, 0);
+  store->checkpoints_.assign(config.num_shards, 0);
   for (size_t s = 0; s < config.num_shards; ++s) {
     E2KvStore::ShardAttachment attach;
     attach.device = store->device_.get();
@@ -85,10 +92,38 @@ Status ShardedStore::Put(uint64_t key, const BitVector& value) {
   const size_t s = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
   if (journals_[s] != nullptr) {
-    E2_RETURN_IF_ERROR(
-        journals_[s]->Append(ShardJournal::Op::kPut, key, value));
+    E2_RETURN_IF_ERROR(JournalAppend(s, ShardJournal::Op::kPut, key, value));
   }
   return shards_[s]->Put(key, value);
+}
+
+Status ShardedStore::JournalAppend(size_t s, ShardJournal::Op op,
+                                   uint64_t key, const BitVector& value) {
+  Status st = journals_[s]->Append(op, key, value);
+  if (st.code() != StatusCode::kResourceExhausted) return st;
+  // Full journal: fold the retired history into a live-state checkpoint
+  // (fresh generation) and retry. Fails only if the live state itself
+  // no longer fits the capacity.
+  E2_RETURN_IF_ERROR(CheckpointShardJournal(s));
+  return journals_[s]->Append(op, key, value);
+}
+
+Status ShardedStore::CheckpointShardJournal(size_t s) {
+  std::vector<ShardJournal::Record> live;
+  live.reserve(shards_[s]->size());
+  Status peek_status = Status::Ok();
+  shards_[s]->tree().ForEach([&](uint64_t key, uint64_t) {
+    auto value = shards_[s]->PeekValue(key);
+    if (!value.ok()) {
+      if (peek_status.ok()) peek_status = value.status();
+      return;
+    }
+    live.push_back({ShardJournal::Op::kPut, key, std::move(*value)});
+  });
+  E2_RETURN_IF_ERROR(peek_status);
+  E2_RETURN_IF_ERROR(journals_[s]->Checkpoint(live));
+  ++checkpoints_[s];
+  return Status::Ok();
 }
 
 Status ShardedStore::MultiPutShard(
@@ -97,7 +132,7 @@ Status ShardedStore::MultiPutShard(
   if (journals_[s] != nullptr) {
     for (const auto& [key, value] : kvs) {
       E2_RETURN_IF_ERROR(
-          journals_[s]->Append(ShardJournal::Op::kPut, key, value));
+          JournalAppend(s, ShardJournal::Op::kPut, key, value));
     }
   }
   return shards_[s]->MultiPut(kvs);
@@ -145,7 +180,7 @@ Status ShardedStore::Delete(uint64_t key) {
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
   if (journals_[s] != nullptr) {
     E2_RETURN_IF_ERROR(
-        journals_[s]->Append(ShardJournal::Op::kDelete, key, BitVector()));
+        JournalAppend(s, ShardJournal::Op::kDelete, key, BitVector()));
   }
   return shards_[s]->Delete(key);
 }
@@ -168,13 +203,123 @@ ShardedStore::Snapshot ShardedStore::TakeSnapshot() {
     locks.emplace_back(shard_mu_[s]);
   }
   Snapshot snap;
-  for (auto& shard : shards_) {
-    snap.engine.MergeFrom(shard->engine().stats());
-    snap.keys += shard->size();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    snap.engine.MergeFrom(shards_[s]->engine().stats());
+    snap.keys += shards_[s]->size();
+    snap.scrub.MergeFrom(scrub_stats_[s]);
+    snap.journal_checkpoints += checkpoints_[s];
   }
   snap.device = device_->stats();
   snap.total_pj = meter_.TotalPj();
   return snap;
+}
+
+void ShardedStore::ScrubShard(size_t s, size_t budget) {
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  ScrubShardLocked(s, budget);
+}
+
+void ShardedStore::ScrubShardLocked(size_t s, size_t budget) {
+  auto& ctrl = shards_[s]->controller();
+  if (!ctrl.integrity_tracking()) return;
+  ScrubStats& st = scrub_stats_[s];
+  const size_t n = config_.shard.num_segments;
+  const uint64_t first = shards_[s]->first_segment();
+  for (size_t i = 0; i < budget; ++i) {
+    const size_t off = scrub_cursor_[s];
+    scrub_cursor_[s] = (off + 1) % n;
+    const size_t logical = first + off;
+    ++st.segments_scanned;
+    if (ctrl.VerifySegment(logical) ==
+        nvm::MemoryController::SegmentCheck::kMismatch) {
+      ++st.mismatches;
+      // Reverse-lookup which live key (if any) maps to the segment.
+      // O(keys), but only on the detected-corruption path.
+      std::optional<uint64_t> owner;
+      shards_[s]->tree().ForEach([&](uint64_t key, uint64_t addr) {
+        if (addr == logical) owner = key;
+      });
+      if (owner.has_value()) {
+        std::optional<BitVector> copy;
+        if (journals_[s] != nullptr) {
+          copy = journals_[s]->FindLatestPut(*owner);
+        }
+        if (copy.has_value() && shards_[s]->Put(*owner, *copy).ok()) {
+          // Re-placement: the key now lives on a freshly verified
+          // segment; the corrupt one was recycled into the free pool.
+          ++st.repaired;
+        } else {
+          // No clean redundant copy — all we can do is stop placing
+          // fresh data there.
+          ctrl.Quarantine(logical);
+          ++st.quarantined;
+        }
+      } else {
+        // Free segment drift: its content only feeds model training.
+        ++st.restamped;
+      }
+      // Adopt the current cells either way so the same damage is not
+      // re-flagged every pass.
+      ctrl.RestampSegment(logical);
+    }
+    if (scrub_cursor_[s] == 0) {
+      ++st.passes;
+      if (journals_[s] != nullptr) {
+        size_t scanned = 0;
+        st.journal_bad_slots += journals_[s]->VerifySlots(&scanned);
+        st.journal_slots_scanned += scanned;
+      }
+    }
+  }
+}
+
+void ShardedStore::ScrubTick() {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    ScrubShard(s, config_.scrub_segments_per_tick);
+  }
+}
+
+void ShardedStore::ScrubLoop() {
+  if (scrub_stop_.load(std::memory_order_acquire)) {
+    scrub_running_.store(false, std::memory_order_release);
+    return;
+  }
+  ScrubTick();
+  pool_->Submit([this] { ScrubLoop(); });
+}
+
+bool ShardedStore::StartBackgroundScrub() {
+  if (pool_ == nullptr || scrub_running_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  scrub_stop_.store(false, std::memory_order_relaxed);
+  scrub_running_.store(true, std::memory_order_release);
+  pool_->Submit([this] { ScrubLoop(); });
+  return true;
+}
+
+void ShardedStore::StopBackgroundScrub() {
+  if (!scrub_running_.load(std::memory_order_acquire)) return;
+  scrub_stop_.store(true, std::memory_order_release);
+  // The loop re-queues itself between ticks, so it observes the stop
+  // within one tick; spin-wait for the park (ticks are short).
+  while (scrub_running_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+ShardedStore::ScrubStats ShardedStore::TakeScrubStats() {
+  ScrubStats total;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    total.MergeFrom(scrub_stats_[s]);
+  }
+  return total;
+}
+
+void ShardedStore::InjectBitRot(size_t s, size_t seg_off, size_t bit) {
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  device_->FlipCellRaw(shards_[s]->first_segment() + seg_off, bit);
 }
 
 size_t ShardedStore::PumpRetrains() {

@@ -1,6 +1,7 @@
 #ifndef E2NVM_CORE_SHARDED_STORE_H_
 #define E2NVM_CORE_SHARDED_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -34,8 +35,14 @@ struct ShardedStoreConfig {
   /// PUT/DELETE is appended durably before it touches the shard, so a
   /// crash image replays to a prefix of the applied operations.
   bool journal = false;
-  /// Slots per shard journal (appends beyond this fail).
+  /// Slots per shard journal. A shard whose journal fills checkpoints
+  /// its live state into a fresh journal generation and retries, so
+  /// capacity bounds journal size, not operation count — but it must be
+  /// >= the shard's live key count for the checkpoint to fit.
   size_t journal_capacity = 4096;
+
+  /// Segments each shard verifies per ScrubTick (see StartBackgroundScrub).
+  size_t scrub_segments_per_tick = 32;
 };
 
 /// A sharded concurrent front-end over N independent E2KvStore shards
@@ -100,11 +107,37 @@ class ShardedStore {
     return static_cast<size_t>(x % num_shards_);
   }
 
+  /// What the integrity scrubber did so far (per shard, mergeable).
+  /// Requires shard.integrity_tracking; all zero otherwise.
+  struct ScrubStats {
+    uint64_t segments_scanned = 0;   // Segment checksum verifications run.
+    uint64_t mismatches = 0;         // Silent corruption detected.
+    uint64_t repaired = 0;           // Live keys re-placed from a journal copy.
+    uint64_t quarantined = 0;        // Corrupt segments with no clean copy.
+    uint64_t restamped = 0;          // Drifted free segments adopted.
+    uint64_t passes = 0;             // Full shard sweeps completed.
+    uint64_t journal_slots_scanned = 0;  // Journal slot CRCs verified.
+    uint64_t journal_bad_slots = 0;      // Journal slots that failed CRC.
+
+    void MergeFrom(const ScrubStats& o) {
+      segments_scanned += o.segments_scanned;
+      mismatches += o.mismatches;
+      repaired += o.repaired;
+      quarantined += o.quarantined;
+      restamped += o.restamped;
+      passes += o.passes;
+      journal_slots_scanned += o.journal_slots_scanned;
+      journal_bad_slots += o.journal_bad_slots;
+    }
+  };
+
   /// Merged view across shards for experiments and benchmarks: summed
   /// engine stats, the shared device counters and the total energy.
   struct Snapshot {
     EngineStats engine;       // Summed across shards (EngineStats::MergeFrom).
     nvm::DeviceStats device;  // The one shared device.
+    ScrubStats scrub;         // Summed across shards.
+    uint64_t journal_checkpoints = 0;  // Checkpoint-and-truncate events.
     double total_pj = 0.0;
     size_t keys = 0;
   };
@@ -116,6 +149,38 @@ class ShardedStore {
   /// (test/harness hook; see PlacementEngine::PumpBackgroundRetrain).
   /// Returns the number of shards that swapped.
   size_t PumpRetrains();
+
+  // --- Integrity scrubbing (DESIGN.md §12) ---
+
+  /// Verifies up to `budget` of shard `s`'s segments against the
+  /// controller's integrity map (under the shard lock). A mismatched
+  /// segment holding a live key is repaired by re-placing the key from
+  /// its latest CRC-valid journal copy (going through write-verify /
+  /// spare-cell repair / quarantine); a corrupt segment with no clean
+  /// copy is quarantined; a drifted free segment is adopted (its content
+  /// only feeds model training). Completing a sweep also verifies every
+  /// committed journal slot. No-op without shard.integrity_tracking.
+  void ScrubShard(size_t s, size_t budget);
+
+  /// One scrub round: `scrub_segments_per_tick` segments of every shard.
+  void ScrubTick();
+
+  /// Starts the background scrubber: a low-priority self-requeueing task
+  /// on the shared pool running ScrubTick between client operations.
+  /// Returns false when there is no pool (pool_threads == 0) or the
+  /// scrubber is already running.
+  bool StartBackgroundScrub();
+
+  /// Stops the background scrubber and waits for it to park. Safe to
+  /// call when it never started.
+  void StopBackgroundScrub();
+
+  /// Summed scrub counters (takes the shard locks).
+  ScrubStats TakeScrubStats();
+
+  /// Flips one raw cell of shard `s`'s segment `seg_off` (silent bit
+  /// rot — no stats, no energy; only a scrub can notice). Test hook.
+  void InjectBitRot(size_t s, size_t seg_off, size_t bit);
 
   size_t num_shards() const { return num_shards_; }
   nvm::NvmDevice& device() { return *device_; }
@@ -134,6 +199,24 @@ class ShardedStore {
   Status MultiPutShard(size_t s,
                        const std::vector<std::pair<uint64_t, BitVector>>& kvs);
 
+  /// Appends to shard `s`'s journal; on a full journal, checkpoints the
+  /// shard's live state into a fresh generation and retries once.
+  /// Caller holds the shard lock.
+  Status JournalAppend(size_t s, ShardJournal::Op op, uint64_t key,
+                       const BitVector& value);
+
+  /// Checkpoint-and-truncate: replaces shard `s`'s journal contents with
+  /// one kPut per live key (key order, values peeked from the device),
+  /// whose replay is equivalent to the full retired history. Caller
+  /// holds the shard lock.
+  Status CheckpointShardJournal(size_t s);
+
+  /// ScrubShard body; caller holds the shard lock.
+  void ScrubShardLocked(size_t s, size_t budget);
+
+  /// Self-requeueing pool task driving ScrubTick until stopped.
+  void ScrubLoop();
+
   ShardedStoreConfig config_;
   size_t num_shards_ = 1;
   nvm::EnergyMeter meter_;
@@ -141,6 +224,14 @@ class ShardedStore {
   bool installed_pool_ = false;
   std::unique_ptr<nvm::NvmDevice> device_;
   std::vector<std::unique_ptr<ShardJournal>> journals_;
+  // Per-shard scrub state, guarded by the owning shard's mutex.
+  std::vector<ScrubStats> scrub_stats_;
+  std::vector<size_t> scrub_cursor_;
+  std::vector<uint64_t> checkpoints_;  // Checkpoint-and-truncate events.
+  // Background scrubber handshake: the loop parks (running_ -> false)
+  // once it observes stop_; StopBackgroundScrub waits for the park.
+  std::atomic<bool> scrub_stop_{false};
+  std::atomic<bool> scrub_running_{false};
   // Shards destruct first (declared last): their engines may still hold
   // background-retrain jobs on pool_ and addresses on device_.
   std::unique_ptr<std::mutex[]> shard_mu_;

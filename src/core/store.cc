@@ -70,6 +70,7 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::Create(
   store->ctrl_ = std::make_unique<nvm::MemoryController>(
       store->device_.get(), &store->scheme_, config.num_segments,
       config.psi);
+  if (config.integrity_tracking) store->ctrl_->EnableIntegrityTracking();
 
   BuildModelAndEngine(config, /*first_segment=*/0, store->ctrl_.get(),
                       &store->model_, &store->engine_,
@@ -106,6 +107,7 @@ StatusOr<std::unique_ptr<E2KvStore>> E2KvStore::CreateShard(
   store->ctrl_ = std::make_unique<nvm::MemoryController>(
       attach.device, &store->scheme_, attach.device->num_segments(),
       /*psi=*/0);
+  if (config.integrity_tracking) store->ctrl_->EnableIntegrityTracking();
 
   BuildModelAndEngine(config, attach.first_segment, store->ctrl_.get(),
                       &store->model_, &store->engine_,
@@ -166,6 +168,12 @@ StatusOr<BitVector> E2KvStore::Get(uint64_t key) {
   auto addr = tree_.Get(key);
   if (!addr.has_value()) return Status::NotFound("key not found");
   return engine_->Read(*addr, value_bits_.at(key));
+}
+
+StatusOr<BitVector> E2KvStore::PeekValue(uint64_t key) const {
+  auto addr = tree_.Get(key);
+  if (!addr.has_value()) return Status::NotFound("key not found");
+  return ctrl_->Peek(*addr).Slice(0, value_bits_.at(key));
 }
 
 Status E2KvStore::Delete(uint64_t key) {

@@ -57,6 +57,10 @@ struct StoreConfig {
   /// attached to the device.
   bool verify_writes = false;
   size_t max_write_retries = 3;
+  /// Record a CRC32C of every committed segment image in the controller
+  /// so an integrity scrubber can detect silent in-array corruption
+  /// (see MemoryController::VerifySegment). ~5 bytes/segment.
+  bool integrity_tracking = false;
 };
 
 /// The persistent key-value store of Fig 3: an RB-tree data index in DRAM,
@@ -123,6 +127,11 @@ class E2KvStore {
   Status MultiPut(const std::vector<std::pair<uint64_t, BitVector>>& kvs);
 
   StatusOr<BitVector> Get(uint64_t key);
+
+  /// Zero-cost Get (no read energy, no read disturb): decodes the key's
+  /// committed cells as they are. Software bookkeeping for checkpoints
+  /// and scrub repair, not a datapath read.
+  StatusOr<BitVector> PeekValue(uint64_t key) const;
 
   Status Delete(uint64_t key);
 

@@ -4,8 +4,10 @@
 #include <memory>
 #include <optional>
 #include <unordered_set>
+#include <vector>
 
 #include "common/bitvec.h"
+#include "common/kernels.h"
 #include "nvm/device.h"
 #include "nvm/wear_leveler.h"
 #include "nvm/write_scheme.h"
@@ -74,7 +76,56 @@ class MemoryController {
     size_t pa = Physical(logical);
     device_->WriteSegmentInto(pa, data, *scheme_, r);
     if (r->verify_failed) quarantined_.insert(logical);
+    if (!expected_crc_.empty()) {
+      if (r->verify_failed) {
+        // The committed cells are known-wrong; nothing to verify against.
+        expected_valid_[logical] = 0;
+      } else {
+        expected_crc_[logical] = StoredCrc(r->stored);
+        expected_valid_[logical] = 1;
+      }
+    }
     if (leveler_) leveler_->OnWrite(*device_, scheme_);
+  }
+
+  // --- Segment-content integrity map (scrubber support) ---
+
+  /// Starts recording the CRC32C of every committed intended image, per
+  /// logical segment, so VerifySegment can later detect silent in-array
+  /// corruption (retention drift, stuck cells flipping between writes).
+  /// Costs 5 bytes per logical segment plus one crc per write.
+  void EnableIntegrityTracking() {
+    expected_crc_.assign(num_logical_, 0);
+    expected_valid_.assign(num_logical_, 0);
+  }
+  bool integrity_tracking() const { return !expected_crc_.empty(); }
+
+  enum class SegmentCheck {
+    kOk = 0,      // Committed cells match the recorded checksum.
+    kMismatch,    // Silent corruption: cells differ from what was written.
+    kUntracked,   // No checksummed write since tracking was enabled.
+  };
+
+  /// Compares `logical`'s committed cells (zero-cost peek, no read
+  /// disturb) against the recorded checksum of the last intended image.
+  SegmentCheck VerifySegment(size_t logical) const {
+    if (expected_crc_.empty() || expected_valid_[logical] == 0) {
+      return SegmentCheck::kUntracked;
+    }
+    return StoredCrc(device_->PeekSegment(Physical(logical))) ==
+                   expected_crc_[logical]
+               ? SegmentCheck::kOk
+               : SegmentCheck::kMismatch;
+  }
+
+  /// Adopts `logical`'s current committed cells as the expected content
+  /// (after a scrub repair, or for drifted free segments whose content
+  /// only feeds model training).
+  void RestampSegment(size_t logical) {
+    if (expected_crc_.empty()) return;
+    expected_crc_[logical] =
+        StoredCrc(device_->PeekSegment(Physical(logical)));
+    expected_valid_[logical] = 1;
   }
 
   /// True if `logical` has been quarantined (write-verify keeps failing).
@@ -93,6 +144,10 @@ class MemoryController {
   /// Seeds a logical segment without cost accounting (load phase).
   void Seed(size_t logical, const BitVector& content) {
     device_->SeedSegment(Physical(logical), content);
+    if (!expected_crc_.empty()) {
+      expected_crc_[logical] = StoredCrc(content);
+      expected_valid_[logical] = 1;
+    }
   }
 
   size_t Physical(size_t logical) const {
@@ -107,11 +162,21 @@ class MemoryController {
   }
 
  private:
+  /// Checksum of a raw stored image (the pre-decode cell content).
+  static uint32_t StoredCrc(const BitVector& stored) {
+    return e2nvm::Crc32c(stored.words().data(), stored.num_words() * 8);
+  }
+
   NvmDevice* device_;
   WriteScheme* scheme_;
   size_t num_logical_;
   std::optional<StartGapLeveler> leveler_;
   std::unordered_set<size_t> quarantined_;  // Logical bad-segment list.
+  // Integrity map (empty unless EnableIntegrityTracking): per logical
+  // segment, the CRC32C of the last committed intended image and whether
+  // it is trustworthy.
+  std::vector<uint32_t> expected_crc_;
+  std::vector<uint8_t> expected_valid_;
 };
 
 }  // namespace e2nvm::nvm

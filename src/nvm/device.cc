@@ -56,11 +56,15 @@ const BitVector& NvmDevice::ReadSegment(size_t seg) {
   size_t lines = (config_.segment_bits + kCacheLineBits - 1) / kCacheLineBits;
   meter_->AdvanceTime(model_.ReadNs(lines));
   if (injector_ != nullptr) {
-    read_buf_ = segments_[seg];
-    if (injector_->MutateRead(seg, &read_buf_)) {
+    // Thread-local: the disturbed copy is consumed (decoded) by the
+    // caller before its next read, and concurrent shard readers must not
+    // share one buffer.
+    thread_local BitVector read_buf;
+    read_buf = segments_[seg];
+    if (injector_->MutateRead(seg, &read_buf)) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.read_disturbs;
-      return read_buf_;
+      return read_buf;
     }
   }
   return segments_[seg];
@@ -113,15 +117,18 @@ void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
                              bool allow_tear) {
   // Only the injector may perturb the program image; without one the
   // intended bits are committed directly, with no copy on the hot path.
-  // (write_buf_ reuses its capacity, so even the injector path settles
-  // into zero allocations.)
+  // (The thread-local scratch reuses its capacity, so even the injector
+  // path settles into zero allocations, and concurrent shard writers
+  // never share a program image.)
   const BitVector* target = &intended;
   bool injected = false;
+  bool torn = false;
   if (injector_ != nullptr) {
-    write_buf_ = intended;
-    injected = injector_->MutateWrite(seg, segments_[seg], &write_buf_,
-                                      allow_tear);
-    target = &write_buf_;
+    thread_local BitVector write_buf;
+    write_buf = intended;
+    injected = injector_->MutateWrite(seg, segments_[seg], &write_buf,
+                                      allow_tear, &torn);
+    target = &write_buf;
   }
   size_t dirty = target->DirtyLines(segments_[seg], kCacheLineBits);
   size_t set_bits = 0;
@@ -130,6 +137,7 @@ void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (injected) ++stats_.faults_injected;
+    if (torn) ++stats_.torn_writes;
     stats_.set_transitions += set_bits;
     stats_.reset_transitions += reset_bits;
     stats_.dirty_lines += dirty;
@@ -167,9 +175,6 @@ void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
     stats_.aux_bits_flipped += result.aux_bits_flipped;
     stats_.logical_bits_written += data.size();
   }
-  uint64_t torn_before =
-      injector_ != nullptr ? injector_->stats().torn_writes : 0;
-
   ProgramCells(seg, result.stored, /*allow_tear=*/true);
 
   // Aux flips happen in metadata cells; charge them at SET cost.
@@ -213,10 +218,6 @@ void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
       }
     }
   }
-  if (injector_ != nullptr) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.torn_writes += injector_->stats().torn_writes - torn_before;
-  }
 }
 
 void NvmDevice::SeedSegment(size_t seg, const BitVector& content) {
@@ -254,6 +255,12 @@ void NvmDevice::MigrateSegment(size_t src, size_t dst) {
                  model_.WritePj(set_bits, reset_bits, dirty) +
                      model_.ReadPj(config_.segment_bits));
   meter_->AdvanceTime(model_.WriteNs(dirty));
+}
+
+void NvmDevice::FlipCellRaw(size_t seg, size_t bit) {
+  E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
+  E2_CHECK(bit < config_.segment_bits, "bit %zu out of range", bit);
+  segments_[seg].Set(bit, !segments_[seg].Get(bit));
 }
 
 void NvmDevice::ResetStats() {

@@ -88,9 +88,10 @@ struct DeviceStats {
 /// under that discipline; the *shared* aggregate counters (`stats_`) are
 /// guarded by an internal mutex, and the EnergyMeter synchronizes itself.
 /// `stats()` is a plain reference — snapshot it only while no writer is
-/// active (after joining client threads). Fault injection is NOT
-/// concurrency-safe (the injector and `read_buf_` are shared); attach an
-/// injector only to single-caller devices.
+/// active (after joining client threads). Fault injection IS
+/// concurrency-safe under the same per-segment discipline: the injector
+/// locks its own state, and the device's read/program scratch buffers
+/// are thread-local.
 class NvmDevice {
  public:
   /// Creates a device with all cells zero. The meter is optional; if null,
@@ -134,6 +135,11 @@ class NvmDevice {
   /// Copies segment `src`'s raw cells onto segment `dst` differentially,
   /// counting flips/energy (used by wear-leveling gap moves).
   void MigrateSegment(size_t src, size_t dst);
+
+  /// Silently flips one cell of `seg` — no stats, no energy, no wear.
+  /// Models in-array bit rot (retention drift) for scrubber tests; only
+  /// an integrity scrub can notice the damage.
+  void FlipCellRaw(size_t seg, size_t bit);
 
   const DeviceStats& stats() const { return stats_; }
   void ResetStats();
@@ -189,9 +195,6 @@ class NvmDevice {
   EnergyMeter own_meter_;
   EnergyMeter* meter_;
   FaultInjector* injector_ = nullptr;
-  BitVector read_buf_;  // Holds read-disturbed copies handed to readers.
-  BitVector write_buf_;  // Injector-perturbed program images (shares the
-                         // injector's single-caller restriction).
 };
 
 }  // namespace e2nvm::nvm

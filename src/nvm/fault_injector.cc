@@ -10,6 +10,7 @@ namespace e2nvm::nvm {
 void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
                          uint64_t endurance_writes) {
   E2_CHECK(segment_bits > 0, "fault injector bound to empty geometry");
+  std::lock_guard<std::mutex> lock(mu_);
   num_segments_ = num_segments;
   segment_bits_ = segment_bits;
   wear_onset_ = static_cast<uint64_t>(config_.wear_onset_fraction *
@@ -31,6 +32,7 @@ void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
 
 void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
   E2_CHECK(bound(), "fault injector not bound to a device");
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = stuck_.insert_or_assign(CellKey(seg, bit), value);
   if (inserted) {
     ++stats_.stuck_cells;
@@ -39,8 +41,11 @@ void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
 }
 
 bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
-                                BitVector* stored, bool allow_tear) {
+                                BitVector* stored, bool allow_tear,
+                                bool* torn) {
+  std::lock_guard<std::mutex> lock(mu_);
   bool perturbed = false;
+  if (torn != nullptr) *torn = false;
 
   // Torn write: commit only the first k of the changed bits; the rest keep
   // their old value. k is uniform over [0, changed), so at least one
@@ -62,15 +67,21 @@ bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
         stored->Set(changed[i], old.Get(changed[i]));
       }
       ++stats_.torn_writes;
+      if (torn != nullptr) *torn = true;
       perturbed = true;
     }
   }
 
-  if (ClampStuck(seg, stored)) perturbed = true;
+  if (ClampStuckLocked(seg, stored)) perturbed = true;
   return perturbed;
 }
 
 bool FaultInjector::ClampStuck(size_t seg, BitVector* stored) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClampStuckLocked(seg, stored);
+}
+
+bool FaultInjector::ClampStuckLocked(size_t seg, BitVector* stored) {
   if (stuck_.empty()) return false;
   bool clamped = false;
   // Iterating the whole map would be O(total stuck); bound the scan by
@@ -100,9 +111,12 @@ bool FaultInjector::ClampStuck(size_t seg, BitVector* stored) {
 
 void FaultInjector::OnCellProgrammed(size_t seg, size_t bit, bool value,
                                      uint64_t wear) {
+  // wear_onset_ is fixed by Bind before any datapath call, so this
+  // pre-lock rejection of the common case is race-free.
   if (wear < wear_onset_ || config_.stuck_on_program_probability <= 0.0) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (!rng_.NextBernoulli(config_.stuck_on_program_probability)) return;
   if (stuck_.emplace(CellKey(seg, bit), value).second) {
     ++stats_.stuck_cells;
@@ -114,6 +128,7 @@ bool FaultInjector::MutateRead(size_t seg, BitVector* out) {
   if (config_.read_disturb_probability <= 0.0 || out->size() == 0) {
     return false;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (!rng_.NextBernoulli(config_.read_disturb_probability)) return false;
   size_t bit = static_cast<size_t>(rng_.NextBounded(out->size()));
   out->Set(bit, !out->Get(bit));
@@ -122,11 +137,12 @@ bool FaultInjector::MutateRead(size_t seg, BitVector* out) {
 }
 
 bool FaultInjector::RepairCells(size_t seg, const std::vector<size_t>& bits) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t stuck_n = 0;
   for (size_t bit : bits) {
-    if (IsStuck(seg, bit)) ++stuck_n;
+    if (stuck_.count(CellKey(seg, bit)) != 0) ++stuck_n;
   }
-  size_t used = SparesUsed(seg);
+  size_t used = SparesUsedLocked(seg);
   if (used + stuck_n > config_.spare_cells_per_segment) {
     ++stats_.repairs_denied;
     return false;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +69,12 @@ struct FaultStats {
 ///
 /// Attach with NvmDevice::AttachFaultInjector; the injector must outlive
 /// the device. All hooks are called by the device on its datapath.
+///
+/// Thread-safety: all mutable state (stuck map, spare budgets, stats,
+/// rng) sits behind an internal mutex, so one injector may serve a
+/// sharded device written by many threads. Determinism then holds per
+/// total order of injector calls: single-threaded runs replay
+/// bit-for-bit; concurrent runs are honest chaos.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultConfig& config)
@@ -89,15 +96,18 @@ class FaultInjector {
 
   /// True if the cell is currently stuck (not yet repaired).
   bool IsStuck(size_t seg, size_t bit) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return stuck_.count(CellKey(seg, bit)) != 0;
   }
 
   /// Perturbs the image about to be programmed over `old`: with
   /// `torn_write_probability` (and `allow_tear`) only a prefix of the
   /// changed bits commits, and stuck cells always hold their stuck value.
-  /// Returns true if the image was changed.
+  /// Returns true if the image was changed; `*torn` (optional) reports
+  /// whether a tear specifically fired, so the caller can attribute its
+  /// own torn-write counter race-free.
   bool MutateWrite(size_t seg, const BitVector& old, BitVector* stored,
-                   bool allow_tear);
+                   bool allow_tear, bool* torn = nullptr);
 
   /// Forces stuck cells of `seg` onto `stored` without any stochastic
   /// faults (used for raw migrations).
@@ -118,11 +128,16 @@ class FaultInjector {
 
   /// Spare cells already consumed by `seg`.
   size_t SparesUsed(size_t seg) const {
-    auto it = spares_used_.find(seg);
-    return it == spares_used_.end() ? 0 : it->second;
+    std::lock_guard<std::mutex> lock(mu_);
+    return SparesUsedLocked(seg);
   }
 
-  const FaultStats& stats() const { return stats_; }
+  /// Consistent snapshot of the counters (by value: the injector may be
+  /// serving concurrent writers).
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const FaultConfig& config() const { return config_; }
 
  private:
@@ -130,7 +145,16 @@ class FaultInjector {
     return static_cast<uint64_t>(seg) * segment_bits_ + bit;
   }
 
+  size_t SparesUsedLocked(size_t seg) const {
+    auto it = spares_used_.find(seg);
+    return it == spares_used_.end() ? 0 : it->second;
+  }
+
+  /// ClampStuck body; mu_ held.
+  bool ClampStuckLocked(size_t seg, BitVector* stored);
+
   FaultConfig config_;
+  mutable std::mutex mu_;  // Guards everything below.
   Rng rng_;
   size_t num_segments_ = 0;
   size_t segment_bits_ = 0;

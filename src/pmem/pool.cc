@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "common/kernels.h"
 #include "pmem/tx.h"
 
 namespace e2nvm::pmem {
@@ -53,10 +54,7 @@ StatusOr<std::unique_ptr<Pool>> Pool::Open(const std::string& path,
       pool->MapFile(path, static_cast<size_t>(st.st_size), /*create=*/false));
   E2_RETURN_IF_ERROR(pool->ValidateHeader(layout));
   pool->layout_ = layout;
-  pool->recovered_ = pool->header()->clean_shutdown == 0;
-  pool->RunRecovery();
-  pool->header()->clean_shutdown = 0;
-  pool->Persist(0, sizeof(Header));
+  E2_RETURN_IF_ERROR(pool->RecoverAndMarkOpen());
   return pool;
 }
 
@@ -98,11 +96,9 @@ StatusOr<std::unique_ptr<Pool>> Pool::OpenFromImage(
   pool->anonymous_ = true;
   E2_RETURN_IF_ERROR(pool->ValidateHeader(layout));
   pool->layout_ = layout;
-  // A captured image never saw Close(), so recovery always runs.
-  pool->recovered_ = pool->header()->clean_shutdown == 0;
-  pool->RunRecovery();
-  pool->header()->clean_shutdown = 0;
-  pool->Persist(0, sizeof(Header));
+  // A crash image never saw Close(), so this runs recovery; an image
+  // snapshotted after Close() reopens clean like a file would.
+  E2_RETURN_IF_ERROR(pool->RecoverAndMarkOpen());
   return pool;
 }
 
@@ -141,7 +137,13 @@ void Pool::InitHeader(const std::string& layout, size_t size) {
   h->tx_log = kHeaderBytes;
   h->heap_state = kHeaderBytes + TxLog::kLogBytes;
   TxLog::InitAt(*this, h->tx_log);
+  StampHeaderCrc();
   Persist(0, sizeof(Header));
+}
+
+void Pool::StampHeaderCrc() {
+  auto* h = header();
+  h->header_crc = Crc32c(h, offsetof(Header, header_crc));
 }
 
 Status Pool::ValidateHeader(const std::string& layout) const {
@@ -151,6 +153,9 @@ Status Pool::ValidateHeader(const std::string& layout) const {
   }
   if (h->version != kVersion) {
     return Status::FailedPrecondition("unsupported pool version");
+  }
+  if (h->header_crc != Crc32c(h, offsetof(Header, header_crc))) {
+    return Status::DataLoss("pool header checksum mismatch");
   }
   if (h->pool_size != size_) {
     return Status::DataLoss("pool size mismatch with file size");
@@ -162,6 +167,27 @@ Status Pool::ValidateHeader(const std::string& layout) const {
   return Status::Ok();
 }
 
+Status Pool::RecoverAndMarkOpen() {
+  TxLog log(this, header()->tx_log);
+  if (header()->clean_shutdown == 1) {
+    // A clean mark promises the log went idle before shutdown; an active
+    // transaction under it means the header and log disagree — refuse to
+    // guess which one to trust.
+    if (log.active()) {
+      return Status::DataLoss(
+          "pool marked cleanly shut down but its tx log is active");
+    }
+    recovered_ = false;
+  } else {
+    log.Recover();
+    recovered_ = true;
+  }
+  header()->clean_shutdown = 0;
+  StampHeaderCrc();
+  Persist(0, sizeof(Header));
+  return Status::Ok();
+}
+
 void Pool::RunRecovery() {
   TxLog log(this, header()->tx_log);
   log.Recover();
@@ -170,6 +196,7 @@ void Pool::RunRecovery() {
 void Pool::Close() {
   if (closed_ || base_ == nullptr) return;
   header()->clean_shutdown = 1;
+  StampHeaderCrc();
   Persist(0, sizeof(Header));
   if (!anonymous_ && fd_ >= 0) {
     msync(base_, size_, MS_SYNC);
@@ -179,7 +206,8 @@ void Pool::Close() {
 
 void Pool::set_root(PoolOffset off) {
   header()->root = off;
-  Persist(offsetof(Header, root) , sizeof(PoolOffset));
+  StampHeaderCrc();
+  Persist(0, sizeof(Header));
 }
 
 void Pool::Persist(PoolOffset off, size_t len) {

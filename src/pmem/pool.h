@@ -29,6 +29,14 @@ inline constexpr PoolOffset kNullOffset = 0;
 class Pool {
  public:
   /// In-pool header, stored at offset 0. 4 KiB reserved.
+  ///
+  /// Every field before `header_crc` is covered by the CRC32C stored in
+  /// `header_crc`, restamped after each header mutation (InitHeader,
+  /// set_root, open/close shutdown marks). The header is mutated and
+  /// persisted as a unit between persist ordinals, so crash images always
+  /// carry a valid checksum; a mismatch on open means the header bytes
+  /// themselves were torn or bit-rotted on media, and open fails with
+  /// kDataLoss instead of trusting the geometry.
   struct Header {
     static constexpr uint64_t kMagic = 0xE2B17F11AE2B17F1ull;
     uint64_t magic;
@@ -39,9 +47,10 @@ class Pool {
     uint64_t clean_shutdown;  // 1 if Close() completed; 0 while open.
     PoolOffset heap_state;    // Allocator persistent state.
     PoolOffset tx_log;        // Transaction undo log region.
+    uint64_t header_crc;      // CRC32C of every field above (low 32 bits).
   };
   static constexpr size_t kHeaderBytes = 4096;
-  static constexpr uint64_t kVersion = 1;
+  static constexpr uint64_t kVersion = 2;
 
   ~Pool();
 
@@ -54,8 +63,13 @@ class Pool {
                                                 const std::string& layout,
                                                 size_t size);
 
-  /// Opens an existing pool file, validating magic/layout, and runs crash
-  /// recovery (rolls back any uncommitted transaction found in the log).
+  /// Opens an existing pool file, validating magic/layout/header checksum.
+  /// Honors `Header::clean_shutdown`: a pool that did not see Close() is
+  /// reopened through the recovery path (rolls back any uncommitted
+  /// transaction found in the log, `recovered()` true); a cleanly shut
+  /// down pool skips recovery — unless its tx log claims an active
+  /// transaction, which is inconsistent with a clean mark and fails with
+  /// kDataLoss.
   static StatusOr<std::unique_ptr<Pool>> Open(const std::string& path,
                                               const std::string& layout);
 
@@ -138,6 +152,11 @@ class Pool {
   Status MapFile(const std::string& path, size_t size, bool create);
   void InitHeader(const std::string& layout, size_t size);
   Status ValidateHeader(const std::string& layout) const;
+  /// Honors clean_shutdown, runs recovery when dirty, and re-marks the
+  /// pool open — the shared tail of Open()/OpenFromImage().
+  Status RecoverAndMarkOpen();
+  /// Recomputes header_crc over the current header fields (no persist).
+  void StampHeaderCrc();
   void RunRecovery();
 
   void* base_ = nullptr;

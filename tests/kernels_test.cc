@@ -216,6 +216,74 @@ TEST(KernelsTest, GemvMatchesScalarBitwise) {
   }
 }
 
+// --- CRC32C: known-answer vectors, chaining, and cross-tier equality
+// (the hardware-accelerated tiers must produce standard Castagnoli
+// checksums, byte-for-byte interchangeable with the scalar table). ---
+
+TEST(KernelsTest, Crc32cKnownAnswers) {
+  // The canonical CRC32C check value (RFC 3720 appendix / zlib tests).
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32c(check, 9), 0xE3069283u);
+  // Empty input with seed 0 is 0.
+  EXPECT_EQ(Crc32c(check, 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(Crc32c(ffs.data(), ffs.size()), 0x62A8AB43u);
+}
+
+TEST(KernelsTest, Crc32cChainsAcrossSplits) {
+  Rng rng(0xc5c5c5c5);
+  std::vector<uint64_t> words;
+  RandomBits(rng, 257 * 64, &words);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(words.data());
+  const size_t n = words.size() * 8;
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    const uint32_t whole = ops.crc32c(0, bytes, n);
+    for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                         size_t{555}, n - 1, n}) {
+      uint32_t part = ops.crc32c(0, bytes, split);
+      part = ops.crc32c(part, bytes + split, n - split);
+      ASSERT_EQ(part, whole)
+          << SimdLevelName(level) << " split=" << split;
+    }
+  }
+}
+
+TEST(KernelsTest, Crc32cMatchesScalarForAllSizes) {
+  const KernelOps& ref = *OpsFor(SimdLevel::kScalar);
+  Rng rng(0x32c32c);
+  std::vector<uint64_t> words;
+  for (SimdLevel level : AvailableLevels()) {
+    const KernelOps& ops = *OpsFor(level);
+    for (size_t bytes = 0; bytes <= 257; ++bytes) {
+      RandomBits(rng, (bytes + 8) * 8, &words);
+      const auto* p = reinterpret_cast<const uint8_t*>(words.data());
+      const uint32_t seed = static_cast<uint32_t>(rng.NextU64());
+      ASSERT_EQ(ops.crc32c(seed, p, bytes), ref.crc32c(seed, p, bytes))
+          << SimdLevelName(level) << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(KernelsTest, Crc32cDetectsSingleBitDamage) {
+  Rng rng(0xdead);
+  std::vector<uint64_t> words;
+  RandomBits(rng, 64 * 64, &words);
+  auto* bytes = reinterpret_cast<uint8_t*>(words.data());
+  const size_t n = words.size() * 8;
+  const uint32_t clean = Crc32c(bytes, n);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t bit = static_cast<size_t>(rng.NextBounded(n * 8));
+    bytes[bit / 8] ^= uint8_t{1} << (bit % 8);
+    EXPECT_NE(Crc32c(bytes, n), clean) << "flipped bit " << bit;
+    bytes[bit / 8] ^= uint8_t{1} << (bit % 8);
+  }
+  EXPECT_EQ(Crc32c(bytes, n), clean);
+}
+
 // --- BitVector front-end: the primitives agree with a per-bit oracle. ---
 
 TEST(KernelsTest, BitVectorDiffStatsMatchesPerBitWalk) {

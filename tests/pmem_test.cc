@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
+#include "common/kernels.h"
 #include "pmem/allocator.h"
 #include "pmem/pool.h"
 #include "pmem/tx.h"
@@ -124,6 +127,97 @@ TEST_F(PmemFileTest, UncommittedTxRollsBackOnReopen) {
   EXPECT_TRUE((*pool)->recovered());
   EXPECT_STREQ(static_cast<const char*>((*pool)->Direct(off)),
                "ORIGINAL");
+  std::filesystem::remove(path_ + ".crash");
+}
+
+TEST_F(PmemFileTest, HeaderChecksumDetectsTamperedFile) {
+  {
+    auto pool = Pool::Create(path_, "tamper", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    (*pool)->set_root(4096);
+    (*pool)->Close();
+  }
+  // Bit-rot one byte of the root field on "media" without restamping.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offsetof(Pool::Header, root)));
+    char b = 0;
+    f.read(&b, 1);
+    b ^= 0x40;
+    f.seekp(static_cast<std::streamoff>(offsetof(Pool::Header, root)));
+    f.write(&b, 1);
+  }
+  auto pool = Pool::Open(path_, "tamper");
+  EXPECT_EQ(pool.status().code(), StatusCode::kDataLoss)
+      << pool.status().ToString();
+}
+
+TEST_F(PmemFileTest, DirtyOpenWithIdleTxLogRecovers) {
+  // Power loss between transactions: the open mark is dirty but the tx
+  // log is idle. Open must take the recovery path (recovered() true),
+  // and the header checksum — restamped by set_root — must still
+  // validate on the crash image.
+  {
+    auto pool = Pool::Create(path_, "dirty_idle", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    (*pool)->set_root(8192);
+    std::filesystem::copy_file(
+        path_, path_ + ".crash",
+        std::filesystem::copy_options::overwrite_existing);
+    (*pool)->Close();
+  }
+  auto pool = Pool::Open(path_ + ".crash", "dirty_idle");
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_TRUE((*pool)->recovered());
+  EXPECT_EQ((*pool)->root(), 8192u);
+  std::filesystem::remove(path_ + ".crash");
+}
+
+TEST_F(PmemFileTest, CleanMarkWithActiveTxLogRejected) {
+  // A header claiming clean shutdown while its tx log holds an active
+  // transaction is self-contradictory — some layer lied about ordering.
+  {
+    auto pool = Pool::Create(path_, "liar", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    TxLog log(pool->get(), (*pool)->header()->tx_log);
+    ASSERT_TRUE(log.Begin().ok());
+    auto* h = (*pool)->header();
+    h->clean_shutdown = 1;
+    // Forge a matching checksum so only the semantic check can object.
+    h->header_crc = Crc32c(h, offsetof(Pool::Header, header_crc));
+    (*pool)->Persist(0, sizeof(Pool::Header));
+    std::filesystem::copy_file(
+        path_, path_ + ".crash",
+        std::filesystem::copy_options::overwrite_existing);
+    log.Abort();
+    (*pool)->Close();
+  }
+  auto pool = Pool::Open(path_ + ".crash", "liar");
+  EXPECT_EQ(pool.status().code(), StatusCode::kDataLoss)
+      << pool.status().ToString();
+  std::filesystem::remove(path_ + ".crash");
+}
+
+TEST_F(PmemFileTest, CleanReopenSkipsRecovery) {
+  {
+    auto pool = Pool::Create(path_, "clean", kPoolSize);
+    ASSERT_TRUE(pool.ok());
+    (*pool)->set_root(4096);
+    (*pool)->Close();
+  }
+  auto pool = Pool::Open(path_, "clean");
+  ASSERT_TRUE(pool.ok());
+  EXPECT_FALSE((*pool)->recovered());
+  // The reopen re-marked the pool dirty (it is open); a second open of
+  // a copy taken now must go through recovery again.
+  std::filesystem::copy_file(
+      path_, path_ + ".crash",
+      std::filesystem::copy_options::overwrite_existing);
+  (*pool)->Close();
+  auto dirty = Pool::Open(path_ + ".crash", "clean");
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  EXPECT_TRUE((*dirty)->recovered());
   std::filesystem::remove(path_ + ".crash");
 }
 

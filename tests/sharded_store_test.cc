@@ -244,6 +244,244 @@ TEST(ShardJournal, RejectsOverflowAndOversizedValues) {
   EXPECT_EQ(j->count(), 2u);
 }
 
+// Slot geometry mirrored from the journal layout (SlotHeader = 4 u64
+// fields, value words rounded up; header = 8 u64 fields) so tests can
+// reach into a snapshot image and damage specific bytes.
+constexpr size_t kJournalHeaderBytes = 8 * sizeof(uint64_t);
+size_t SlotBytesFor(size_t max_value_bits) {
+  return 4 * sizeof(uint64_t) + ((max_value_bits + 63) / 64) * 8;
+}
+
+TEST(ShardJournal, CheckpointReplacesHistoryWithFreshGeneration) {
+  auto j_or = ShardJournal::Create(/*capacity=*/4, /*max_value_bits=*/64);
+  ASSERT_TRUE(j_or.ok());
+  auto j = std::move(*j_or);
+  BitVector v(64);
+  for (uint64_t k = 0; k < 4; ++k) {
+    v.Set(static_cast<size_t>(k), true);
+    ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, k, v).ok());
+  }
+  EXPECT_EQ(j->Append(ShardJournal::Op::kPut, 9, v).code(),
+            StatusCode::kResourceExhausted);
+
+  // Checkpoint to the live state of just two keys.
+  BitVector a = BitVector::FromString("101");
+  BitVector b = BitVector::FromString("011");
+  std::vector<ShardJournal::Record> live = {
+      {ShardJournal::Op::kPut, 1, a}, {ShardJournal::Op::kPut, 3, b}};
+  ASSERT_TRUE(j->Checkpoint(live).ok());
+  EXPECT_EQ(j->count(), 2u);
+  EXPECT_EQ(j->generation(), 1u);
+
+  // The journal has room again and replays checkpoint + new appends.
+  ASSERT_TRUE(j->Append(ShardJournal::Op::kDelete, 1, BitVector()).ok());
+  auto records_or = ShardJournal::ReplayImage(j->SnapshotImage());
+  ASSERT_TRUE(records_or.ok());
+  ASSERT_EQ(records_or->size(), 3u);
+  EXPECT_EQ((*records_or)[0].key, 1u);
+  EXPECT_EQ((*records_or)[0].value, a);
+  EXPECT_EQ((*records_or)[1].key, 3u);
+  EXPECT_EQ((*records_or)[1].value, b);
+  EXPECT_EQ((*records_or)[2].op, ShardJournal::Op::kDelete);
+
+  // An oversized checkpoint is rejected.
+  std::vector<ShardJournal::Record> big(
+      5, ShardJournal::Record{ShardJournal::Op::kPut, 0, BitVector(8)});
+  EXPECT_EQ(j->Checkpoint(big).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ShardJournal, MidLogCorruptionIsDetectedNotReplayed) {
+  // The PR's acceptance scenario: a deliberately corrupted mid-log
+  // record must fail its checksum and be quarantined (valid prefix
+  // recovered, tail untrusted) instead of silently replaying garbage.
+  constexpr size_t kBitsPerSlot = 64;
+  auto j_or = ShardJournal::Create(/*capacity=*/8, kBitsPerSlot);
+  ASSERT_TRUE(j_or.ok());
+  auto j = std::move(*j_or);
+  BitVector v(kBitsPerSlot);
+  for (uint64_t k = 0; k < 5; ++k) {
+    v.Set(static_cast<size_t>(k), true);
+    ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, k, v).ok());
+  }
+  const size_t slot_bytes = SlotBytesFor(kBitsPerSlot);
+  auto image = j->SnapshotImage();
+  // Rot one value byte of committed record #2 (of 5) on "media".
+  const size_t slot2 =
+      j->pool().root() + kJournalHeaderBytes + 2 * slot_bytes;
+  image[slot2 + 4 * sizeof(uint64_t)] ^= 0x10;
+
+  EXPECT_EQ(ShardJournal::ReplayImage(image).status().code(),
+            StatusCode::kDataLoss);
+
+  auto verified_or = ShardJournal::ReplayImageVerified(image);
+  ASSERT_TRUE(verified_or.ok()) << verified_or.status().ToString();
+  const auto& verified = *verified_or;
+  EXPECT_TRUE(verified.corrupted);
+  EXPECT_FALSE(verified.torn_tail);
+  EXPECT_EQ(verified.first_bad_slot, 2u);
+  EXPECT_EQ(verified.committed_count, 5u);
+  ASSERT_EQ(verified.records.size(), 2u);  // The clean prefix.
+  EXPECT_EQ(verified.records[0].key, 0u);
+  EXPECT_EQ(verified.records[1].key, 1u);
+
+  // The live journal's scrub face sees the same damage.
+  auto* cells = static_cast<uint8_t*>(j->pool().Direct(
+      j->pool().root() + kJournalHeaderBytes + 2 * slot_bytes));
+  cells[4 * sizeof(uint64_t)] ^= 0x10;
+  size_t scanned = 0;
+  EXPECT_EQ(j->VerifySlots(&scanned), 1u);
+  EXPECT_EQ(scanned, 5u);
+}
+
+TEST(ShardJournal, TornTailIsTruncatedCleanly) {
+  constexpr size_t kBitsPerSlot = 64;
+  auto j_or = ShardJournal::Create(/*capacity=*/8, kBitsPerSlot);
+  ASSERT_TRUE(j_or.ok());
+  auto j = std::move(*j_or);
+  BitVector v(kBitsPerSlot);
+  for (uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(j->Append(ShardJournal::Op::kPut, k, v).ok());
+  }
+  auto image = j->SnapshotImage();
+  // Damage the LAST committed record: indistinguishable from a program
+  // pulse torn by the crash itself, so replay truncates it.
+  const size_t slot4 =
+      j->pool().root() + kJournalHeaderBytes + 4 * SlotBytesFor(kBitsPerSlot);
+  image[slot4 + 4 * sizeof(uint64_t)] ^= 0x01;
+
+  auto records_or = ShardJournal::ReplayImage(image);
+  ASSERT_TRUE(records_or.ok()) << records_or.status().ToString();
+  EXPECT_EQ(records_or->size(), 4u);
+
+  auto verified_or = ShardJournal::ReplayImageVerified(image);
+  ASSERT_TRUE(verified_or.ok());
+  EXPECT_TRUE(verified_or->torn_tail);
+  EXPECT_FALSE(verified_or->corrupted);
+  EXPECT_EQ(verified_or->first_bad_slot, 4u);
+}
+
+TEST(ShardedStore, FullJournalCheckpointsAndKeepsServing) {
+  auto ds = ClusteredData(13);
+  ShardedStoreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard = ShardConfig();
+  cfg.journal = true;
+  cfg.journal_capacity = 16;  // Tiny: updates must overflow it.
+  auto store_or = ShardedStore::Create(cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+
+  // 10 distinct keys, 12 rounds of updates: 120 appends through
+  // 16-slot journals — impossible without checkpoint-and-truncate.
+  for (uint64_t round = 0; round < 12; ++round) {
+    for (uint64_t key = 0; key < 10; ++key) {
+      const auto& val = ds.items[(round * 10 + key) % ds.items.size()];
+      ASSERT_TRUE(store->Put(key, val).ok())
+          << "round " << round << " key " << key;
+    }
+  }
+  ASSERT_TRUE(store->Delete(4).ok());
+
+  auto snap = store->TakeSnapshot();
+  EXPECT_GT(snap.journal_checkpoints, 0u);
+  // Every journal shrank to live state + appends since its checkpoint,
+  // and its replay still reconstructs the shard exactly.
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    EXPECT_LE(store->journal(s)->count(), cfg.journal_capacity);
+    auto records_or =
+        ShardJournal::ReplayImage(store->journal(s)->SnapshotImage());
+    ASSERT_TRUE(records_or.ok());
+    std::unordered_map<uint64_t, BitVector> replayed;
+    for (const auto& r : *records_or) {
+      if (r.op == ShardJournal::Op::kPut) {
+        replayed[r.key] = r.value;
+      } else {
+        replayed.erase(r.key);
+      }
+    }
+    EXPECT_EQ(replayed.size(), store->shard(s).size()) << "shard " << s;
+    for (const auto& [key, value] : replayed) {
+      auto got = store->Get(key);
+      ASSERT_TRUE(got.ok()) << "key " << key;
+      EXPECT_EQ(*got, value) << "key " << key;
+    }
+  }
+}
+
+TEST(ShardedStore, ScrubRepairsSilentBitRotFromJournalCopy) {
+  auto ds = ClusteredData(21);
+  ShardedStoreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard = ShardConfig();
+  cfg.shard.integrity_tracking = true;
+  cfg.journal = true;
+  auto store_or = ShardedStore::Create(cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+
+  for (uint64_t key = 0; key < 16; ++key) {
+    ASSERT_TRUE(store->Put(key, ds.items[key % ds.items.size()]).ok());
+  }
+  const uint64_t victim = 5;
+  const BitVector want = *store->Get(victim);
+  const size_t s = store->ShardOf(victim);
+  const uint64_t addr = *store->shard(s).tree().Get(victim);
+  const size_t seg_off =
+      static_cast<size_t>(addr - store->shard(s).first_segment());
+
+  // Silent in-array rot: three cells flip with no write, no stats.
+  store->InjectBitRot(s, seg_off, 3);
+  store->InjectBitRot(s, seg_off, 64);
+  store->InjectBitRot(s, seg_off, 200);
+
+  // One full sweep of the damaged shard finds and repairs it.
+  store->ScrubShard(s, kSegments);
+  auto scrub = store->TakeScrubStats();
+  EXPECT_GE(scrub.mismatches, 1u);
+  EXPECT_GE(scrub.repaired, 1u);
+  EXPECT_EQ(scrub.quarantined, 0u);
+
+  // The key moved to a clean segment and reads back exactly.
+  auto got = store->Get(victim);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, want);
+  EXPECT_NE(*store->shard(s).tree().Get(victim), addr);
+
+  // A second sweep is quiet: the damage was restamped, not re-flagged.
+  store->ScrubShard(s, kSegments);
+  EXPECT_EQ(store->TakeScrubStats().repaired, scrub.repaired);
+}
+
+TEST(ShardedStore, ScrubQuarantinesWhenNoRedundantCopyExists) {
+  auto ds = ClusteredData(23);
+  ShardedStoreConfig cfg;
+  cfg.num_shards = 1;
+  cfg.shard = ShardConfig();
+  cfg.shard.integrity_tracking = true;
+  cfg.journal = false;  // No redundant copy to repair from.
+  auto store_or = ShardedStore::Create(cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+  for (uint64_t key = 0; key < 8; ++key) {
+    ASSERT_TRUE(store->Put(key, ds.items[key % ds.items.size()]).ok());
+  }
+  const uint64_t addr = *store->shard(0).tree().Get(2);
+  store->InjectBitRot(0, static_cast<size_t>(addr), 17);
+
+  store->ScrubShard(0, kSegments);
+  auto scrub = store->TakeScrubStats();
+  EXPECT_GE(scrub.mismatches, 1u);
+  EXPECT_GE(scrub.quarantined, 1u);
+  EXPECT_EQ(scrub.repaired, 0u);
+  EXPECT_TRUE(store->shard(0).controller().IsQuarantined(addr));
+}
+
 TEST(ShardedStore, JournaledShardsRecordEveryOperation) {
   auto ds = ClusteredData(9);
   auto sharded = MakeSharded(ds, /*num_shards=*/2,

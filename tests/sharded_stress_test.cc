@@ -220,5 +220,140 @@ TEST(ShardedStress, SameShardHammerSerializesEngineInternals) {
   EXPECT_GT(store->shard(0).engine().stats().background_retrains, 0u);
 }
 
+TEST(ShardedStress, FaultInjectionWithBackgroundScrubKeepsOraclesExact) {
+  // The integrity-hardening soak: 6 client threads run the mixed
+  // workload on disjoint stripes while the device tears writes and
+  // sticks cells (write-verify + spare repair + re-placement absorb
+  // them) AND the background scrubber sweeps segment/journal checksums
+  // from the shared pool. TSan checks the injector's internal lock, the
+  // thread-local device buffers and the scrub/client interleavings; the
+  // oracles check no operation result was corrupted. A quiescent
+  // bit-rot phase then proves the scrubber repairs silent damage from
+  // the journal's redundant copy.
+  auto ds = ClusteredData(37);
+  nvm::FaultConfig fc;
+  fc.seed = 0xD15EA5Eull;
+  fc.initial_stuck_fraction = 0.01;
+  fc.torn_write_probability = 0.05;
+  fc.spare_cells_per_segment = 5;  // Tight budget: some repairs denied.
+  nvm::FaultInjector injector(fc);
+
+  ShardedStoreConfig cfg;
+  cfg.num_shards = kShards;
+  cfg.shard.num_segments = kSegmentsPerShard;
+  cfg.shard.segment_bits = kBits;
+  cfg.shard.model.k = 4;
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.model.finetune_rounds = 1;
+  cfg.shard.auto_retrain = true;
+  cfg.shard.background_retrain = true;
+  cfg.shard.retrain.min_free_per_cluster = 8;
+  cfg.shard.verify_writes = true;
+  cfg.shard.integrity_tracking = true;
+  cfg.pool_threads = 2;
+  cfg.journal = true;
+  auto store_or = ShardedStore::Create(cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->device().AttachFaultInjector(&injector);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());
+  ASSERT_TRUE(store->StartBackgroundScrub());
+
+  constexpr size_t kFaultThreads = 6;
+  const uint64_t keys_per_thread = 24;
+  std::atomic<bool> failed{false};
+  std::vector<std::unordered_map<uint64_t, BitVector>> oracles(
+      kFaultThreads);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kFaultThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      auto& oracle = oracles[t];
+      auto pick_key = [&] {
+        return t + kFaultThreads * rng.NextBounded(keys_per_thread);
+      };
+      for (size_t op = 0; op < 250 && !failed.load(); ++op) {
+        const double dice = rng.NextDouble();
+        const uint64_t key = pick_key();
+        if (dice < 0.55) {
+          BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+          v.FlipRandomBits(rng.NextBounded(4), rng);
+          if (!store->Put(key, v).ok()) failed.store(true);
+          oracle[key] = std::move(v);
+        } else if (dice < 0.70) {
+          bool ok = store->Delete(key).ok();
+          if (ok != (oracle.erase(key) > 0)) failed.store(true);
+        } else {
+          auto got = store->Get(key);
+          auto it = oracle.find(key);
+          if (got.ok() != (it != oracle.end())) failed.store(true);
+          if (got.ok() && !(*got == it->second)) failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  ASSERT_FALSE(failed.load()) << "an operation misbehaved under faults";
+  store->StopBackgroundScrub();
+
+  // Quiescent: every surviving key reads back exactly despite torn
+  // writes, stuck cells and concurrent scrubbing.
+  for (size_t t = 0; t < kFaultThreads; ++t) {
+    for (const auto& [key, value] : oracles[t]) {
+      auto got = store->Get(key);
+      ASSERT_TRUE(got.ok()) << "thread " << t << " key " << key;
+      ASSERT_EQ(*got, value) << "thread " << t << " key " << key;
+    }
+  }
+  // Conservation, quarantine-aware: addresses are free, live, or dropped
+  // as poisoned (re-placement never hands out a quarantined segment).
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    E2KvStore& shard = store->shard(s);
+    const size_t free_live = shard.engine().pool().TotalFree() + shard.size();
+    EXPECT_LE(free_live, kSegmentsPerShard) << "shard " << s;
+    EXPECT_GE(free_live + shard.controller().quarantined_count(),
+              kSegmentsPerShard)
+        << "shard " << s;
+  }
+  // The fault machinery and the scrubber both demonstrably ran.
+  auto stats = injector.stats();
+  EXPECT_GT(stats.torn_writes, 0u);
+  EXPECT_GT(stats.stuck_clamps, 0u);
+  auto scrub = store->TakeScrubStats();
+  EXPECT_GT(scrub.segments_scanned, 0u);
+
+  // Silent bit-rot phase: flip cells under three live keys, sweep every
+  // shard once, and require the journal-backed repair to restore them.
+  std::vector<uint64_t> victims;
+  for (size_t t = 0; t < kFaultThreads && victims.size() < 3; ++t) {
+    if (!oracles[t].empty()) victims.push_back(oracles[t].begin()->first);
+  }
+  ASSERT_FALSE(victims.empty());
+  for (uint64_t key : victims) {
+    const size_t s = store->ShardOf(key);
+    const uint64_t addr = *store->shard(s).tree().Get(key);
+    const size_t off =
+        static_cast<size_t>(addr - store->shard(s).first_segment());
+    store->InjectBitRot(s, off, 7);
+    store->InjectBitRot(s, off, 133);
+  }
+  const uint64_t repaired_before = store->TakeScrubStats().repaired;
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    store->ScrubShard(s, kSegmentsPerShard);
+  }
+  EXPECT_GT(store->TakeScrubStats().repaired, repaired_before);
+  for (uint64_t key : victims) {
+    for (size_t t = 0; t < kFaultThreads; ++t) {
+      auto it = oracles[t].find(key);
+      if (it == oracles[t].end()) continue;
+      auto got = store->Get(key);
+      ASSERT_TRUE(got.ok()) << "victim " << key;
+      ASSERT_EQ(*got, it->second) << "victim " << key;
+    }
+  }
+  store->device().AttachFaultInjector(nullptr);
+}
+
 }  // namespace
 }  // namespace e2nvm::core
