@@ -46,7 +46,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== concurrency tests under TSan =="
   build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
   run_ctest "$repo_root/build-tsan" --timeout 600 \
-    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz"
+    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz|energy_accounting"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -61,13 +61,65 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   for key in serial_sync_retrain pooled_background_retrain batched_put \
              sharded_put speedup_vs_pooled_put \
              put_ops_per_s get_ops_per_s alloc_per_put \
-             hardware_concurrency simd_level; do
+             alloc_per_put_steady warmup_allocs retrain_allocs \
+             undersubscribed hardware_concurrency simd_level; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
       echo "perf smoke: key '$key' missing from BENCH_ops.json" >&2
       exit 1
     fi
   done
+  # Speedup gate: on a multi-core box where the sharded section actually
+  # had a core per client, the concurrent front-end must at least match
+  # the single-store pooled path. On an oversubscribed run (more clients
+  # than cores — e.g. a 1-core CI box) the figure measures the scheduler,
+  # not the store, so the gate is skipped instead of recorded as a bogus
+  # failure.
+  hw="$(sed -nE 's/.*"hardware_concurrency": ([0-9]+).*/\1/p' \
+          "$perf_dir/BENCH_ops.json" | head -1)"
+  under="$(sed -nE 's/.*"undersubscribed": (true|false).*/\1/p' \
+             "$perf_dir/BENCH_ops.json" | head -1)"
+  speedup="$(sed -nE 's/.*"speedup_vs_pooled_put": ([0-9.]+).*/\1/p' \
+               "$perf_dir/BENCH_ops.json" | head -1)"
+  if [[ "$hw" -ge 2 && "$under" == "false" ]]; then
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+      echo "perf smoke: sharded speedup_vs_pooled_put $speedup < 1.0" >&2
+      exit 1
+    fi
+    echo "perf smoke: speedup gate OK (speedup_vs_pooled_put=$speedup)"
+  else
+    echo "perf smoke: speedup gate skipped (hw=$hw, undersubscribed=$under)"
+  fi
   echo "perf smoke OK"
+
+  echo "== scaling smoke (1/2/4/8-shard sweep -> BENCH_scaling.json) =="
+  (cd "$perf_dir" && E2NVM_OPS_SMOKE=1 E2NVM_OPS_SCALING_ONLY=1 \
+    ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
+  for key in points shards client_threads batch_size put_ops_per_s \
+             get_ops_per_s put_p50_us put_p99_us speedup_vs_1shard \
+             undersubscribed hardware_concurrency; do
+    if ! grep -q "\"$key\"" "$perf_dir/BENCH_scaling.json"; then
+      echo "scaling smoke: key '$key' missing from BENCH_scaling.json" >&2
+      exit 1
+    fi
+  done
+  # Regression gate: every multi-shard point that genuinely had a core
+  # per client must not scale BELOW the 1-shard baseline. Oversubscribed
+  # points are reported but not gated (same reasoning as above).
+  if ! awk -v hw="$hw" '
+      /"shards":/            { s = $2 + 0 }
+      /"speedup_vs_1shard":/ { sp = $2 + 0 }
+      /"undersubscribed":/   { under = ($2 ~ /true/) }
+      /^    \}/ {
+        if (hw >= 2 && s > 1 && !under && sp < 1.0) {
+          printf "scaling smoke: %d-shard speedup %.2f < 1.0\n", s, sp \
+            > "/dev/stderr"
+          bad = 1
+        }
+      }
+      END { exit bad }' "$perf_dir/BENCH_scaling.json"; then
+    exit 1
+  fi
+  echo "scaling smoke OK"
 
   echo "== chaos smoke (crash/fault/scrub sweep) =="
   cmake --build "$perf_dir" -j "$jobs" --target chaos_sweep

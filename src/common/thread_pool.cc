@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "common/lock_audit.h"
+
 namespace e2nvm {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,7 +27,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // The queue mutex is shared by every pool client: submitting from a
+    // steady-state shard operation would be a cross-shard serialization
+    // point, so the acquisition is booked with the lock audit.
+    debug::AuditedLockGuard lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

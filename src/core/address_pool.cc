@@ -16,7 +16,7 @@ size_t DynamicAddressPool::ClampClusterLocked(size_t cluster) const {
 }
 
 void DynamicAddressPool::Insert(size_t cluster, uint64_t addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   if (lists_.empty()) {
     E2_LOG(kWarning, "dropping address %llu: pool has no clusters",
            static_cast<unsigned long long>(addr));
@@ -27,7 +27,7 @@ void DynamicAddressPool::Insert(size_t cluster, uint64_t addr) {
 }
 
 std::optional<uint64_t> DynamicAddressPool::Acquire(size_t cluster) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   if (lists_.empty()) return std::nullopt;
   size_t c = ClampClusterLocked(cluster);
   if (lists_[c].empty()) {
@@ -41,7 +41,7 @@ std::optional<uint64_t> DynamicAddressPool::Acquire(size_t cluster) {
 }
 
 std::optional<uint64_t> DynamicAddressPool::AcquireAny() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   if (lists_.empty()) return std::nullopt;
   size_t c = LargestClusterLocked();
   if (lists_[c].empty()) return std::nullopt;
@@ -64,7 +64,7 @@ size_t DynamicAddressPool::LargestClusterLocked() const {
 }
 
 size_t DynamicAddressPool::FreeCount(size_t cluster) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   if (cluster >= lists_.size()) {
     ++clamped_ids_;
     return 0;
@@ -73,24 +73,24 @@ size_t DynamicAddressPool::FreeCount(size_t cluster) const {
 }
 
 size_t DynamicAddressPool::TotalFree() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   return total_free_;
 }
 
 uint64_t DynamicAddressPool::clamped_ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   return clamped_ids_;
 }
 
 size_t DynamicAddressPool::MinClusterFree() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   size_t mn = SIZE_MAX;
   for (const auto& l : lists_) mn = std::min(mn, l.size());
   return mn == SIZE_MAX ? 0 : mn;
 }
 
 size_t DynamicAddressPool::MemoryFootprintBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   // Ring capacity per cluster (>= stored addresses) plus list headers.
   size_t bytes = lists_.size() * sizeof(FreeList);
   for (const auto& l : lists_) bytes += l.capacity() * sizeof(uint64_t);
@@ -98,7 +98,7 @@ size_t DynamicAddressPool::MemoryFootprintBytes() const {
 }
 
 std::vector<uint64_t> DynamicAddressPool::AllFree() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   std::vector<uint64_t> out;
   out.reserve(total_free_);
   for (const auto& l : lists_) {
@@ -108,7 +108,7 @@ std::vector<uint64_t> DynamicAddressPool::AllFree() const {
 }
 
 void DynamicAddressPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(*this);
   for (auto& l : lists_) l.clear();
   total_free_ = 0;
 }

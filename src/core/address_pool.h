@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/lock_audit.h"
 
 namespace e2nvm::core {
 
@@ -86,13 +87,22 @@ class FreeList {
 ///  - when a cluster's free list drains below a threshold the store
 ///    triggers background retraining (§4.1.4).
 ///
-/// Thread-safe: all mutators take an internal mutex (the paper: "we
-/// utilize thread-safe methods ... for the data structures that maintain
-/// address pools and mapping").
+/// Thread safety is a construction-time choice. By default all mutators
+/// take an internal mutex (the paper: "we utilize thread-safe methods ...
+/// for the data structures that maintain address pools and mapping").
+/// A pool built with `internal_locking = false` skips the mutex entirely:
+/// the owner promises external serialization — exactly the
+/// PlacementEngine case, whose documented single-caller contract already
+/// serializes every pool touch under the shard lock, making the DAP
+/// free-list path segment-range-local with zero cross-shard contention.
+/// Internal lock acquisitions are reported to the lock audit
+/// (common/lock_audit.h) so the steady-state no-shared-lock test catches
+/// a hot path accidentally wired to a locking pool.
 class DynamicAddressPool {
  public:
-  explicit DynamicAddressPool(size_t num_clusters)
-      : lists_(num_clusters) {}
+  explicit DynamicAddressPool(size_t num_clusters,
+                              bool internal_locking = true)
+      : lists_(num_clusters), internal_locking_(internal_locking) {}
 
   size_t num_clusters() const { return lists_.size(); }
 
@@ -119,7 +129,7 @@ class DynamicAddressPool {
   template <typename PeekFn>
   std::optional<uint64_t> AcquireBest(size_t cluster, const BitVector& data,
                                       PeekFn&& peek) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MaybeLock lock(*this);
     if (lists_.empty()) return std::nullopt;
     size_t c = ClampClusterLocked(cluster);
     if (lists_[c].empty()) {
@@ -160,7 +170,31 @@ class DynamicAddressPool {
   /// Drops all lists (before re-population after retraining).
   void Clear();
 
+  /// Whether this pool serializes internally (construction-time choice).
+  bool internal_locking() const { return internal_locking_; }
+
  private:
+  /// Takes the pool mutex only in internal-locking mode; a no-op (and
+  /// zero shared-lock acquisitions) when the owner serializes externally.
+  class MaybeLock {
+   public:
+    explicit MaybeLock(const DynamicAddressPool& pool) {
+      if (pool.internal_locking_) {
+        pool.mu_.lock();
+        locked_ = &pool.mu_;
+        debug::NoteSharedLockAcquired();
+      }
+    }
+    ~MaybeLock() {
+      if (locked_ != nullptr) locked_->unlock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    std::mutex* locked_ = nullptr;
+  };
+
   size_t LargestClusterLocked() const;
   /// Maps an out-of-range cluster id into range, counting the incident.
   size_t ClampClusterLocked(size_t cluster) const;
@@ -169,6 +203,7 @@ class DynamicAddressPool {
   std::vector<FreeList> lists_;
   size_t total_free_ = 0;
   mutable uint64_t clamped_ids_ = 0;
+  bool internal_locking_ = true;
 };
 
 }  // namespace e2nvm::core

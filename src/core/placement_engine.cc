@@ -32,8 +32,14 @@ PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
     : ctrl_(ctrl),
       clusterer_(clusterer),
       config_(config),
-      pool_(clusterer->num_clusters()),
+      // The engine's single-caller contract already serializes every pool
+      // touch, so the DAP runs in externally-synchronized (lock-free)
+      // mode: Acquire/Release never take a mutex on the write path.
+      pool_(clusterer->num_clusters(), /*internal_locking=*/false),
       policy_(config.retrain),
+      // All of this engine's segments live in one accounting lane (the
+      // shard's); cache the id so every charge routes without a divide.
+      lane_(ctrl->device().LaneOfSegment(config.first_segment)),
       placed_cluster_(config.num_segments, -1) {}
 
 std::string_view PlacementEngine::name() const {
@@ -66,10 +72,10 @@ Status PlacementEngine::Bootstrap() {
   stats_.train_flops += clusterer_->LastTrainFlops();
   // Charge model training to the CPU energy domain and the clock.
   const nvm::EnergyModel& em = ctrl_->device().energy_model();
-  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
-                                 em.CpuPj(clusterer_->LastTrainFlops()));
-  ctrl_->device().meter().AdvanceTime(
-      em.CpuNs(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().ChargeLane(lane_, nvm::EnergyDomain::kCpuModel,
+                                     em.CpuPj(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().AdvanceTimeLane(
+      lane_, em.CpuNs(clusterer_->LastTrainFlops()));
 
   pool_.Clear();
   for (size_t i = 0; i < n; ++i) {
@@ -94,10 +100,10 @@ Status PlacementEngine::Retrain() {
   E2_RETURN_IF_ERROR(clusterer_->Train(contents));
   stats_.train_flops += clusterer_->LastTrainFlops();
   const nvm::EnergyModel& em = ctrl_->device().energy_model();
-  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
-                                 em.CpuPj(clusterer_->LastTrainFlops()));
-  ctrl_->device().meter().AdvanceTime(
-      em.CpuNs(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().ChargeLane(lane_, nvm::EnergyDomain::kCpuModel,
+                                     em.CpuPj(clusterer_->LastTrainFlops()));
+  ctrl_->device().meter().AdvanceTimeLane(
+      lane_, em.CpuNs(clusterer_->LastTrainFlops()));
 
   pool_.Clear();
   for (size_t i = 0; i < free_addrs.size(); ++i) {
@@ -199,9 +205,9 @@ void PlacementEngine::ChargePrediction() {
   const nvm::EnergyModel& em = ctrl_->device().energy_model();
   double flops = clusterer_->PredictFlops();
   stats_.predict_flops += flops;
-  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
-                                 em.CpuPj(flops));
-  ctrl_->device().meter().AdvanceTime(em.CpuNs(flops));
+  ctrl_->device().meter().ChargeLane(lane_, nvm::EnergyDomain::kCpuModel,
+                                     em.CpuPj(flops));
+  ctrl_->device().meter().AdvanceTimeLane(lane_, em.CpuNs(flops));
 }
 
 StatusOr<size_t> PlacementEngine::PredictClusterFor(const BitVector& value) {
@@ -442,8 +448,8 @@ void PlacementEngine::SwapInShadow(BackgroundRetrainer::Result result) {
   const double flops = result.train_flops + result.predict_flops;
   stats_.train_flops += flops;
   const nvm::EnergyModel& em = ctrl_->device().energy_model();
-  ctrl_->device().meter().Charge(nvm::EnergyDomain::kCpuModel,
-                                 em.CpuPj(flops));
+  ctrl_->device().meter().ChargeLane(lane_, nvm::EnergyDomain::kCpuModel,
+                                     em.CpuPj(flops));
 
   // Generation-counted double buffer: retire the serving model, adopt
   // the shadow. Predictions only ever run on this (foreground) thread,

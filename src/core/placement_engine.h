@@ -258,6 +258,11 @@ class PlacementEngine : public index::ValuePlacer {
   Config config_;
   DynamicAddressPool pool_;
   RetrainPolicy policy_;
+  /// Device accounting lane of this engine's segment range, cached at
+  /// construction (ConfigureAccountingLanes must run before engines are
+  /// built). Every meter charge routes here so the energy slab stays
+  /// single-writer under the shard lock.
+  size_t lane_ = 0;
   EngineStats stats_;
   const Padder* padder_ = nullptr;
   ml::Lstm* pad_lstm_ = nullptr;

@@ -1,5 +1,6 @@
 #include "core/sharded_store.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "ml/matrix.h"
@@ -13,11 +14,9 @@ ShardedStore::~ShardedStore() {
   // Park the scrubber before the shards it walks go away.
   StopBackgroundScrub();
   // Shard engines join their background retrainers; do that while the
-  // shared pool is still alive.
+  // per-shard lanes are still alive (lanes_ is declared before shards_,
+  // so it destructs after them).
   shards_.clear();
-  if (installed_pool_ && ml::compute_pool() == pool_.get()) {
-    ml::SetComputePool(nullptr);
-  }
 }
 
 StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
@@ -37,10 +36,14 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
   std::unique_ptr<ShardedStore> store(new ShardedStore(config));
 
   if (config.pool_threads > 0) {
-    store->pool_ = std::make_unique<ThreadPool>(config.pool_threads);
-    if (ml::compute_pool() == nullptr) {
-      ml::SetComputePool(store->pool_.get());
-      store->installed_pool_ = true;
+    // Partition the thread budget into one private lane per shard (at
+    // least one worker each): a shard's kernels and retrains only ever
+    // run on its own lane, so no shard waits on another's compute.
+    const size_t per_lane =
+        std::max<size_t>(1, config.pool_threads / config.num_shards);
+    store->lanes_.reserve(config.num_shards);
+    for (size_t s = 0; s < config.num_shards; ++s) {
+      store->lanes_.push_back(std::make_unique<ThreadPool>(per_lane));
     }
   }
 
@@ -52,6 +55,11 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
   dc.verify_writes = config.shard.verify_writes;
   dc.max_write_retries = config.shard.max_write_retries;
   store->device_ = std::make_unique<nvm::NvmDevice>(dc, &store->meter_);
+  // Stripe the device counters and the meter into one accounting lane
+  // per shard BEFORE engines are built (each engine caches its lane id
+  // at construction). Lane s covers exactly shard s's segment range.
+  store->device_->ConfigureAccountingLanes(config.num_shards,
+                                           config.shard.num_segments);
 
   store->shard_mu_ = std::make_unique<std::mutex[]>(config.num_shards);
   store->shards_.reserve(config.num_shards);
@@ -63,7 +71,7 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Create(
     E2KvStore::ShardAttachment attach;
     attach.device = store->device_.get();
     attach.first_segment = s * config.shard.num_segments;
-    attach.retrain_pool = store->pool_.get();
+    attach.retrain_pool = store->shard_lane(s);
     E2_ASSIGN_OR_RETURN(auto shard,
                         E2KvStore::CreateShard(config.shard, attach));
     store->shards_.push_back(std::move(shard));
@@ -82,8 +90,9 @@ void ShardedStore::Seed(const workload::BitDataset& contents) {
 }
 
 Status ShardedStore::Bootstrap() {
-  for (auto& shard : shards_) {
-    E2_RETURN_IF_ERROR(shard->Bootstrap());
+  for (size_t s = 0; s < num_shards_; ++s) {
+    ml::ScopedComputePool kernels(shard_lane(s));
+    E2_RETURN_IF_ERROR(shards_[s]->Bootstrap());
   }
   return Status::Ok();
 }
@@ -91,6 +100,9 @@ Status ShardedStore::Bootstrap() {
 Status ShardedStore::Put(uint64_t key, const BitVector& value) {
   const size_t s = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  // Pin this operation's ML kernels (and any retrain it launches) to the
+  // owning shard's lane — never a pool another shard could be waiting on.
+  ml::ScopedComputePool kernels(shard_lane(s));
   if (journals_[s] != nullptr) {
     E2_RETURN_IF_ERROR(JournalAppend(s, ShardJournal::Op::kPut, key, value));
   }
@@ -129,6 +141,7 @@ Status ShardedStore::CheckpointShardJournal(size_t s) {
 Status ShardedStore::MultiPutShard(
     size_t s, const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  ml::ScopedComputePool kernels(shard_lane(s));
   if (journals_[s] != nullptr) {
     for (const auto& [key, value] : kvs) {
       E2_RETURN_IF_ERROR(
@@ -178,6 +191,7 @@ StatusOr<BitVector> ShardedStore::Get(uint64_t key) {
 Status ShardedStore::Delete(uint64_t key) {
   const size_t s = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  ml::ScopedComputePool kernels(shard_lane(s));
   if (journals_[s] != nullptr) {
     E2_RETURN_IF_ERROR(
         JournalAppend(s, ShardJournal::Op::kDelete, key, BitVector()));
@@ -216,6 +230,8 @@ ShardedStore::Snapshot ShardedStore::TakeSnapshot() {
 
 void ShardedStore::ScrubShard(size_t s, size_t budget) {
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  // Repairs re-place keys through the shard's engine.
+  ml::ScopedComputePool kernels(shard_lane(s));
   ScrubShardLocked(s, budget);
 }
 
@@ -285,16 +301,16 @@ void ShardedStore::ScrubLoop() {
     return;
   }
   ScrubTick();
-  pool_->Submit([this] { ScrubLoop(); });
+  lanes_[0]->Submit([this] { ScrubLoop(); });
 }
 
 bool ShardedStore::StartBackgroundScrub() {
-  if (pool_ == nullptr || scrub_running_.load(std::memory_order_acquire)) {
+  if (lanes_.empty() || scrub_running_.load(std::memory_order_acquire)) {
     return false;
   }
   scrub_stop_.store(false, std::memory_order_relaxed);
   scrub_running_.store(true, std::memory_order_release);
-  pool_->Submit([this] { ScrubLoop(); });
+  lanes_[0]->Submit([this] { ScrubLoop(); });
   return true;
 }
 
@@ -326,6 +342,7 @@ size_t ShardedStore::PumpRetrains() {
   size_t swapped = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    ml::ScopedComputePool kernels(shard_lane(s));
     if (shards_[s]->engine().PumpBackgroundRetrain()) ++swapped;
   }
   return swapped;

@@ -26,8 +26,11 @@ struct ShardedStoreConfig {
   /// the one compute pool, sized by `pool_threads` below.
   StoreConfig shard;
 
-  /// Worker threads of the shared compute pool (ML kernels + background
-  /// retraining for every shard). 0 = serial kernels and, when
+  /// Total worker-thread budget for compute, split into one private lane
+  /// (ThreadPool) per shard — each lane gets max(1, pool_threads /
+  /// num_shards) workers, so a shard's ML kernels and background
+  /// retrains run only on its own lane and can never stall another
+  /// shard's PlaceMany. 0 = serial kernels and, when
   /// `shard.background_retrain` is set, dedicated retrain threads.
   size_t pool_threads = 0;
 
@@ -48,23 +51,37 @@ struct ShardedStoreConfig {
 /// A sharded concurrent front-end over N independent E2KvStore shards
 /// (MCAS-style hash partitioning): every key is owned by exactly one
 /// shard, each shard runs the full E2-NVM pipeline — its own placement
-/// engine, model, DAP, index and segment range — behind its own mutex, and
-/// all shards share one NvmDevice, one EnergyMeter and one ThreadPool.
+/// engine, model, DAP, index and segment range — behind its own mutex,
+/// and all shards share one NvmDevice and one EnergyMeter.
 ///
-/// Concurrency model:
+/// Concurrency model (DESIGN.md §13): the steady-state PUT/GET/DELETE
+/// path acquires NO lock outside the owning shard.
 ///  - Client threads: any number; operations lock only the owning shard,
 ///    so operations on different shards proceed concurrently.
-///  - Shared device: per-segment state is touched only by the owning shard
-///    (ranges are disjoint), device-wide counters and the energy meter are
-///    internally synchronized (see nvm/device.h, nvm/energy.h).
-///  - Background retraining: each shard's engine hands training to the
-///    shared pool (BackgroundRetrainer pool mode); the swap happens under
+///  - Shared device: per-segment state is touched only by the owning
+///    shard (ranges are disjoint); the aggregate counters and the energy
+///    meter are striped into per-shard relaxed-atomic lanes
+///    (ConfigureAccountingLanes / EnergyMeter::SetLanes) merged only at
+///    snapshot time — no device or meter mutex exists.
+///  - Compute: each shard owns a private ThreadPool lane; every shard
+///    operation installs it as a thread-local ml::ScopedComputePool, so
+///    one shard's kernels or background retrain can never queue behind
+///    (or stall) another shard's.
+///  - DAP: each engine's free list runs in externally-synchronized mode
+///    under the shard lock — no pool mutex on Acquire/Release.
+///  - Background retraining: each shard's engine hands training to its
+///    own lane (BackgroundRetrainer pool mode); the swap happens under
 ///    that shard's mutex on its next Place.
 ///
 /// Determinism contract: with num_shards == 1 every placement decision,
-/// bit flip and retrain trigger is bit-identical to a plain E2KvStore with
-/// the same StoreConfig, and with one client thread runs are reproducible
-/// at any shard count (pinned by tests/sharded_store_test.cc).
+/// bit flip and retrain trigger is bit-identical to a plain E2KvStore
+/// with the same StoreConfig, and with one client thread runs are
+/// reproducible at any shard count (pinned by
+/// tests/sharded_store_test.cc). Accounting totals are additionally
+/// independent of the *client thread count*: per-shard charge streams
+/// land on per-shard lanes merged in lane order, so a concurrent run
+/// reports byte-identical energy/flip/wear totals to a serial replay of
+/// the same per-shard operation streams (tests/energy_accounting_test.cc).
 class ShardedStore {
  public:
   static StatusOr<std::unique_ptr<ShardedStore>> Create(
@@ -166,9 +183,9 @@ class ShardedStore {
   void ScrubTick();
 
   /// Starts the background scrubber: a low-priority self-requeueing task
-  /// on the shared pool running ScrubTick between client operations.
-  /// Returns false when there is no pool (pool_threads == 0) or the
-  /// scrubber is already running.
+  /// on shard 0's compute lane running ScrubTick between client
+  /// operations. Returns false when there are no lanes (pool_threads ==
+  /// 0) or the scrubber is already running.
   bool StartBackgroundScrub();
 
   /// Stops the background scrubber and waits for it to park. Safe to
@@ -185,6 +202,10 @@ class ShardedStore {
   size_t num_shards() const { return num_shards_; }
   nvm::NvmDevice& device() { return *device_; }
   nvm::EnergyMeter& meter() { return meter_; }
+  /// Shard `s`'s private compute lane, or nullptr when pool_threads == 0.
+  ThreadPool* shard_lane(size_t s) {
+    return lanes_.empty() ? nullptr : lanes_[s].get();
+  }
   /// Direct shard access for tests; the caller owns synchronization.
   E2KvStore& shard(size_t i) { return *shards_[i]; }
   /// This shard's journal, or nullptr when journaling is off.
@@ -220,8 +241,10 @@ class ShardedStore {
   ShardedStoreConfig config_;
   size_t num_shards_ = 1;
   nvm::EnergyMeter meter_;
-  std::unique_ptr<ThreadPool> pool_;
-  bool installed_pool_ = false;
+  /// One compute lane per shard (empty when pool_threads == 0). Declared
+  /// before shards_ so lanes outlive the engines whose retrains run on
+  /// them.
+  std::vector<std::unique_ptr<ThreadPool>> lanes_;
   std::unique_ptr<nvm::NvmDevice> device_;
   std::vector<std::unique_ptr<ShardJournal>> journals_;
   // Per-shard scrub state, guarded by the owning shard's mutex.

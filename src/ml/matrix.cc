@@ -14,6 +14,12 @@ namespace {
 
 std::atomic<ThreadPool*> g_compute_pool{nullptr};
 
+/// Thread-local override stack top (see ScopedComputePool). A separate
+/// `active` flag distinguishes "override to serial" (nullptr override)
+/// from "no override".
+thread_local ThreadPool* t_pool_override = nullptr;
+thread_local bool t_pool_override_active = false;
+
 /// Minimum multiply-accumulates before a kernel bothers the pool; below
 /// this the fork-join overhead dwarfs the work (a single EncodeOne on a
 /// 2048-bit segment is ~260k MACs, so prediction right at the write path
@@ -64,7 +70,19 @@ void SetComputePool(ThreadPool* pool) {
 }
 
 ThreadPool* compute_pool() {
+  if (t_pool_override_active) return t_pool_override;
   return g_compute_pool.load(std::memory_order_acquire);
+}
+
+ScopedComputePool::ScopedComputePool(ThreadPool* pool)
+    : prev_(t_pool_override), prev_active_(t_pool_override_active) {
+  t_pool_override = pool;
+  t_pool_override_active = true;
+}
+
+ScopedComputePool::~ScopedComputePool() {
+  t_pool_override = prev_;
+  t_pool_override_active = prev_active_;
 }
 
 void Matrix::XavierInit(Rng& rng, size_t fan_in, size_t fan_out) {

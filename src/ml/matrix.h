@@ -13,16 +13,41 @@ class ThreadPool;
 
 namespace e2nvm::ml {
 
-/// Installs the pool used by every parallel ML kernel (MatMul*, K-means
-/// fit/predict-batch, the VAE's elementwise batch loops) — the library's
-/// single set-pool hook. nullptr (the default) selects the serial code
-/// paths, which are bit-identical to the pre-parallel implementation.
-/// The pool must outlive all kernel calls; install before spawning any
-/// thread that runs kernels (the pointer itself is read atomically).
+/// Installs the process-global pool used by every parallel ML kernel
+/// (MatMul*, K-means fit/predict-batch, the VAE's elementwise batch
+/// loops) — the library's set-pool hook. nullptr (the default) selects
+/// the serial code paths, which are bit-identical to the pre-parallel
+/// implementation. The pool must outlive all kernel calls; install
+/// before spawning any thread that runs kernels (the pointer itself is
+/// read atomically). A thread-local ScopedComputePool override (below)
+/// takes precedence on the installing thread.
 void SetComputePool(ThreadPool* pool);
 
-/// Currently installed pool, or nullptr in serial mode.
+/// Currently effective pool for the calling thread: the innermost active
+/// ScopedComputePool override if any, else the global hook, else nullptr
+/// (serial mode). Kernel results are pool-size invariant by contract, so
+/// which pool answers here never changes numerics — only where the work
+/// runs.
 ThreadPool* compute_pool();
+
+/// RAII thread-local pool override: while alive, kernels issued from the
+/// *constructing thread* dispatch to `pool` (nullptr forces the serial
+/// path) regardless of the global hook. This is how a sharded store
+/// pins each shard's inference/retrain work to that shard's own compute
+/// lane — shard A's kernels can never queue behind shard B's retrain,
+/// and the steady-state path never touches a pool another shard waits
+/// on. Overrides nest; each restores its predecessor on destruction.
+class ScopedComputePool {
+ public:
+  explicit ScopedComputePool(ThreadPool* pool);
+  ~ScopedComputePool();
+  ScopedComputePool(const ScopedComputePool&) = delete;
+  ScopedComputePool& operator=(const ScopedComputePool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+  bool prev_active_;
+};
 
 /// Dense row-major float matrix — the tensor type of the ML substrate.
 /// Sized for this library's models (inputs up to a few thousand features,

@@ -30,11 +30,67 @@ NvmDevice::NvmDevice(const DeviceConfig& config, EnergyMeter* meter)
     : config_(config),
       segments_(config.num_segments, BitVector(config.segment_bits)),
       seg_writes_(config.num_segments, 0),
+      lanes_(new StatsLane[1]),
       model_(config.pcm),
       meter_(meter != nullptr ? meter : &own_meter_) {
   if (config_.track_bit_wear) {
     bit_wear_.assign(config_.num_segments * config_.segment_bits, 0);
   }
+}
+
+void NvmDevice::ConfigureAccountingLanes(size_t num_lanes,
+                                         size_t segments_per_lane) {
+  if (num_lanes == 0) num_lanes = 1;
+  DeviceStats carry = stats();
+  lanes_.reset(new StatsLane[num_lanes]);
+  num_lanes_ = num_lanes;
+  lane_segments_ = num_lanes > 1 ? segments_per_lane : 0;
+  StatsLane& l0 = lanes_[0];
+  l0.writes.store(carry.writes, std::memory_order_relaxed);
+  l0.reads.store(carry.reads, std::memory_order_relaxed);
+  l0.data_bits_flipped.store(carry.data_bits_flipped,
+                             std::memory_order_relaxed);
+  l0.aux_bits_flipped.store(carry.aux_bits_flipped,
+                            std::memory_order_relaxed);
+  l0.set_transitions.store(carry.set_transitions, std::memory_order_relaxed);
+  l0.reset_transitions.store(carry.reset_transitions,
+                             std::memory_order_relaxed);
+  l0.dirty_lines.store(carry.dirty_lines, std::memory_order_relaxed);
+  l0.logical_bits_written.store(carry.logical_bits_written,
+                                std::memory_order_relaxed);
+  l0.faults_injected.store(carry.faults_injected, std::memory_order_relaxed);
+  l0.torn_writes.store(carry.torn_writes, std::memory_order_relaxed);
+  l0.read_disturbs.store(carry.read_disturbs, std::memory_order_relaxed);
+  l0.verify_retries.store(carry.verify_retries, std::memory_order_relaxed);
+  l0.verify_failures.store(carry.verify_failures, std::memory_order_relaxed);
+  l0.repaired_cells.store(carry.repaired_cells, std::memory_order_relaxed);
+  meter_->SetLanes(num_lanes);
+}
+
+DeviceStats NvmDevice::stats() const {
+  DeviceStats s;
+  for (size_t l = 0; l < num_lanes_; ++l) {
+    const StatsLane& lane = lanes_[l];
+    s.writes += lane.writes.load(std::memory_order_relaxed);
+    s.reads += lane.reads.load(std::memory_order_relaxed);
+    s.data_bits_flipped +=
+        lane.data_bits_flipped.load(std::memory_order_relaxed);
+    s.aux_bits_flipped +=
+        lane.aux_bits_flipped.load(std::memory_order_relaxed);
+    s.set_transitions += lane.set_transitions.load(std::memory_order_relaxed);
+    s.reset_transitions +=
+        lane.reset_transitions.load(std::memory_order_relaxed);
+    s.dirty_lines += lane.dirty_lines.load(std::memory_order_relaxed);
+    s.logical_bits_written +=
+        lane.logical_bits_written.load(std::memory_order_relaxed);
+    s.faults_injected += lane.faults_injected.load(std::memory_order_relaxed);
+    s.torn_writes += lane.torn_writes.load(std::memory_order_relaxed);
+    s.read_disturbs += lane.read_disturbs.load(std::memory_order_relaxed);
+    s.verify_retries += lane.verify_retries.load(std::memory_order_relaxed);
+    s.verify_failures += lane.verify_failures.load(std::memory_order_relaxed);
+    s.repaired_cells += lane.repaired_cells.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 void NvmDevice::AttachFaultInjector(FaultInjector* injector) {
@@ -47,14 +103,12 @@ void NvmDevice::AttachFaultInjector(FaultInjector* injector) {
 
 const BitVector& NvmDevice::ReadSegment(size_t seg) {
   E2_CHECK(seg < segments_.size(), "segment %zu out of range", seg);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.reads;
-  }
-  meter_->Charge(EnergyDomain::kPmemRead,
-                 model_.ReadPj(config_.segment_bits));
+  const size_t lane = LaneOfSegment(seg);
+  Bump(lanes_[lane].reads, 1);
+  meter_->ChargeLane(lane, EnergyDomain::kPmemRead,
+                     model_.ReadPj(config_.segment_bits));
   size_t lines = (config_.segment_bits + kCacheLineBits - 1) / kCacheLineBits;
-  meter_->AdvanceTime(model_.ReadNs(lines));
+  meter_->AdvanceTimeLane(lane, model_.ReadNs(lines));
   if (injector_ != nullptr) {
     // Thread-local: the disturbed copy is consumed (decoded) by the
     // caller before its next read, and concurrent shard readers must not
@@ -62,8 +116,7 @@ const BitVector& NvmDevice::ReadSegment(size_t seg) {
     thread_local BitVector read_buf;
     read_buf = segments_[seg];
     if (injector_->MutateRead(seg, &read_buf)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.read_disturbs;
+      Bump(lanes_[lane].read_disturbs, 1);
       return read_buf;
     }
   }
@@ -134,17 +187,16 @@ void NvmDevice::ProgramCells(size_t seg, const BitVector& intended,
   size_t set_bits = 0;
   size_t reset_bits = 0;
   CommitStored(seg, *target, &set_bits, &reset_bits);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (injected) ++stats_.faults_injected;
-    if (torn) ++stats_.torn_writes;
-    stats_.set_transitions += set_bits;
-    stats_.reset_transitions += reset_bits;
-    stats_.dirty_lines += dirty;
-  }
-  meter_->Charge(EnergyDomain::kPmemWrite,
-                 model_.WritePj(set_bits, reset_bits, dirty));
-  meter_->AdvanceTime(model_.WriteNs(dirty));
+  const size_t lane = LaneOfSegment(seg);
+  StatsLane& slab = lanes_[lane];
+  if (injected) Bump(slab.faults_injected, 1);
+  if (torn) Bump(slab.torn_writes, 1);
+  Bump(slab.set_transitions, set_bits);
+  Bump(slab.reset_transitions, reset_bits);
+  Bump(slab.dirty_lines, dirty);
+  meter_->ChargeLane(lane, EnergyDomain::kPmemWrite,
+                     model_.WritePj(set_bits, reset_bits, dirty));
+  meter_->AdvanceTimeLane(lane, model_.WriteNs(dirty));
 }
 
 WriteResult NvmDevice::WriteSegment(size_t seg, const BitVector& data,
@@ -168,19 +220,18 @@ void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
            std::string(scheme.name()).c_str());
 
   ++seg_writes_[seg];
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.writes;
-    stats_.data_bits_flipped += result.data_bits_flipped;
-    stats_.aux_bits_flipped += result.aux_bits_flipped;
-    stats_.logical_bits_written += data.size();
-  }
+  const size_t lane = LaneOfSegment(seg);
+  StatsLane& slab = lanes_[lane];
+  Bump(slab.writes, 1);
+  Bump(slab.data_bits_flipped, result.data_bits_flipped);
+  Bump(slab.aux_bits_flipped, result.aux_bits_flipped);
+  Bump(slab.logical_bits_written, data.size());
   ProgramCells(seg, result.stored, /*allow_tear=*/true);
 
   // Aux flips happen in metadata cells; charge them at SET cost.
-  meter_->Charge(EnergyDomain::kPmemWrite,
-                 static_cast<double>(result.aux_bits_flipped) *
-                     config_.pcm.set_energy_pj);
+  meter_->ChargeLane(lane, EnergyDomain::kPmemWrite,
+                     static_cast<double>(result.aux_bits_flipped) *
+                         config_.pcm.set_energy_pj);
 
   // Write-verify: read back and re-program while the committed cells
   // differ from the intended image (torn writes heal on retry; stuck
@@ -191,10 +242,7 @@ void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
     while (!(segments_[seg] == result.stored) && attempts < max_attempts) {
       ++attempts;
       ++result.verify_retries;
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.verify_retries;
-      }
+      Bump(slab.verify_retries, 1);
       ProgramCells(seg, result.stored, /*allow_tear=*/true);
     }
     if (!(segments_[seg] == result.stored)) {
@@ -203,18 +251,14 @@ void NvmDevice::WriteSegmentInto(size_t seg, const BitVector& data,
       // intended image with a final careful (no-tear) pulse.
       std::vector<size_t> bad = DiffBits(segments_[seg], result.stored);
       if (injector_->RepairCells(seg, bad)) {
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          stats_.repaired_cells += bad.size();
-          ++stats_.verify_retries;
-        }
+        Bump(slab.repaired_cells, bad.size());
+        Bump(slab.verify_retries, 1);
         ++result.verify_retries;
         ProgramCells(seg, result.stored, /*allow_tear=*/false);
       }
       if (!(segments_[seg] == result.stored)) {
         result.verify_failed = true;
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.verify_failures;
+        Bump(slab.verify_failures, 1);
       }
     }
   }
@@ -243,18 +287,17 @@ void NvmDevice::MigrateSegment(size_t src, size_t dst) {
   size_t reset_bits = 0;
   ++seg_writes_[dst];
   CommitStored(dst, stored, &set_bits, &reset_bits);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.writes;
-    stats_.data_bits_flipped += flips;
-    stats_.set_transitions += set_bits;
-    stats_.reset_transitions += reset_bits;
-    stats_.dirty_lines += dirty;
-  }
-  meter_->Charge(EnergyDomain::kPmemWrite,
-                 model_.WritePj(set_bits, reset_bits, dirty) +
-                     model_.ReadPj(config_.segment_bits));
-  meter_->AdvanceTime(model_.WriteNs(dirty));
+  const size_t lane = LaneOfSegment(dst);
+  StatsLane& slab = lanes_[lane];
+  Bump(slab.writes, 1);
+  Bump(slab.data_bits_flipped, flips);
+  Bump(slab.set_transitions, set_bits);
+  Bump(slab.reset_transitions, reset_bits);
+  Bump(slab.dirty_lines, dirty);
+  meter_->ChargeLane(lane, EnergyDomain::kPmemWrite,
+                     model_.WritePj(set_bits, reset_bits, dirty) +
+                         model_.ReadPj(config_.segment_bits));
+  meter_->AdvanceTimeLane(lane, model_.WriteNs(dirty));
 }
 
 void NvmDevice::FlipCellRaw(size_t seg, size_t bit) {
@@ -264,8 +307,18 @@ void NvmDevice::FlipCellRaw(size_t seg, size_t bit) {
 }
 
 void NvmDevice::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = DeviceStats{};
+  for (size_t l = 0; l < num_lanes_; ++l) {
+    StatsLane& lane = lanes_[l];
+    for (std::atomic<uint64_t>* c :
+         {&lane.writes, &lane.reads, &lane.data_bits_flipped,
+          &lane.aux_bits_flipped, &lane.set_transitions,
+          &lane.reset_transitions, &lane.dirty_lines,
+          &lane.logical_bits_written, &lane.faults_injected,
+          &lane.torn_writes, &lane.read_disturbs, &lane.verify_retries,
+          &lane.verify_failures, &lane.repaired_cells}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 Histogram NvmDevice::SegmentWriteHistogram() const {

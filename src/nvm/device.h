@@ -1,8 +1,10 @@
 #ifndef E2NVM_NVM_DEVICE_H_
 #define E2NVM_NVM_DEVICE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -82,16 +84,21 @@ struct DeviceStats {
 /// (Fig 1) that Optane energy is monotone in flips, which is precisely the
 /// coupling this model implements.
 ///
-/// Concurrency (DESIGN.md §10): one device may serve N shards, each
+/// Concurrency (DESIGN.md §10, §13): one device may serve N shards, each
 /// reading/writing only its own segment range from its own thread.
 /// Per-segment state (cells, write counts, bit wear) needs no locking
-/// under that discipline; the *shared* aggregate counters (`stats_`) are
-/// guarded by an internal mutex, and the EnergyMeter synchronizes itself.
-/// `stats()` is a plain reference — snapshot it only while no writer is
-/// active (after joining client threads). Fault injection IS
-/// concurrency-safe under the same per-segment discipline: the injector
-/// locks its own state, and the device's read/program scratch buffers
-/// are thread-local.
+/// under that discipline; the aggregate counters are striped into
+/// per-lane relaxed-atomic accounting slabs routed by segment range
+/// (ConfigureAccountingLanes), merged only by `stats()` — there is no
+/// device-level mutex anywhere on the read/write path. Each lane is
+/// single-writer under the shard discipline, so the merged counts are
+/// exact and bit-identical to a serial replay (integers commute; the
+/// meter's energy merge contract is documented in energy.h). `stats()`
+/// returns a merged value snapshot; taken while writers are active it is
+/// a per-lane-consistent merge, taken quiescent it is exact. Fault
+/// injection is concurrency-safe under the same per-segment discipline —
+/// but note the injector serializes on its own internal mutex, so it is
+/// excluded from the "no shard-external lock" steady-state guarantee.
 class NvmDevice {
  public:
   /// Creates a device with all cells zero. The meter is optional; if null,
@@ -141,7 +148,24 @@ class NvmDevice {
   /// an integrity scrub can notice the damage.
   void FlipCellRaw(size_t seg, size_t bit);
 
-  const DeviceStats& stats() const { return stats_; }
+  /// Re-stripes the aggregate counters (and the attached EnergyMeter)
+  /// into `num_lanes` slabs, lane l owning segments
+  /// [l * segments_per_lane, (l+1) * segments_per_lane) with the last
+  /// lane absorbing any tail. Must be called while quiescent — typically
+  /// once by ShardedStore::Create, before shards attach. Counts and
+  /// energy accumulated so far fold into lane 0.
+  void ConfigureAccountingLanes(size_t num_lanes, size_t segments_per_lane);
+
+  /// Accounting lane owning segment `seg`.
+  size_t LaneOfSegment(size_t seg) const {
+    if (lane_segments_ == 0) return 0;
+    return std::min(seg / lane_segments_, num_lanes_ - 1);
+  }
+  size_t num_accounting_lanes() const { return num_lanes_; }
+
+  /// Merged view of all accounting lanes (see the concurrency note
+  /// above). Returns by value: the merge is the snapshot.
+  DeviceStats stats() const;
   void ResetStats();
 
   /// Per-segment write counts (Fig 19's "maximum update addresses" CDF).
@@ -183,14 +207,40 @@ class NvmDevice {
   /// perturb the image, commits, and charges write energy/latency.
   void ProgramCells(size_t seg, const BitVector& intended, bool allow_tear);
 
+  /// One striped counter slab, mirroring DeviceStats field for field.
+  /// Cache-line aligned so lanes never false-share; single-writer per
+  /// lane, so relaxed load+store accumulation is exact.
+  struct alignas(64) StatsLane {
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> data_bits_flipped{0};
+    std::atomic<uint64_t> aux_bits_flipped{0};
+    std::atomic<uint64_t> set_transitions{0};
+    std::atomic<uint64_t> reset_transitions{0};
+    std::atomic<uint64_t> dirty_lines{0};
+    std::atomic<uint64_t> logical_bits_written{0};
+    std::atomic<uint64_t> faults_injected{0};
+    std::atomic<uint64_t> torn_writes{0};
+    std::atomic<uint64_t> read_disturbs{0};
+    std::atomic<uint64_t> verify_retries{0};
+    std::atomic<uint64_t> verify_failures{0};
+    std::atomic<uint64_t> repaired_cells{0};
+  };
+  /// Single-writer relaxed accumulate (no RMW needed: the lane owner's
+  /// shard lock serializes its writes).
+  static void Bump(std::atomic<uint64_t>& c, uint64_t v) {
+    c.store(c.load(std::memory_order_relaxed) + v,
+            std::memory_order_relaxed);
+  }
+  StatsLane& LaneSlab(size_t seg) { return lanes_[LaneOfSegment(seg)]; }
+
   DeviceConfig config_;
-  /// Guards `stats_` — the only cross-segment mutable state — so shards
-  /// writing disjoint segments from different threads stay race-free.
-  mutable std::mutex stats_mu_;
   std::vector<BitVector> segments_;
   std::vector<uint64_t> seg_writes_;
   std::vector<uint32_t> bit_wear_;  // Flattened [seg * segment_bits + bit].
-  DeviceStats stats_;
+  size_t num_lanes_ = 1;
+  size_t lane_segments_ = 0;  // 0 = everything maps to lane 0.
+  std::unique_ptr<StatsLane[]> lanes_;
   EnergyModel model_;
   EnergyMeter own_meter_;
   EnergyMeter* meter_;

@@ -1,8 +1,9 @@
 #ifndef E2NVM_NVM_ENERGY_H_
 #define E2NVM_NVM_ENERGY_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,30 @@ enum class EnergyDomain : int {
   kNumDomains = 4,
 };
 
+inline constexpr int kNumEnergyDomains =
+    static_cast<int>(EnergyDomain::kNumDomains);
+
+/// One consistent view of the meter: every domain plus the simulated clock
+/// captured by a single Snapshot() merge, so multi-field reads can never
+/// observe torn state (previously each accessor re-read the meter
+/// independently).
+struct EnergyTotals {
+  double pj[kNumEnergyDomains] = {0, 0, 0, 0};
+  double now_ns = 0;
+
+  double DomainPj(EnergyDomain domain) const {
+    return pj[static_cast<int>(domain)];
+  }
+  /// Total "package" energy across all domains, picojoules. Summed in
+  /// domain order — part of the merge contract below.
+  double TotalPj() const {
+    double s = 0;
+    for (double v : pj) s += v;
+    return s;
+  }
+  double TotalMj() const { return TotalPj() * 1e-9; }
+};
+
 /// A RAPL-style accumulating energy meter. Components charge picojoules to
 /// domains; experiments snapshot or sample the meter to produce the
 /// energy series of Figs 1, 7, 8, 11, 13, 16, 18.
@@ -28,75 +53,139 @@ enum class EnergyDomain : int {
 /// The meter also carries a simulated clock (nanoseconds) so timeline
 /// experiments (Fig 16) can plot cumulative energy against simulated time.
 ///
-/// Thread-safe: charges take an internal mutex, so one meter can absorb
-/// concurrent accounting from every shard of a ShardedStore (the shared
-/// device charges reads/writes while each shard's engine charges model
-/// flops). Under concurrency the accumulation order — and hence the
-/// floating-point rounding — depends on the interleaving; with a single
-/// caller the sums are bit-identical to the pre-lock implementation.
+/// Concurrency: the meter is striped into `num_lanes()` cache-line-sized
+/// accounting slabs of relaxed atomics, merged only at Snapshot()/report
+/// time — there is no mutex anywhere on the charge path. Each lane is
+/// SINGLE-WRITER: exactly one logical owner (a shard, whose per-shard lock
+/// already serializes its operations) may charge a given lane at a time.
+/// Under that discipline the lock-free `load+store` accumulation is exact:
+/// no increments are lost, and each lane's partial sums are bit-identical
+/// to a serial replay of that lane's charge sequence.
+///
+/// Merge contract (the bit-identity guarantee, see DESIGN.md §13):
+///   Snapshot().pj[d]   = Σ_{lane = 0..N-1} lane[l].pj[d]   (lane order)
+///   Snapshot().now_ns  = Σ_{lane = 0..N-1} lane[l].ns      (lane order)
+///   Snapshot().TotalPj = Σ_{d = 0..3} Snapshot().pj[d]     (domain order)
+/// With one lane (the default, and every non-sharded store) this is the
+/// exact accumulation order of the historical single-accumulator meter, so
+/// totals are bit-identical to the serial path. With N lanes the totals
+/// are bit-identical to replaying each lane's charge stream serially in
+/// lane-index order — and therefore *independent of client-thread count
+/// and interleaving*, which the old mutex meter could not guarantee
+/// (its rounding depended on the arrival order across threads).
 /// `now_ns` accumulates *serialized* simulated time: concurrent charges
 /// from N shards add up as if the operations ran back to back.
 class EnergyMeter {
  public:
-  /// Adds `pj` picojoules to `domain`.
-  void Charge(EnergyDomain domain, double pj) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pj_[static_cast<int>(domain)] += pj;
+  EnergyMeter() : num_lanes_(1), lanes_(new Lane[1]) {}
+
+  EnergyMeter(const EnergyMeter&) = delete;
+  EnergyMeter& operator=(const EnergyMeter&) = delete;
+
+  /// Re-stripes the meter to `n` lanes (>= 1). Must be called while
+  /// quiescent (no concurrent charger) — typically once, right after the
+  /// owning store wires up its shards and before any traffic. Totals
+  /// accumulated so far are folded into lane 0 of the new stripe set.
+  void SetLanes(size_t n) {
+    if (n == 0) n = 1;
+    EnergyTotals carry = Snapshot();
+    lanes_.reset(new Lane[n]);
+    num_lanes_ = n;
+    for (int d = 0; d < kNumEnergyDomains; ++d) {
+      lanes_[0].pj[d].store(carry.pj[d], std::memory_order_relaxed);
+    }
+    lanes_[0].ns.store(carry.now_ns, std::memory_order_relaxed);
   }
 
-  /// Advances the simulated clock.
-  void AdvanceTime(double ns) {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ns_ += ns;
+  size_t num_lanes() const { return num_lanes_; }
+
+  /// Adds `pj` picojoules to `domain` on `lane`. Single-writer per lane:
+  /// the caller must hold whatever serializes that lane's owner (e.g. the
+  /// shard lock), which also provides the happens-before edge making the
+  /// relaxed load+store exact.
+  void ChargeLane(size_t lane, EnergyDomain domain, double pj) {
+    std::atomic<double>& cell = lanes_[lane].pj[static_cast<int>(domain)];
+    cell.store(cell.load(std::memory_order_relaxed) + pj,
+               std::memory_order_relaxed);
   }
 
-  double now_ns() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return now_ns_;
+  /// Advances `lane`'s slice of the simulated clock (same single-writer
+  /// rule as ChargeLane).
+  void AdvanceTimeLane(size_t lane, double ns) {
+    std::atomic<double>& cell = lanes_[lane].ns;
+    cell.store(cell.load(std::memory_order_relaxed) + ns,
+               std::memory_order_relaxed);
   }
+
+  /// Single-lane convenience (lane 0) — the historical API, used by every
+  /// non-sharded component.
+  void Charge(EnergyDomain domain, double pj) { ChargeLane(0, domain, pj); }
+  void AdvanceTime(double ns) { AdvanceTimeLane(0, ns); }
+
+  /// One consistent merged view of all lanes (see the merge contract
+  /// above). Tear-free per field: each atomic is read whole. A snapshot
+  /// taken *while* charges are in flight is a linearizable-per-lane merge;
+  /// taken while quiescent it is exact.
+  EnergyTotals Snapshot() const {
+    EnergyTotals t;
+    for (int d = 0; d < kNumEnergyDomains; ++d) {
+      for (size_t l = 0; l < num_lanes_; ++l) {
+        t.pj[d] += lanes_[l].pj[d].load(std::memory_order_relaxed);
+      }
+    }
+    for (size_t l = 0; l < num_lanes_; ++l) {
+      t.now_ns += lanes_[l].ns.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  double now_ns() const { return Snapshot().now_ns; }
 
   /// Energy of one domain, picojoules.
   double DomainPj(EnergyDomain domain) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pj_[static_cast<int>(domain)];
+    return Snapshot().DomainPj(domain);
   }
 
   /// Total "package" energy across all domains, picojoules.
-  double TotalPj() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return TotalPjLocked();
-  }
+  double TotalPj() const { return Snapshot().TotalPj(); }
 
   /// Total energy in millijoules, convenient for printing.
-  double TotalMj() const { return TotalPj() * 1e-9; }
+  double TotalMj() const { return Snapshot().TotalMj(); }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (double& v : pj_) v = 0;
-    now_ns_ = 0;
+    for (size_t l = 0; l < num_lanes_; ++l) {
+      for (int d = 0; d < kNumEnergyDomains; ++d) {
+        lanes_[l].pj[d].store(0, std::memory_order_relaxed);
+      }
+      lanes_[l].ns.store(0, std::memory_order_relaxed);
+    }
   }
 
   /// Records a (time, cumulative total energy) sample, for timelines.
-  void Sample() {
-    std::lock_guard<std::mutex> lock(mu_);
-    samples_.emplace_back(now_ns_, TotalPjLocked());
-  }
-  /// Timeline samples. Not synchronized: read only while no charger is
+  /// Not synchronized: call only from one thread while no charger is
   /// active (the timeline harnesses are single-threaded).
+  void Sample() {
+    EnergyTotals t = Snapshot();
+    samples_.emplace_back(t.now_ns, t.TotalPj());
+  }
+  /// Timeline samples. Same single-threaded discipline as Sample().
   const std::vector<std::pair<double, double>>& samples() const {
     return samples_;
   }
 
  private:
-  double TotalPjLocked() const {
-    double s = 0;
-    for (double v : pj_) s += v;
-    return s;
-  }
+  /// One accounting slab. Cache-line sized and aligned so two lanes never
+  /// false-share; std::atomic<double> is lock-free on every target we
+  /// build for.
+  struct alignas(64) Lane {
+    std::atomic<double> pj[kNumEnergyDomains] = {};
+    std::atomic<double> ns{0};
+  };
+  static_assert(std::atomic<double>::is_always_lock_free,
+                "lock-free doubles required for the charge fast path");
 
-  mutable std::mutex mu_;
-  double pj_[static_cast<int>(EnergyDomain::kNumDomains)] = {0, 0, 0, 0};
-  double now_ns_ = 0;
+  size_t num_lanes_;
+  std::unique_ptr<Lane[]> lanes_;
   std::vector<std::pair<double, double>> samples_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/lock_audit.h"
 #include "common/logging.h"
 
 namespace e2nvm::nvm {
@@ -10,7 +11,7 @@ namespace e2nvm::nvm {
 void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
                          uint64_t endurance_writes) {
   E2_CHECK(segment_bits > 0, "fault injector bound to empty geometry");
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   num_segments_ = num_segments;
   segment_bits_ = segment_bits;
   wear_onset_ = static_cast<uint64_t>(config_.wear_onset_fraction *
@@ -32,7 +33,7 @@ void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
 
 void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
   E2_CHECK(bound(), "fault injector not bound to a device");
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   auto [it, inserted] = stuck_.insert_or_assign(CellKey(seg, bit), value);
   if (inserted) {
     ++stats_.stuck_cells;
@@ -43,7 +44,7 @@ void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
 bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
                                 BitVector* stored, bool allow_tear,
                                 bool* torn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   bool perturbed = false;
   if (torn != nullptr) *torn = false;
 
@@ -77,7 +78,7 @@ bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
 }
 
 bool FaultInjector::ClampStuck(size_t seg, BitVector* stored) {
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   return ClampStuckLocked(seg, stored);
 }
 
@@ -116,7 +117,7 @@ void FaultInjector::OnCellProgrammed(size_t seg, size_t bit, bool value,
   if (wear < wear_onset_ || config_.stuck_on_program_probability <= 0.0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   if (!rng_.NextBernoulli(config_.stuck_on_program_probability)) return;
   if (stuck_.emplace(CellKey(seg, bit), value).second) {
     ++stats_.stuck_cells;
@@ -128,7 +129,7 @@ bool FaultInjector::MutateRead(size_t seg, BitVector* out) {
   if (config_.read_disturb_probability <= 0.0 || out->size() == 0) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   if (!rng_.NextBernoulli(config_.read_disturb_probability)) return false;
   size_t bit = static_cast<size_t>(rng_.NextBounded(out->size()));
   out->Set(bit, !out->Get(bit));
@@ -137,7 +138,7 @@ bool FaultInjector::MutateRead(size_t seg, BitVector* out) {
 }
 
 bool FaultInjector::RepairCells(size_t seg, const std::vector<size_t>& bits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  debug::AuditedLockGuard lock(mu_);
   size_t stuck_n = 0;
   for (size_t bit : bits) {
     if (stuck_.count(CellKey(seg, bit)) != 0) ++stuck_n;

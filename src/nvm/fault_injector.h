@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/lock_audit.h"
 #include "common/rng.h"
 
 namespace e2nvm::nvm {
@@ -96,7 +97,7 @@ class FaultInjector {
 
   /// True if the cell is currently stuck (not yet repaired).
   bool IsStuck(size_t seg, size_t bit) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    debug::AuditedLockGuard lock(mu_);
     return stuck_.count(CellKey(seg, bit)) != 0;
   }
 
@@ -128,14 +129,14 @@ class FaultInjector {
 
   /// Spare cells already consumed by `seg`.
   size_t SparesUsed(size_t seg) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    debug::AuditedLockGuard lock(mu_);
     return SparesUsedLocked(seg);
   }
 
   /// Consistent snapshot of the counters (by value: the injector may be
   /// serving concurrent writers).
   FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    debug::AuditedLockGuard lock(mu_);
     return stats_;
   }
   const FaultConfig& config() const { return config_; }

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/lock_audit.h"
 #include "common/rng.h"
 #include "core/sharded_store.h"
 #include "workload/datasets.h"
@@ -218,6 +219,87 @@ TEST(ShardedStress, SameShardHammerSerializesEngineInternals) {
   // The hammer must actually have exercised retraining on shard 0 for
   // the regression to mean anything.
   EXPECT_GT(store->shard(0).engine().stats().background_retrains, 0u);
+}
+
+TEST(ShardedStress, SteadyStatePutTakesNoSharedLocks) {
+  // The mutex-acquisition assertion for the §13 contract: once warm, the
+  // PUT/GET/DELETE/MultiPut path must acquire NO shard-external lock.
+  // Every instrumented shared-lock site (ThreadPool::Submit's queue
+  // mutex, the DAP's internal-locking mode, the fault injector) bumps a
+  // thread-local counter (common/lock_audit.h); a steady-state window
+  // must leave it untouched. pool_threads > 0 on purpose: the lanes
+  // exist, and the test proves steady-state operations never enqueue on
+  // them (inference stays below the kernels' parallel threshold).
+  auto ds = ClusteredData(41);
+  ShardedStoreConfig cfg;
+  cfg.num_shards = kShards;
+  cfg.shard.num_segments = kSegmentsPerShard;
+  cfg.shard.segment_bits = kBits;
+  cfg.shard.model.k = 4;
+  cfg.shard.model.pretrain_epochs = 2;
+  cfg.shard.model.finetune_rounds = 1;
+  // Steady state by construction: no retrain epochs inside the window
+  // (a retrain is background/maintenance work, not the steady path).
+  cfg.shard.auto_retrain = false;
+  cfg.shard.background_retrain = false;
+  cfg.pool_threads = 4;
+  auto store_or = ShardedStore::Create(cfg);
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(*store_or);
+  store->Seed(ds);
+  ASSERT_TRUE(store->Bootstrap().ok());  // Training MAY submit to lanes.
+
+  // Warm up: every key placed once, so window puts are re-placements.
+  constexpr uint64_t kKeys = 48;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(store->Put(key, ds.items[key % ds.items.size()]).ok());
+  }
+
+  auto run_window = [&](uint64_t seed) {
+    Rng rng(seed);
+    for (size_t op = 0; op < 400; ++op) {
+      const double dice = rng.NextDouble();
+      const uint64_t key = rng.NextBounded(kKeys);
+      if (dice < 0.45) {
+        BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+        v.FlipRandomBits(rng.NextBounded(4), rng);
+        ASSERT_TRUE(store->Put(key, v).ok());
+      } else if (dice < 0.60) {
+        (void)store->Delete(key);
+      } else if (dice < 0.90) {
+        (void)store->Get(key);
+      } else {
+        std::vector<std::pair<uint64_t, BitVector>> kvs;
+        for (size_t i = 0; i < 6; ++i) {
+          BitVector v = ds.items[rng.NextBounded(ds.items.size())];
+          v.FlipRandomBits(rng.NextBounded(4), rng);
+          kvs.emplace_back(rng.NextBounded(kKeys), std::move(v));
+        }
+        ASSERT_TRUE(store->MultiPut(kvs).ok());
+      }
+    }
+  };
+
+  // Single-threaded steady window: zero shared-lock acquisitions.
+  const uint64_t before = debug::SharedLockAcquisitions();
+  run_window(51);
+  EXPECT_EQ(debug::SharedLockAcquisitions(), before)
+      << "a steady-state operation took a shard-external lock";
+
+  // Multi-threaded window: every client thread's own (thread-local)
+  // counter must stay zero, concurrently with the other clients.
+  std::atomic<uint64_t> total_shared_locks{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      run_window(60 + t);
+      total_shared_locks.fetch_add(debug::SharedLockAcquisitions(),
+                                   std::memory_order_relaxed);
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(total_shared_locks.load(), 0u)
+      << "a concurrent steady-state operation took a shard-external lock";
 }
 
 TEST(ShardedStress, FaultInjectionWithBackgroundScrubKeepsOraclesExact) {
