@@ -7,8 +7,11 @@
 // The binary also runs a store-level ops benchmark and writes the results
 // to BENCH_ops.json (machine-readable): PUT/GET/DELETE ops/s with the
 // serial kernels + synchronous retraining versus the pooled kernels +
-// background retraining, a batched (MultiPut) PUT section, p99/max PUT
-// latency, and heap allocations per PUT on the calling thread. Pass
+// background retraining, a batched (MultiPut) PUT section,
+// p50/p99/p99.9/max PUT and p50/p99/p99.9 GET latency (the same tail
+// grid as the serving benchmark's BENCH_net.json, so store-level and
+// wire-level tails line up), and heap allocations per PUT on the
+// calling thread. Pass
 // --benchmark_filter to control the microbenchmarks as usual; the JSON
 // section always runs. Set E2NVM_OPS_SMOKE=1 for a shortened pass (used
 // by scripts/check.sh as a perf smoke test).
@@ -172,7 +175,11 @@ struct OpsResult {
   double delete_ops_s = 0;
   double put_p50_us = 0;
   double put_p99_us = 0;
+  double put_p999_us = 0;
   double put_max_us = 0;
+  double get_p50_us = 0;
+  double get_p99_us = 0;
+  double get_p999_us = 0;
   double alloc_per_put = 0;  // Whole PUT loop (back-compat headline).
   // Attribution of alloc_per_put (see RunOpsBench): one-off warm-up
   // inserts, retrain/adoption epochs, and the residual steady state —
@@ -300,6 +307,8 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
   std::sort(put_us.begin(), put_us.end());
   r.put_p50_us = put_us[put_us.size() / 2];
   r.put_p99_us = put_us[static_cast<size_t>(0.99 * (put_us.size() - 1))];
+  r.put_p999_us =
+      put_us[static_cast<size_t>(0.999 * (put_us.size() - 1))];
   r.put_max_us = put_us.back();
 
   // Let any in-flight background retrain finish before timing reads, so
@@ -310,12 +319,28 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
+  // GETs, timed per-op like the PUTs so the read tail (p99.9 — swap
+  // repredictions, allocator hiccups) is visible next to the serving
+  // benchmark's (BENCH_net). One clock read per op: each op's end stamp
+  // is the next op's start.
+  std::vector<double> get_us;
+  get_us.reserve(p.gets);
   t0 = Clock::now();
+  auto prev = t0;
   for (uint64_t i = 0; i < p.gets; ++i) {
     if (!store->Get(i % p.keys).ok()) std::abort();
+    const auto now = Clock::now();
+    get_us.push_back(
+        std::chrono::duration<double, std::micro>(now - prev).count());
+    prev = now;
   }
   r.get_ops_s =
       p.gets / std::chrono::duration<double>(Clock::now() - t0).count();
+  std::sort(get_us.begin(), get_us.end());
+  r.get_p50_us = get_us[get_us.size() / 2];
+  r.get_p99_us = get_us[static_cast<size_t>(0.99 * (get_us.size() - 1))];
+  r.get_p999_us =
+      get_us[static_cast<size_t>(0.999 * (get_us.size() - 1))];
 
   t0 = Clock::now();
   for (uint64_t key = 0; key < p.keys; ++key) {
@@ -415,6 +440,7 @@ struct ShardedOpsResult {
   double get_ops_s = 0;
   double put_p50_us = 0;  // Per-op, from per-MultiPut latencies / batch.
   double put_p99_us = 0;
+  double put_p999_us = 0;
   uint64_t background_retrains = 0;
   size_t batch = 0;
 };
@@ -544,6 +570,8 @@ ShardedOpsResult RunShardedBench(size_t num_shards, size_t client_threads,
     if (!all.empty()) {
       r.put_p50_us = all[all.size() / 2];
       r.put_p99_us = all[static_cast<size_t>(0.99 * (all.size() - 1))];
+      r.put_p999_us =
+          all[static_cast<size_t>(0.999 * (all.size() - 1))];
     }
   }
 
@@ -599,7 +627,11 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                  "    \"delete_ops_per_s\": %.1f,\n"
                  "    \"put_p50_us\": %.2f,\n"
                  "    \"put_p99_us\": %.2f,\n"
+                 "    \"put_p999_us\": %.2f,\n"
                  "    \"put_max_us\": %.2f,\n"
+                 "    \"get_p50_us\": %.2f,\n"
+                 "    \"get_p99_us\": %.2f,\n"
+                 "    \"get_p999_us\": %.2f,\n"
                  "    \"alloc_per_put\": %.2f,\n"
                  "    \"alloc_per_put_steady\": %.2f,\n"
                  "    \"warmup_allocs\": %llu,\n"
@@ -608,7 +640,8 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                  "    \"background_retrains\": %llu\n"
                  "  }%s\n",
                  name, r.put_ops_s, r.get_ops_s, r.delete_ops_s,
-                 r.put_p50_us, r.put_p99_us, r.put_max_us,
+                 r.put_p50_us, r.put_p99_us, r.put_p999_us, r.put_max_us,
+                 r.get_p50_us, r.get_p99_us, r.get_p999_us,
                  r.alloc_per_put, r.alloc_per_put_steady,
                  static_cast<unsigned long long>(r.warmup_allocs),
                  static_cast<unsigned long long>(r.retrain_allocs),
@@ -648,12 +681,14 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                "    \"get_ops_per_s\": %.1f,\n"
                "    \"put_p50_us\": %.2f,\n"
                "    \"put_p99_us\": %.2f,\n"
+               "    \"put_p999_us\": %.2f,\n"
                "    \"background_retrains\": %llu,\n"
                "    \"undersubscribed\": %s,\n"
                "    \"speedup_vs_pooled_put\": %.2f\n"
                "  }\n",
                shards, client_threads, sharded.batch, sharded.put_ops_s,
                sharded.get_ops_s, sharded.put_p50_us, sharded.put_p99_us,
+               sharded.put_p999_us,
                static_cast<unsigned long long>(sharded.background_retrains),
                Undersubscribed(client_threads) ? "true" : "false",
                pooled.put_ops_s > 0 ? sharded.put_ops_s / pooled.put_ops_s
@@ -710,11 +745,12 @@ void RunScalingSweep(const char* path, size_t pool_threads) {
                  "      \"get_ops_per_s\": %.1f,\n"
                  "      \"put_p50_us\": %.2f,\n"
                  "      \"put_p99_us\": %.2f,\n"
+                 "      \"put_p999_us\": %.2f,\n"
                  "      \"speedup_vs_1shard\": %.2f,\n"
                  "      \"undersubscribed\": %s\n"
                  "    }%s\n",
                  shards, shards, r.batch, r.put_ops_s, r.get_ops_s,
-                 r.put_p50_us, r.put_p99_us,
+                 r.put_p50_us, r.put_p99_us, r.put_p999_us,
                  base > 0 ? r.put_ops_s / base : 0.0,
                  Undersubscribed(shards) ? "true" : "false",
                  i + 1 < points.size() ? "," : "");

@@ -46,7 +46,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== concurrency tests under TSan =="
   build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
   run_ctest "$repo_root/build-tsan" --timeout 600 \
-    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz|energy_accounting"
+    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz|energy_accounting|net_server"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -62,6 +62,7 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
              sharded_put speedup_vs_pooled_put \
              put_ops_per_s get_ops_per_s alloc_per_put \
              alloc_per_put_steady warmup_allocs retrain_allocs \
+             put_p999_us get_p50_us get_p99_us get_p999_us \
              undersubscribed hardware_concurrency simd_level; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
       echo "perf smoke: key '$key' missing from BENCH_ops.json" >&2
@@ -95,7 +96,8 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   (cd "$perf_dir" && E2NVM_OPS_SMOKE=1 E2NVM_OPS_SCALING_ONLY=1 \
     ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
   for key in points shards client_threads batch_size put_ops_per_s \
-             get_ops_per_s put_p50_us put_p99_us speedup_vs_1shard \
+             get_ops_per_s put_p50_us put_p99_us put_p999_us \
+             speedup_vs_1shard \
              undersubscribed hardware_concurrency; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_scaling.json"; then
       echo "scaling smoke: key '$key' missing from BENCH_scaling.json" >&2
@@ -134,6 +136,38 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
     fi
   done
   echo "chaos smoke OK"
+
+  echo "== net smoke (loopback server + closed/open-loop sweep) =="
+  cmake --build "$perf_dir" -j "$jobs" --target net_sweep
+  # Spins up the epoll server on an ephemeral loopback port, runs the
+  # shortened closed-loop depth sweep + open-loop Poisson section, and
+  # writes BENCH_net.json into the build dir. The binary itself exits
+  # nonzero if any request failed or went unanswered, so a lossy server
+  # cannot pass this stage.
+  (cd "$perf_dir" && E2NVM_NET_SMOKE=1 ./bench/net_sweep)
+  for key in workers shards value_bits pipeline_depth closed_loop \
+             put_depth1 put_depth32 get_depth1 get_depth32 multi_put \
+             ops_per_s p50_us p99_us p999_us \
+             pipelined_put_speedup_vs_depth1 open_loop \
+             offered_ops_per_s achieved_ops_per_s \
+             dropped_requests failed_requests undersubscribed; do
+    if ! grep -q "\"$key\"" "$perf_dir/BENCH_net.json"; then
+      echo "net smoke: key '$key' missing from BENCH_net.json" >&2
+      exit 1
+    fi
+  done
+  # The pipelining gate stays armed even on undersubscribed boxes: the
+  # depth-32/depth-1 ratio compares two equally timesliced runs, and the
+  # win comes from syscall/wakeup amortization + per-shard write
+  # batching, not from parallelism the machine may lack.
+  net_speedup="$(sed -nE \
+      's/.*"pipelined_put_speedup_vs_depth1": ([0-9.]+).*/\1/p' \
+      "$perf_dir/BENCH_net.json" | head -1)"
+  if ! awk -v s="$net_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "net smoke: pipelined PUT speedup $net_speedup < 2.0" >&2
+    exit 1
+  fi
+  echo "net smoke OK (pipelined_put_speedup_vs_depth1=$net_speedup)"
 fi
 
 echo "== slowest tests =="

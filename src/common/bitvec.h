@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,33 @@ class BitVector {
   /// bit i = (features[i] >= threshold).
   static BitVector FromFloats(const std::vector<float>& features,
                               float threshold = 0.5f);
+
+  /// In-place assign from a word-aligned little-endian byte image of
+  /// `num_bits` bits: `bytes` must hold 8 * ceil(num_bits / 64) bytes
+  /// laid out exactly like words() (the wire value format of
+  /// net/protocol.h). Reuses the existing word storage, so re-assigning
+  /// into a vector that has reached its working width allocates nothing
+  /// — the decode path of the zero-alloc network request loop. Tail bits
+  /// beyond num_bits are masked to preserve the class invariant even
+  /// when the source image carries garbage there.
+  void AssignFromWords(const uint8_t* bytes, size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64);
+    if (!words_.empty()) {
+      std::memcpy(words_.data(), bytes, words_.size() * sizeof(uint64_t));
+    }
+    MaskTail();
+  }
+
+  /// Shrinks to the first `n` bits in place (n <= size()); never
+  /// allocates. The read-into paths use this to cut a decoded segment
+  /// down to the value width stored in it.
+  void Truncate(size_t n) {
+    assert(n <= num_bits_);
+    num_bits_ = n;
+    words_.resize((n + 63) / 64);
+    MaskTail();
+  }
 
   size_t size() const { return num_bits_; }
   bool empty() const { return num_bits_ == 0; }

@@ -1,0 +1,101 @@
+#ifndef E2NVM_COMMON_BYTE_RING_H_
+#define E2NVM_COMMON_BYTE_RING_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace e2nvm {
+
+/// Grow-only contiguous byte FIFO — the per-connection staging buffer of
+/// the network layer (net/server, net/client). Both the readable region
+/// and the writable region are contiguous: producers Reserve()/Commit()
+/// raw bytes at the tail, consumers read data()/size() and Consume() from
+/// the head. Compaction (one memmove of the unread bytes) happens inside
+/// Reserve() only when the tail hits the end of the backing store, and
+/// the backing store never shrinks, so a ring that has reached its
+/// working size stages arbitrarily many frames with zero allocations —
+/// the property the zero-alloc steady-state request loop is built on.
+///
+/// Offsets relative to the readable head (see at()) stay valid across
+/// Reserve()/Commit()/compaction; they are invalidated by Consume().
+/// Thread-compatible: one owner, no internal synchronization.
+class ByteRing {
+ public:
+  /// Unread bytes.
+  size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  /// Bytes the backing store can hold (diagnostic).
+  size_t capacity() const { return buf_.size(); }
+
+  /// First unread byte; valid for size() bytes.
+  const uint8_t* data() const { return buf_.data() + head_; }
+
+  /// Byte at offset `off` from the readable head (for patching frames
+  /// that were Reserve()d incrementally); requires off < size().
+  uint8_t* at(size_t off) {
+    assert(off < size());
+    return buf_.data() + head_ + off;
+  }
+
+  /// Marks `n` leading bytes as read; requires n <= size().
+  void Consume(size_t n) {
+    assert(n <= size());
+    head_ += n;
+    if (head_ == tail_) head_ = tail_ = 0;  // Free rewind, no memmove.
+  }
+
+  /// Contiguous writable span of at least `n` bytes at the tail.
+  /// Compacts (memmove) or grows the backing store as needed; existing
+  /// unread bytes and head-relative offsets are preserved.
+  uint8_t* Reserve(size_t n) {
+    if (buf_.size() - tail_ < n) {
+      if (buf_.size() - size() >= n && head_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + head_, size());
+        tail_ -= head_;
+        head_ = 0;
+      } else {
+        // Double (amortized O(1) growth) or fit, whichever is larger.
+        std::vector<uint8_t> grown(
+            std::max(buf_.size() * 2, size() + n));
+        // Guard: an empty vector's data() may be null, and memcpy's
+        // pointer args must be non-null even for zero sizes.
+        if (size() > 0) {
+          std::memcpy(grown.data(), buf_.data() + head_, size());
+        }
+        tail_ -= head_;
+        head_ = 0;
+        buf_.swap(grown);
+      }
+    }
+    return buf_.data() + tail_;
+  }
+
+  /// Publishes `n` bytes previously written into Reserve()'s span.
+  void Commit(size_t n) {
+    assert(tail_ + n <= buf_.size());
+    tail_ += n;
+  }
+
+  /// Reserve + memcpy + Commit in one call. A zero-byte append is a
+  /// no-op (memcpy pointers must be non-null even for n == 0, and an
+  /// untouched ring has no storage yet).
+  void Append(const void* src, size_t n) {
+    if (n == 0) return;
+    std::memcpy(Reserve(n), src, n);
+    Commit(n);
+  }
+
+  /// Drops all unread bytes (capacity retained).
+  void Clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;  // First unread byte.
+  size_t tail_ = 0;  // One past the last written byte.
+};
+
+}  // namespace e2nvm
+
+#endif  // E2NVM_COMMON_BYTE_RING_H_

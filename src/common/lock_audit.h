@@ -13,7 +13,9 @@ namespace e2nvm::debug {
 ///   - the ThreadPool queue mutex (Submit / parallel dispatch),
 ///   - the DynamicAddressPool internal mutex (thread-safe mode only;
 ///     engines run their pool in externally-serialized mode),
-///   - the FaultInjector state mutex.
+///   - the FaultInjector state mutex (skipped entirely by the unarmed
+///     write fast path — an attached injector with no stuck cells and
+///     no tear probability stays off the steady-state audit).
 /// Per-shard locks are intentionally NOT counted: holding your own
 /// shard's lock is the steady-state design, not a violation.
 ///

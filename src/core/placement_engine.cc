@@ -596,6 +596,11 @@ BitVector PlacementEngine::Read(uint64_t addr, size_t bits) {
   return ctrl_->Read(addr).Slice(0, bits);
 }
 
+void PlacementEngine::ReadInto(uint64_t addr, size_t bits, BitVector* out) {
+  ctrl_->ReadInto(addr, out);
+  out->Truncate(bits);
+}
+
 Status PlacementEngine::WriteAt(uint64_t addr, const BitVector& value) {
   index::MergeWriteInto(*ctrl_, addr, value, &write_scratch_);
   // The content changed behind the placement memo.

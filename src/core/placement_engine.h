@@ -197,6 +197,10 @@ class PlacementEngine : public index::ValuePlacer {
                    std::vector<uint64_t>* addrs) override;
   Status Release(uint64_t addr) override;
   BitVector Read(uint64_t addr, size_t bits) override;
+  /// Allocation-free Read: decodes the segment into `out` (capacity
+  /// reused across calls) and truncates to `bits` — the serving path of
+  /// the network front-end's GET.
+  void ReadInto(uint64_t addr, size_t bits, BitVector* out);
   Status WriteAt(uint64_t addr, const BitVector& value) override;
   size_t FreeCount() const override { return pool_.TotalFree(); }
 

@@ -138,17 +138,32 @@ Status ShardedStore::CheckpointShardJournal(size_t s) {
   return Status::Ok();
 }
 
-Status ShardedStore::MultiPutShard(
-    size_t s, const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
+Status ShardedStore::MultiPutShardUnchecked(
+    size_t s, const std::pair<uint64_t, BitVector>* kvs, size_t n) {
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
   ml::ScopedComputePool kernels(shard_lane(s));
   if (journals_[s] != nullptr) {
-    for (const auto& [key, value] : kvs) {
+    for (size_t i = 0; i < n; ++i) {
       E2_RETURN_IF_ERROR(
-          JournalAppend(s, ShardJournal::Op::kPut, key, value));
+          JournalAppend(s, ShardJournal::Op::kPut, kvs[i].first,
+                        kvs[i].second));
     }
   }
-  return shards_[s]->MultiPut(kvs);
+  return shards_[s]->MultiPut(kvs, n);
+}
+
+Status ShardedStore::MultiPutShard(size_t s,
+                                   const std::pair<uint64_t, BitVector>* kvs,
+                                   size_t n) {
+  if (s >= num_shards_) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (ShardOf(kvs[i].first) != s) {
+      return Status::InvalidArgument("key not owned by this shard");
+    }
+  }
+  return MultiPutShardUnchecked(s, kvs, n);
 }
 
 Status ShardedStore::MultiPut(
@@ -165,7 +180,7 @@ Status ShardedStore::MultiPut(
       break;
     }
   }
-  if (uniform) return MultiPutShard(s0, kvs);
+  if (uniform) return MultiPutShardUnchecked(s0, kvs.data(), kvs.size());
 
   // Split by owning shard, preserving each shard's arrival order so the
   // per-shard placement stream matches sequential Puts.
@@ -176,7 +191,8 @@ Status ShardedStore::MultiPut(
   Status first_error = Status::Ok();
   for (size_t s = 0; s < num_shards_; ++s) {
     if (by_shard[s].empty()) continue;
-    Status st = MultiPutShard(s, by_shard[s]);
+    Status st =
+        MultiPutShardUnchecked(s, by_shard[s].data(), by_shard[s].size());
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   return first_error;
@@ -186,6 +202,12 @@ StatusOr<BitVector> ShardedStore::Get(uint64_t key) {
   const size_t s = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard_mu_[s]);
   return shards_[s]->Get(key);
+}
+
+Status ShardedStore::GetInto(uint64_t key, BitVector* out) {
+  const size_t s = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  return shards_[s]->GetInto(key, out);
 }
 
 Status ShardedStore::Delete(uint64_t key) {

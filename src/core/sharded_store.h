@@ -110,7 +110,23 @@ class ShardedStore {
   /// first per-shard error, after attempting every shard.
   Status MultiPut(const std::vector<std::pair<uint64_t, BitVector>>& kvs);
 
+  /// Shard-grouped batch entry point: applies a batch already grouped by
+  /// owning shard (every key must hash to shard `s`; rejected with
+  /// kInvalidArgument otherwise) through one E2KvStore::MultiPut under
+  /// shard `s`'s lock. This is the natural path for front-ends that
+  /// group requests by destination themselves — net/server's
+  /// per-connection ingest stages decoded PUTs into per-shard scratch
+  /// and submits each group here, so the zero-allocation PlaceMany batch
+  /// path *is* the network write path, with no per-batch vector
+  /// materialization in between.
+  Status MultiPutShard(size_t s, const std::pair<uint64_t, BitVector>* kvs,
+                       size_t n);
+
   StatusOr<BitVector> Get(uint64_t key);
+
+  /// Allocation-free Get: decodes the value into `out` (capacity reused
+  /// across calls); `out` is untouched when the key is missing.
+  Status GetInto(uint64_t key, BitVector* out);
 
   Status Delete(uint64_t key);
 
@@ -216,9 +232,11 @@ class ShardedStore {
   explicit ShardedStore(const ShardedStoreConfig& config);
 
   /// Journals (if enabled) and applies one shard's sub-batch under its
-  /// shard lock.
-  Status MultiPutShard(size_t s,
-                       const std::vector<std::pair<uint64_t, BitVector>>& kvs);
+  /// shard lock; keys are trusted to hash to shard `s` (the public span
+  /// entry point validates, MultiPut groups correctly by construction).
+  Status MultiPutShardUnchecked(size_t s,
+                                const std::pair<uint64_t, BitVector>* kvs,
+                                size_t n);
 
   /// Appends to shard `s`'s journal; on a full journal, checkpoints the
   /// shard's live state into a fresh generation and retries once.

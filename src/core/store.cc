@@ -139,14 +139,19 @@ Status E2KvStore::Put(uint64_t key, const BitVector& value) {
 
 Status E2KvStore::MultiPut(
     const std::vector<std::pair<uint64_t, BitVector>>& kvs) {
-  if (kvs.empty()) return Status::Ok();
+  return MultiPut(kvs.data(), kvs.size());
+}
+
+Status E2KvStore::MultiPut(const std::pair<uint64_t, BitVector>* kvs,
+                           size_t n) {
+  if (n == 0) return Status::Ok();
   std::vector<const BitVector*>& values = mp_values_;
   values.clear();
-  values.reserve(kvs.size());
-  for (const auto& [key, value] : kvs) values.push_back(&value);
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(&kvs[i].second);
   std::vector<uint64_t>& addrs = mp_addrs_;
   addrs.clear();
-  addrs.reserve(kvs.size());
+  addrs.reserve(n);
   Status placed = engine_->PlaceMany(values, &addrs);
   // Index every value that made it, even when the batch failed part-way
   // (addrs then covers a prefix of kvs).
@@ -168,6 +173,13 @@ StatusOr<BitVector> E2KvStore::Get(uint64_t key) {
   auto addr = tree_.Get(key);
   if (!addr.has_value()) return Status::NotFound("key not found");
   return engine_->Read(*addr, value_bits_.at(key));
+}
+
+Status E2KvStore::GetInto(uint64_t key, BitVector* out) {
+  auto addr = tree_.Get(key);
+  if (!addr.has_value()) return Status::NotFound("key not found");
+  engine_->ReadInto(*addr, value_bits_.at(key), out);
+  return Status::Ok();
 }
 
 StatusOr<BitVector> E2KvStore::PeekValue(uint64_t key) const {

@@ -126,7 +126,18 @@ class E2KvStore {
   /// interleaved between placements.
   Status MultiPut(const std::vector<std::pair<uint64_t, BitVector>>& kvs);
 
+  /// Span form of MultiPut — the entry point for callers that stage
+  /// batches in reusable scratch (the network front-end's per-connection
+  /// shard batches) instead of materializing a vector per batch.
+  /// Identical semantics; steady-state (every key already inserted,
+  /// scratch at working size) it allocates nothing.
+  Status MultiPut(const std::pair<uint64_t, BitVector>* kvs, size_t n);
+
   StatusOr<BitVector> Get(uint64_t key);
+
+  /// Allocation-free Get: decodes the key's value into `out` (capacity
+  /// reused across calls). `out` is untouched when the key is missing.
+  Status GetInto(uint64_t key, BitVector* out);
 
   /// Zero-cost Get (no read energy, no read disturb): decodes the key's
   /// committed cells as they are. Software bookkeeping for checkpoints

@@ -1,0 +1,207 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace e2nvm::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status ToStatus(WireStatus ws) {
+  switch (ws) {
+    case WireStatus::kOk:
+      return Status::Ok();
+    case WireStatus::kNotFound:
+      return Status::NotFound("key not found");
+    case WireStatus::kBadFrame:
+      return Status::InvalidArgument("server rejected frame");
+    case WireStatus::kError:
+      break;
+  }
+  return Status::Internal("server error");
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(
+    uint16_t port, const ClientConfig& config) {
+  std::unique_ptr<Client> client(new Client(config));
+  client->fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (client->fd_ < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(client->fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::Internal("connect() failed");
+  }
+  int one = 1;
+  ::setsockopt(client->fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint32_t Client::QueuePut(uint64_t key, const BitVector& value) {
+  const uint32_t seq = next_seq_++;
+  EncodePutRequest(&out_, seq, key, value);
+  return seq;
+}
+
+uint32_t Client::QueueGet(uint64_t key) {
+  const uint32_t seq = next_seq_++;
+  EncodeKeyRequest(&out_, Op::kGet, seq, key);
+  return seq;
+}
+
+uint32_t Client::QueueDelete(uint64_t key) {
+  const uint32_t seq = next_seq_++;
+  EncodeKeyRequest(&out_, Op::kDelete, seq, key);
+  return seq;
+}
+
+uint32_t Client::QueueMultiPut(const std::pair<uint64_t, BitVector>* kvs,
+                               size_t n) {
+  const uint32_t seq = next_seq_++;
+  EncodeMultiPutRequest(&out_, seq, kvs, n);
+  return seq;
+}
+
+uint32_t Client::QueueStats() {
+  const uint32_t seq = next_seq_++;
+  EncodeStatsRequest(&out_, seq);
+  return seq;
+}
+
+Status Client::Flush() {
+  while (!out_.empty()) {
+    ssize_t n = ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_.Consume(static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal("send() failed");
+  }
+  return Status::Ok();
+}
+
+Status Client::SendRaw(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal("send() failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Response> Client::ReadResponse() {
+  in_.Consume(pending_consume_);
+  pending_consume_ = 0;
+  while (true) {
+    Response r;
+    size_t frame_bytes = 0;
+    Decoded d = DecodeResponse(in_.data(), in_.size(),
+                               config_.max_frame_bytes, &r, &frame_bytes);
+    if (d == Decoded::kFrame) {
+      // kBadFrame responses echo an unverified request header and are
+      // only provoked by frames injected outside Queue*() (TCP protects
+      // the stream otherwise), so they don't consume an expected seq;
+      // everything else must arrive in issue order.
+      if (r.status != WireStatus::kBadFrame &&
+          r.seq != next_expected_seq_++) {
+        return Status::DataLoss("response out of order");
+      }
+      pending_consume_ = frame_bytes;
+      return r;
+    }
+    if (d != Decoded::kNeedMore) {
+      return Status::DataLoss("corrupt response stream");
+    }
+    uint8_t* dst = in_.Reserve(kReadChunk);
+    ssize_t n = ::recv(fd_, dst, kReadChunk, 0);
+    if (n > 0) {
+      in_.Commit(static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Internal("server closed connection");
+    if (errno == EINTR) continue;
+    return Status::Internal("recv() failed");
+  }
+}
+
+bool Client::HasBufferedResponse() const {
+  const size_t off = pending_consume_;
+  if (in_.size() < off + kLenBytes) return false;
+  uint32_t len;
+  std::memcpy(&len, in_.data() + off, sizeof(len));
+  return in_.size() - off >= kLenBytes + len;
+}
+
+StatusOr<bool> Client::Fill(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int p = ::poll(&pfd, 1, timeout_ms);
+  if (p < 0) {
+    if (errno == EINTR) return false;
+    return Status::Internal("poll() failed");
+  }
+  if (p == 0 || (pfd.revents & POLLIN) == 0) return false;
+  uint8_t* dst = in_.Reserve(kReadChunk);
+  ssize_t n = ::recv(fd_, dst, kReadChunk, 0);
+  if (n > 0) {
+    in_.Commit(static_cast<size_t>(n));
+    return true;
+  }
+  if (n == 0) return Status::Internal("server closed connection");
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return false;
+  return Status::Internal("recv() failed");
+}
+
+Status Client::Put(uint64_t key, const BitVector& value) {
+  QueuePut(key, value);
+  E2_RETURN_IF_ERROR(Flush());
+  E2_ASSIGN_OR_RETURN(Response r, ReadResponse());
+  return ToStatus(r.status);
+}
+
+StatusOr<BitVector> Client::Get(uint64_t key) {
+  QueueGet(key);
+  E2_RETURN_IF_ERROR(Flush());
+  E2_ASSIGN_OR_RETURN(Response r, ReadResponse());
+  E2_RETURN_IF_ERROR(ToStatus(r.status));
+  BitVector value;
+  value.AssignFromWords(r.value.words, r.value.bits);
+  return value;
+}
+
+Status Client::Delete(uint64_t key) {
+  QueueDelete(key);
+  E2_RETURN_IF_ERROR(Flush());
+  E2_ASSIGN_OR_RETURN(Response r, ReadResponse());
+  return ToStatus(r.status);
+}
+
+StatusOr<WireStats> Client::Stats() {
+  QueueStats();
+  E2_RETURN_IF_ERROR(Flush());
+  E2_ASSIGN_OR_RETURN(Response r, ReadResponse());
+  E2_RETURN_IF_ERROR(ToStatus(r.status));
+  return r.stats;
+}
+
+}  // namespace e2nvm::net

@@ -1,0 +1,94 @@
+#ifndef E2NVM_NET_CLIENT_H_
+#define E2NVM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/byte_ring.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace e2nvm::net {
+
+/// Blocking pipelining client for the net/server wire protocol.
+///
+/// Two usage styles:
+///  - Pipelined: Queue*() encodes request frames into a local send
+///    buffer (returning each request's seq), Flush() writes them in one
+///    burst, and ReadResponse() returns responses strictly in request
+///    order. This is how the benches drive pipeline depth N: queue N,
+///    flush once, read N.
+///  - Synchronous: Put/Get/Delete/Stats wrap queue+flush+read for
+///    depth-1 convenience.
+///
+/// Thread-compatible: one owner, no internal synchronization. The
+/// socket is blocking with TCP_NODELAY; a Flush deeper than the kernel
+/// buffers simply blocks until the server drains (servers respond as
+/// they read, so this cannot deadlock at sane pipeline depths).
+struct ClientConfig {
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      uint16_t port, const ClientConfig& config = ClientConfig());
+  ~Client();
+
+  // --- Pipelined interface ---
+
+  uint32_t QueuePut(uint64_t key, const BitVector& value);
+  uint32_t QueueGet(uint64_t key);
+  uint32_t QueueDelete(uint64_t key);
+  uint32_t QueueMultiPut(const std::pair<uint64_t, BitVector>* kvs, size_t n);
+  uint32_t QueueStats();
+
+  /// Writes every queued frame to the socket.
+  Status Flush();
+
+  /// Blocks for the next in-order response. The returned views (a GET
+  /// value) borrow the receive buffer and stay valid until the next
+  /// ReadResponse call. Verifies the server echoes seqs in issue order
+  /// (except on kBadFrame responses, whose echoed header is untrusted);
+  /// a violation is kDataLoss.
+  StatusOr<Response> ReadResponse();
+
+  /// True when a complete response frame is already buffered, i.e. the
+  /// next ReadResponse will not block (open-loop harness hook).
+  bool HasBufferedResponse() const;
+
+  /// Waits up to `timeout_ms` for the socket to turn readable and pulls
+  /// whatever is available into the receive buffer. Returns true when
+  /// new bytes arrived. Combine with HasBufferedResponse() to reap
+  /// responses without committing to a blocking read.
+  StatusOr<bool> Fill(int timeout_ms);
+
+  /// Writes raw bytes straight to the socket, bypassing the codec —
+  /// the fault-injection hook the malformed-frame tests use to send
+  /// corrupt, truncated or torn frames.
+  Status SendRaw(const void* data, size_t n);
+
+  // --- Synchronous conveniences ---
+
+  Status Put(uint64_t key, const BitVector& value);
+  StatusOr<BitVector> Get(uint64_t key);
+  Status Delete(uint64_t key);
+  StatusOr<WireStats> Stats();
+
+ private:
+  explicit Client(const ClientConfig& config) : config_(config) {}
+
+  ClientConfig config_;
+  int fd_ = -1;
+  ByteRing out_;
+  ByteRing in_;
+  uint32_t next_seq_ = 0;
+  uint32_t next_expected_seq_ = 0;
+  size_t pending_consume_ = 0;  // Frame bytes released on the next read.
+};
+
+}  // namespace e2nvm::net
+
+#endif  // E2NVM_NET_CLIENT_H_

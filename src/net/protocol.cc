@@ -1,0 +1,257 @@
+#include "net/protocol.h"
+
+#include "common/kernels.h"
+
+namespace e2nvm::net {
+
+namespace {
+
+// Little-endian field accessors. The codec (like the SIMD kernel layer)
+// targets little-endian hosts, so these compile to plain loads/stores;
+// memcpy keeps them alignment-safe.
+void Store16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void Store32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void Store64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Reserves one whole frame (len field + `payload_len` payload bytes +
+/// CRC) on `out` and writes the length field; returns the payload
+/// pointer. The caller fills the payload, then SealFrame stamps the CRC
+/// and commits.
+uint8_t* BeginFrame(ByteRing* out, size_t payload_len) {
+  uint8_t* p = out->Reserve(kLenBytes + payload_len + kCrcBytes);
+  Store32(p, static_cast<uint32_t>(payload_len + kCrcBytes));
+  return p + kLenBytes;
+}
+
+void SealFrame(ByteRing* out, uint8_t* payload, size_t payload_len) {
+  Store32(payload + payload_len, Crc32c(payload, payload_len));
+  out->Commit(kLenBytes + payload_len + kCrcBytes);
+}
+
+void FillHeader(uint8_t* payload, Op op, uint8_t status, uint32_t seq) {
+  payload[0] = static_cast<uint8_t>(op);
+  payload[1] = status;
+  Store16(payload + 2, 0);
+  Store32(payload + 4, seq);
+}
+
+/// Writes one key/value entry (the PUT body and each MULTI_PUT entry)
+/// at `p`; returns the bytes written.
+size_t FillEntry(uint8_t* p, uint64_t key, const BitVector& value) {
+  Store64(p, key);
+  Store32(p + 8, static_cast<uint32_t>(value.size()));
+  const size_t vbytes = ValueWireBytes(value.size());
+  if (vbytes > 0) std::memcpy(p + 12, value.words().data(), vbytes);
+  return 12 + vbytes;
+}
+
+/// Shared framing walk of DecodeRequest/DecodeResponse: validates the
+/// length prefix and the CRC, fills op/status/seq from the header, and
+/// returns the body view. `*result` is kFrame once the body may be
+/// parsed.
+Decoded DecodeFrame(const uint8_t* data, size_t size, size_t max_frame,
+                    size_t* frame_bytes, Op* op, uint8_t* status,
+                    uint32_t* seq, const uint8_t** body,
+                    size_t* body_len) {
+  if (size < kLenBytes) return Decoded::kNeedMore;
+  const uint32_t len = Load32(data);
+  if (len < kHeaderBytes + kCrcBytes || len > max_frame) {
+    // The declared size is not a frame this protocol could have
+    // produced: either the stream is corrupt at the framing layer or the
+    // peer exceeded the frame limit. Alignment is lost; close.
+    return Decoded::kFatal;
+  }
+  if (size < kLenBytes + len) return Decoded::kNeedMore;
+  *frame_bytes = kLenBytes + len;
+
+  const uint8_t* payload = data + kLenBytes;
+  const size_t payload_len = len - kCrcBytes;
+  // Best-effort header echo for error responses — set before the CRC
+  // verdict, trusted only after it.
+  *op = static_cast<Op>(payload[0]);
+  *status = payload[1];
+  *seq = Load32(payload + 4);
+  if (Crc32c(payload, payload_len) != Load32(payload + payload_len)) {
+    return Decoded::kBadFrame;
+  }
+  *body = payload + kHeaderBytes;
+  *body_len = payload_len - kHeaderBytes;
+  return Decoded::kFrame;
+}
+
+/// Validates and views one wire value at `p` within `remaining` bytes.
+/// Returns the entry size, or 0 when it does not fit.
+size_t ViewEntry(const uint8_t* p, size_t remaining, uint64_t* key,
+                 WireValue* value) {
+  if (remaining < 12) return 0;
+  const uint32_t bits = Load32(p + 8);
+  const size_t entry = 12 + ValueWireBytes(bits);
+  if (remaining < entry) return 0;
+  *key = Load64(p);
+  value->bits = bits;
+  value->words = p + 12;
+  return entry;
+}
+
+}  // namespace
+
+Decoded DecodeRequest(const uint8_t* data, size_t size, size_t max_frame,
+                      Request* out, size_t* frame_bytes) {
+  uint8_t status_ignored = 0;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  Decoded d = DecodeFrame(data, size, max_frame, frame_bytes, &out->op,
+                          &status_ignored, &out->seq, &body, &body_len);
+  if (d != Decoded::kFrame) return d;
+
+  switch (out->op) {
+    case Op::kPut: {
+      const size_t entry = ViewEntry(body, body_len, &out->key, &out->value);
+      return entry == body_len && entry != 0 ? Decoded::kFrame
+                                             : Decoded::kBadFrame;
+    }
+    case Op::kGet:
+    case Op::kDelete:
+      if (body_len != 8) return Decoded::kBadFrame;
+      out->key = Load64(body);
+      return Decoded::kFrame;
+    case Op::kMultiPut: {
+      if (body_len < 4) return Decoded::kBadFrame;
+      out->entry_count = Load32(body);
+      out->entries = body + 4;
+      out->entries_end = body + body_len;
+      // Walk the declared entries once so NextEntry can iterate without
+      // bounds checks later; the walk must consume the body exactly.
+      const uint8_t* p = out->entries;
+      size_t remaining = body_len - 4;
+      for (uint32_t i = 0; i < out->entry_count; ++i) {
+        uint64_t key;
+        WireValue v;
+        const size_t entry = ViewEntry(p, remaining, &key, &v);
+        if (entry == 0) return Decoded::kBadFrame;
+        p += entry;
+        remaining -= entry;
+      }
+      return remaining == 0 ? Decoded::kFrame : Decoded::kBadFrame;
+    }
+    case Op::kStats:
+      return body_len == 0 ? Decoded::kFrame : Decoded::kBadFrame;
+  }
+  return Decoded::kBadFrame;  // Unknown op byte.
+}
+
+Decoded DecodeResponse(const uint8_t* data, size_t size, size_t max_frame,
+                       Response* out, size_t* frame_bytes) {
+  uint8_t status = 0;
+  const uint8_t* body = nullptr;
+  size_t body_len = 0;
+  Decoded d = DecodeFrame(data, size, max_frame, frame_bytes, &out->op,
+                          &status, &out->seq, &body, &body_len);
+  if (d != Decoded::kFrame) return d;
+  out->status = static_cast<WireStatus>(status);
+
+  if (out->op == Op::kGet && out->status == WireStatus::kOk) {
+    // GET bodies have no key on the response side: just bits + words.
+    if (body_len < 4) return Decoded::kBadFrame;
+    const uint32_t bits = Load32(body);
+    if (body_len != 4 + ValueWireBytes(bits)) return Decoded::kBadFrame;
+    out->value.bits = bits;
+    out->value.words = body + 4;
+    return Decoded::kFrame;
+  }
+  if (out->op == Op::kStats && out->status == WireStatus::kOk) {
+    if (body_len != sizeof(WireStats)) return Decoded::kBadFrame;
+    std::memcpy(&out->stats, body, sizeof(WireStats));
+    return Decoded::kFrame;
+  }
+  return body_len == 0 ? Decoded::kFrame : Decoded::kBadFrame;
+}
+
+bool NextEntry(const uint8_t** cursor, const uint8_t* end, uint64_t* key,
+               WireValue* value) {
+  if (*cursor >= end) return false;
+  *key = Load64(*cursor);
+  value->bits = Load32(*cursor + 8);
+  value->words = *cursor + 12;
+  *cursor += 12 + ValueWireBytes(value->bits);
+  return true;
+}
+
+void EncodePutRequest(ByteRing* out, uint32_t seq, uint64_t key,
+                      const BitVector& value) {
+  const size_t payload_len =
+      kHeaderBytes + 12 + ValueWireBytes(value.size());
+  uint8_t* p = BeginFrame(out, payload_len);
+  FillHeader(p, Op::kPut, 0, seq);
+  FillEntry(p + kHeaderBytes, key, value);
+  SealFrame(out, p, payload_len);
+}
+
+void EncodeKeyRequest(ByteRing* out, Op op, uint32_t seq, uint64_t key) {
+  const size_t payload_len = kHeaderBytes + 8;
+  uint8_t* p = BeginFrame(out, payload_len);
+  FillHeader(p, op, 0, seq);
+  Store64(p + kHeaderBytes, key);
+  SealFrame(out, p, payload_len);
+}
+
+void EncodeStatsRequest(ByteRing* out, uint32_t seq) {
+  uint8_t* p = BeginFrame(out, kHeaderBytes);
+  FillHeader(p, Op::kStats, 0, seq);
+  SealFrame(out, p, kHeaderBytes);
+}
+
+void EncodeMultiPutRequest(ByteRing* out, uint32_t seq,
+                           const std::pair<uint64_t, BitVector>* kvs,
+                           size_t n) {
+  size_t payload_len = kHeaderBytes + 4;
+  for (size_t i = 0; i < n; ++i) {
+    payload_len += 12 + ValueWireBytes(kvs[i].second.size());
+  }
+  uint8_t* p = BeginFrame(out, payload_len);
+  FillHeader(p, Op::kMultiPut, 0, seq);
+  Store32(p + kHeaderBytes, static_cast<uint32_t>(n));
+  uint8_t* cursor = p + kHeaderBytes + 4;
+  for (size_t i = 0; i < n; ++i) {
+    cursor += FillEntry(cursor, kvs[i].first, kvs[i].second);
+  }
+  SealFrame(out, p, payload_len);
+}
+
+void EncodeResponse(ByteRing* out, Op op, WireStatus status, uint32_t seq) {
+  uint8_t* p = BeginFrame(out, kHeaderBytes);
+  FillHeader(p, op, static_cast<uint8_t>(status), seq);
+  SealFrame(out, p, kHeaderBytes);
+}
+
+void EncodeGetResponse(ByteRing* out, uint32_t seq, const BitVector& value) {
+  const size_t vbytes = ValueWireBytes(value.size());
+  const size_t payload_len = kHeaderBytes + 4 + vbytes;
+  uint8_t* p = BeginFrame(out, payload_len);
+  FillHeader(p, Op::kGet, static_cast<uint8_t>(WireStatus::kOk), seq);
+  Store32(p + kHeaderBytes, static_cast<uint32_t>(value.size()));
+  if (vbytes > 0) {
+    std::memcpy(p + kHeaderBytes + 4, value.words().data(), vbytes);
+  }
+  SealFrame(out, p, payload_len);
+}
+
+void EncodeStatsResponse(ByteRing* out, uint32_t seq, const WireStats& s) {
+  const size_t payload_len = kHeaderBytes + sizeof(WireStats);
+  uint8_t* p = BeginFrame(out, payload_len);
+  FillHeader(p, Op::kStats, static_cast<uint8_t>(WireStatus::kOk), seq);
+  std::memcpy(p + kHeaderBytes, &s, sizeof(WireStats));
+  SealFrame(out, p, payload_len);
+}
+
+}  // namespace e2nvm::net

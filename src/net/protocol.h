@@ -1,0 +1,174 @@
+#ifndef E2NVM_NET_PROTOCOL_H_
+#define E2NVM_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "common/bitvec.h"
+#include "common/byte_ring.h"
+
+namespace e2nvm::net {
+
+/// The wire protocol of the network KV front-end (DESIGN.md §14): a
+/// length-prefixed binary request/response format whose every frame is
+/// CRC32C-stamped with the PR 7 integrity kernel.
+///
+/// Frame layout (all integers little-endian; this codec targets the
+/// little-endian hosts the SIMD kernel layer targets):
+///
+///   u32 len | payload[len - 4] | u32 crc32c(payload)
+///
+/// `len` counts everything after the length field (payload + CRC), so a
+/// reader needs exactly 4 bytes to learn the frame size and can skip a
+/// frame whose CRC fails without losing stream alignment. Payloads open
+/// with a fixed 8-byte header:
+///
+///   request:  u8 op  | u8 0      | u16 0 | u32 seq
+///   response: u8 op  | u8 status | u16 0 | u32 seq (echoed)
+///
+/// Bodies by op (requests):
+///   PUT:       u64 key | u32 value_bits | u64 value_words[ceil(bits/64)]
+///   GET:       u64 key
+///   DELETE:    u64 key
+///   MULTI_PUT: u32 count | count x (u64 key | u32 value_bits | words)
+///   STATS:     (empty)
+/// Responses carry an empty body except GET-with-kOk (u32 value_bits |
+/// words) and STATS-with-kOk (WireStats as consecutive u64s). Values
+/// travel as whole 64-bit words, exactly BitVector::words() — both ends
+/// memcpy, and BitVector::AssignFromWords re-masks the tail bits.
+///
+/// Responses are returned strictly in request order (the server
+/// pipeline's contract), so `seq` is a client-side consistency check,
+/// not a routing key.
+enum class Op : uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+  kMultiPut = 4,
+  kStats = 5,
+};
+
+/// Response status byte. kBadFrame reports a frame whose CRC or body
+/// failed validation — the frame was skipped, the connection survives.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+  kBadFrame = 3,
+};
+
+constexpr size_t kLenBytes = 4;
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kCrcBytes = 4;
+/// Frames whose declared length exceeds this are a framing-protocol
+/// violation: the decoder reports kFatal and the connection must close
+/// (a stream that lies about frame sizes cannot be resynchronized).
+constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Server-side counters served by the STATS op, fixed-width so the wire
+/// image is just consecutive u64s. `audit_*` expose the steady-state
+/// guarantees as observable numbers: over every audited request-loop
+/// pass the connection workers count their own heap allocations (via
+/// ServerConfig::alloc_probe) and shard-external lock acquisitions
+/// (common/lock_audit.h) — both must stay 0.
+struct WireStats {
+  uint64_t keys = 0;            // Live keys across all shards.
+  uint64_t puts = 0;            // Single-PUT requests served.
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t multi_puts = 0;      // MULTI_PUT frames served.
+  uint64_t batched_puts = 0;    // PUT entries applied via shard batches.
+  uint64_t batches = 0;         // MultiPutShard submissions.
+  uint64_t frames_rejected = 0; // Bad-CRC/malformed/fatal frames.
+  uint64_t connections = 0;     // Accepted over the server's lifetime.
+  uint64_t audit_requests = 0;  // Requests inside audited passes.
+  uint64_t audit_allocs = 0;    // Heap allocations inside audited passes.
+  uint64_t audit_shared_locks = 0;  // Shard-external lock acquisitions.
+};
+constexpr size_t kWireStatsFields = 12;
+static_assert(sizeof(WireStats) == kWireStatsFields * sizeof(uint64_t),
+              "WireStats must be a flat array of u64 on the wire");
+
+/// Bytes a value of `bits` occupies on the wire (whole 64-bit words).
+constexpr size_t ValueWireBytes(size_t bits) {
+  return ((bits + 63) / 64) * 8;
+}
+
+/// A value field inside a decoded frame: a borrowed view into the
+/// receive buffer, valid until the frame is consumed.
+struct WireValue {
+  const uint8_t* words = nullptr;  // ValueWireBytes(bits) bytes.
+  uint32_t bits = 0;
+};
+
+/// One decoded request, viewing (not owning) the receive buffer.
+struct Request {
+  Op op = Op::kPut;
+  uint32_t seq = 0;
+  uint64_t key = 0;         // PUT / GET / DELETE.
+  WireValue value;          // PUT.
+  const uint8_t* entries = nullptr;  // MULTI_PUT: first entry byte.
+  const uint8_t* entries_end = nullptr;
+  uint32_t entry_count = 0;
+};
+
+/// One decoded response, viewing the receive buffer.
+struct Response {
+  Op op = Op::kPut;
+  WireStatus status = WireStatus::kOk;
+  uint32_t seq = 0;
+  WireValue value;   // GET with kOk.
+  WireStats stats;   // STATS with kOk (copied out; it is small + fixed).
+};
+
+/// Decode outcomes. kNeedMore consumes nothing; kFrame consumes
+/// `*frame_bytes`; kBadFrame means the frame boundary is known (consume
+/// `*frame_bytes`, answer WireStatus::kBadFrame, keep the connection);
+/// kFatal means framing itself is broken (close the connection).
+enum class Decoded {
+  kNeedMore,
+  kFrame,
+  kBadFrame,
+  kFatal,
+};
+
+/// Decodes the next request frame from `data[0..size)`. On kFrame the
+/// out-views borrow `data`; on kBadFrame `out->op`/`out->seq` carry the
+/// (unverified) header bytes so the error response can echo them.
+/// MULTI_PUT bodies are fully bounds-checked here, so iterating entries
+/// with NextEntry afterwards cannot fail.
+Decoded DecodeRequest(const uint8_t* data, size_t size, size_t max_frame,
+                      Request* out, size_t* frame_bytes);
+
+/// Decodes the next response frame (client side).
+Decoded DecodeResponse(const uint8_t* data, size_t size, size_t max_frame,
+                       Response* out, size_t* frame_bytes);
+
+/// Iterates a decoded MULTI_PUT body: advances `*cursor` (starting at
+/// Request::entries) and fills one key/value view. Returns false once
+/// `end` is reached.
+bool NextEntry(const uint8_t** cursor, const uint8_t* end, uint64_t* key,
+               WireValue* value);
+
+// --- Encoders (append one complete frame onto a ByteRing) ---
+
+void EncodePutRequest(ByteRing* out, uint32_t seq, uint64_t key,
+                      const BitVector& value);
+/// GET or DELETE (the two key-only requests).
+void EncodeKeyRequest(ByteRing* out, Op op, uint32_t seq, uint64_t key);
+void EncodeStatsRequest(ByteRing* out, uint32_t seq);
+void EncodeMultiPutRequest(ByteRing* out, uint32_t seq,
+                           const std::pair<uint64_t, BitVector>* kvs,
+                           size_t n);
+
+/// Body-less response (PUT/DELETE/MULTI_PUT results, GET misses, and
+/// every error including kBadFrame).
+void EncodeResponse(ByteRing* out, Op op, WireStatus status, uint32_t seq);
+void EncodeGetResponse(ByteRing* out, uint32_t seq, const BitVector& value);
+void EncodeStatsResponse(ByteRing* out, uint32_t seq, const WireStats& s);
+
+}  // namespace e2nvm::net
+
+#endif  // E2NVM_NET_PROTOCOL_H_

@@ -1,0 +1,573 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/byte_ring.h"
+#include "common/lock_audit.h"
+
+namespace e2nvm::net {
+
+namespace {
+
+/// recv() chunk per call; also the initial working size a connection's
+/// receive ring grows toward.
+constexpr size_t kReadChunk = 64 * 1024;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+WireStatus ToWireStatus(const Status& s) {
+  if (s.ok()) return WireStatus::kOk;
+  if (s.code() == StatusCode::kNotFound) return WireStatus::kNotFound;
+  return WireStatus::kError;
+}
+
+}  // namespace
+
+/// One connection worker: a thread, an edge-triggered epoll instance,
+/// an eventfd for wakeups/new-connection handoff, and the connections it
+/// owns. Only the worker thread touches a connection after AddConnection
+/// hands the fd over.
+class Server::Worker {
+ public:
+  Worker(Server* server) : server_(server) {}
+
+  ~Worker() {
+    CloseFd(epoll_fd_);
+    CloseFd(event_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Status::Internal("epoll_create1 failed");
+    event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (event_fd_ < 0) return Status::Internal("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the eventfd.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+      return Status::Internal("epoll_ctl(eventfd) failed");
+    }
+    return Status::Ok();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  /// Acceptor-side handoff: enqueue the fd and wake the worker. The
+  /// inbox mutex is touched only on connection arrival, never on the
+  /// request path.
+  void AddConnection(int fd) {
+    {
+      std::lock_guard<std::mutex> g(inbox_mu_);
+      inbox_.push_back(fd);
+    }
+    Signal();
+  }
+
+  void Signal() {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(event_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+
+  void RequestStop() {
+    stop_.store(true, std::memory_order_release);
+    Signal();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Adds this worker's published counters into `s` (relaxed reads; the
+  /// worker publishes at the end of every processing pass).
+  void AccumulateInto(WireStats* s) const {
+    s->puts += pub_puts_.load(std::memory_order_relaxed);
+    s->gets += pub_gets_.load(std::memory_order_relaxed);
+    s->deletes += pub_deletes_.load(std::memory_order_relaxed);
+    s->multi_puts += pub_multi_puts_.load(std::memory_order_relaxed);
+    s->batched_puts += pub_batched_puts_.load(std::memory_order_relaxed);
+    s->batches += pub_batches_.load(std::memory_order_relaxed);
+    s->frames_rejected +=
+        pub_frames_rejected_.load(std::memory_order_relaxed);
+    s->audit_requests += pub_audit_requests_.load(std::memory_order_relaxed);
+    s->audit_allocs += pub_audit_allocs_.load(std::memory_order_relaxed);
+    s->audit_shared_locks +=
+        pub_audit_shared_locks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// A staged per-shard PUT batch. `slots` is grow-only: flushing resets
+  /// `used` without clear()ing, so every slot's key/BitVector (and the
+  /// BitVector's word storage) is reused in place on the next pass.
+  struct ShardBatch {
+    std::vector<std::pair<uint64_t, BitVector>> slots;
+    size_t used = 0;
+  };
+
+  /// A deferred PUT/MULTI_PUT response awaiting its batch flush.
+  /// Trivially copyable, so the pending vector's clear() keeps capacity
+  /// and frees nothing.
+  struct PendingResponse {
+    Op op;
+    uint32_t seq;
+    uint64_t shard_mask;  // Bit (s % 64) per shard staged into.
+  };
+
+  struct Conn {
+    int fd = -1;
+    ByteRing in;
+    ByteRing out;
+    std::vector<ShardBatch> batches;  // One per shard.
+    std::vector<PendingResponse> pending;
+    bool want_write = false;
+  };
+
+  void Run() {
+    epoll_event events[64];
+    while (!stop_.load(std::memory_order_acquire)) {
+      int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.ptr == nullptr) {
+          uint64_t junk;
+          while (::read(event_fd_, &junk, sizeof(junk)) > 0) {
+          }
+          DrainInbox();
+          continue;
+        }
+        // epoll coalesces a ready fd into one epoll_event per wait, so
+        // `c` cannot have been freed by an earlier event in this batch.
+        Conn* c = static_cast<Conn*>(events[i].data.ptr);
+        bool alive = true;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          alive = false;
+        }
+        if (alive && (events[i].events & EPOLLOUT)) alive = FlushSocket(c);
+        if (alive && (events[i].events & EPOLLIN)) alive = HandleReadable(c);
+        if (!alive) CloseConn(c);
+      }
+    }
+    // Orderly teardown on the owner thread.
+    for (auto& [fd, conn] : conns_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      CloseFd(fd);
+    }
+    conns_.clear();
+  }
+
+  void DrainInbox() {
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> g(inbox_mu_);
+      fds.swap(inbox_);
+    }
+    for (int fd : fds) {
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->batches.resize(server_->store_->num_shards());
+      Conn* c = conn.get();
+      conns_.emplace(fd, std::move(conn));
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET;
+      ev.data.ptr = c;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        conns_.erase(fd);
+        CloseFd(fd);
+        continue;
+      }
+      // Data may have arrived before the ADD; process once eagerly
+      // rather than relying on the registration edge.
+      if (!HandleReadable(c)) CloseConn(c);
+    }
+  }
+
+  /// One full processing pass for a readable connection: drain the
+  /// socket, decode + serve every complete request, flush batches and
+  /// the response buffer. This pass is the audited window — in steady
+  /// state it performs zero heap allocations and acquires no lock
+  /// outside the owning shards' mutexes. Returns false when the
+  /// connection must close.
+  bool HandleReadable(Conn* c) {
+    const ServerConfig& cfg = server_->config_;
+    const bool audit = cfg.audit_after_requests > 0 &&
+                       requests_served_ >= cfg.audit_after_requests;
+    const uint64_t locks0 = audit ? debug::SharedLockAcquisitions() : 0;
+    const uint64_t allocs0 =
+        audit && cfg.alloc_probe != nullptr ? cfg.alloc_probe() : 0;
+    const uint64_t served0 = requests_served_;
+
+    bool alive = true;
+    while (true) {
+      uint8_t* dst = c->in.Reserve(kReadChunk);
+      ssize_t n = ::recv(c->fd, dst, kReadChunk, 0);
+      if (n > 0) {
+        c->in.Commit(static_cast<size_t>(n));
+        // A short read means the socket is drained; skip the recv that
+        // would just return EAGAIN. Safe under EPOLLET: data arriving
+        // after this read raises a fresh edge.
+        if (static_cast<size_t>(n) < kReadChunk) break;
+        continue;
+      }
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+        if (n < 0 && errno == EINTR) continue;
+        alive = false;
+      }
+      break;
+    }
+    if (alive) alive = ProcessInput(c);
+    if (alive) alive = FlushSocket(c);
+
+    if (audit) {
+      audit_requests_ += requests_served_ - served0;
+      audit_shared_locks_ += debug::SharedLockAcquisitions() - locks0;
+      if (cfg.alloc_probe != nullptr) {
+        audit_allocs_ += cfg.alloc_probe() - allocs0;
+      }
+    }
+    PublishCounters();
+    return alive;
+  }
+
+  /// Decodes and serves every complete request buffered on `c`.
+  bool ProcessInput(Conn* c) {
+    while (true) {
+      Request req;
+      size_t frame_bytes = 0;
+      Decoded d =
+          DecodeRequest(c->in.data(), c->in.size(),
+                        server_->config_.max_frame_bytes, &req, &frame_bytes);
+      if (d == Decoded::kNeedMore) break;
+      if (d == Decoded::kFatal) {
+        ++frames_rejected_;
+        return false;
+      }
+      if (d == Decoded::kBadFrame) {
+        ++frames_rejected_;
+        // Keep response order: settle deferred responses, then reject.
+        FlushBatches(c);
+        EncodeResponse(&c->out, req.op, WireStatus::kBadFrame, req.seq);
+        c->in.Consume(frame_bytes);
+        continue;
+      }
+      HandleFrame(c, req);
+      // Staged values were copied out of the ring by HandleFrame, so the
+      // frame can be released now.
+      c->in.Consume(frame_bytes);
+      ++requests_served_;
+    }
+    // End-of-pass barrier: answer everything decoded this pass instead
+    // of waiting for more input.
+    FlushBatches(c);
+    return true;
+  }
+
+  void HandleFrame(Conn* c, const Request& req) {
+    switch (req.op) {
+      case Op::kPut: {
+        const uint64_t mask = StagePut(c, req.key, req.value);
+        c->pending.push_back({Op::kPut, req.seq, mask});
+        ++puts_;
+        return;
+      }
+      case Op::kMultiPut: {
+        uint64_t mask = 0;
+        const uint8_t* cursor = req.entries;
+        uint64_t key;
+        WireValue value;
+        while (NextEntry(&cursor, req.entries_end, &key, &value)) {
+          mask |= StagePut(c, key, value);
+        }
+        c->pending.push_back({Op::kMultiPut, req.seq, mask});
+        ++multi_puts_;
+        return;
+      }
+      case Op::kGet: {
+        FlushBatches(c);  // Read-your-writes within the pipeline.
+        Status s = server_->store_->GetInto(req.key, &get_scratch_);
+        if (s.ok()) {
+          EncodeGetResponse(&c->out, req.seq, get_scratch_);
+        } else {
+          EncodeResponse(&c->out, Op::kGet, ToWireStatus(s), req.seq);
+        }
+        ++gets_;
+        return;
+      }
+      case Op::kDelete: {
+        FlushBatches(c);
+        Status s = server_->store_->Delete(req.key);
+        EncodeResponse(&c->out, Op::kDelete, ToWireStatus(s), req.seq);
+        ++deletes_;
+        return;
+      }
+      case Op::kStats: {
+        FlushBatches(c);
+        PublishCounters();  // Include this pass's own counts.
+        EncodeStatsResponse(&c->out, req.seq, server_->Stats());
+        return;
+      }
+    }
+    // Unknown ops never reach here: DecodeRequest rejects them.
+  }
+
+  /// Copies one PUT into its shard's staged batch; returns the shard's
+  /// mask bit. Slot reuse (AssignFromWords into an existing BitVector)
+  /// makes this allocation-free once slots have grown to working size.
+  uint64_t StagePut(Conn* c, uint64_t key, const WireValue& value) {
+    const size_t s = server_->store_->ShardOf(key);
+    ShardBatch& b = c->batches[s];
+    if (b.used == b.slots.size()) b.slots.emplace_back();
+    auto& slot = b.slots[b.used];
+    slot.first = key;
+    slot.second.AssignFromWords(value.words, value.bits);
+    ++b.used;
+    return uint64_t{1} << (s % 64);
+  }
+
+  /// Submits every staged shard batch through MultiPutShard, then emits
+  /// the deferred PUT/MULTI_PUT responses in arrival order.
+  void FlushBatches(Conn* c) {
+    if (c->pending.empty()) return;  // Nothing staged implies nothing pending.
+    uint64_t failed_mask = 0;
+    for (size_t s = 0; s < c->batches.size(); ++s) {
+      ShardBatch& b = c->batches[s];
+      if (b.used == 0) continue;
+      Status st = server_->store_->MultiPutShard(s, b.slots.data(), b.used);
+      batched_puts_ += b.used;
+      ++batches_;
+      b.used = 0;
+      if (!st.ok()) failed_mask |= uint64_t{1} << (s % 64);
+    }
+    for (const PendingResponse& p : c->pending) {
+      const WireStatus ws = (p.shard_mask & failed_mask) != 0
+                                ? WireStatus::kError
+                                : WireStatus::kOk;
+      EncodeResponse(&c->out, p.op, ws, p.seq);
+    }
+    c->pending.clear();
+  }
+
+  /// Writes the response buffer until drained or EAGAIN; arms EPOLLOUT
+  /// exactly while unsent bytes remain. Returns false on a dead socket.
+  bool FlushSocket(Conn* c) {
+    while (!c->out.empty()) {
+      ssize_t n = ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c->out.Consume(static_cast<size_t>(n));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    const bool want_write = !c->out.empty();
+    if (want_write != c->want_write) {
+      c->want_write = want_write;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET | (want_write ? EPOLLOUT : 0u);
+      ev.data.ptr = c;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void CloseConn(Conn* c) {
+    const int fd = c->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    CloseFd(fd);
+    conns_.erase(fd);
+  }
+
+  /// Publishes the worker-local counters (plain ints, single writer)
+  /// into the relaxed atomics Stats() reads cross-thread.
+  void PublishCounters() {
+    pub_puts_.store(puts_, std::memory_order_relaxed);
+    pub_gets_.store(gets_, std::memory_order_relaxed);
+    pub_deletes_.store(deletes_, std::memory_order_relaxed);
+    pub_multi_puts_.store(multi_puts_, std::memory_order_relaxed);
+    pub_batched_puts_.store(batched_puts_, std::memory_order_relaxed);
+    pub_batches_.store(batches_, std::memory_order_relaxed);
+    pub_frames_rejected_.store(frames_rejected_, std::memory_order_relaxed);
+    pub_audit_requests_.store(audit_requests_, std::memory_order_relaxed);
+    pub_audit_allocs_.store(audit_allocs_, std::memory_order_relaxed);
+    pub_audit_shared_locks_.store(audit_shared_locks_,
+                                  std::memory_order_relaxed);
+  }
+
+  Server* server_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex inbox_mu_;
+  std::vector<int> inbox_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  BitVector get_scratch_;  // Reused GET decode buffer.
+
+  // Worker-local counters (only the worker thread writes these).
+  uint64_t requests_served_ = 0;
+  uint64_t puts_ = 0;
+  uint64_t gets_ = 0;
+  uint64_t deletes_ = 0;
+  uint64_t multi_puts_ = 0;
+  uint64_t batched_puts_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t frames_rejected_ = 0;
+  uint64_t audit_requests_ = 0;
+  uint64_t audit_allocs_ = 0;
+  uint64_t audit_shared_locks_ = 0;
+
+  // Published images of the counters above (relaxed cross-thread reads).
+  std::atomic<uint64_t> pub_puts_{0};
+  std::atomic<uint64_t> pub_gets_{0};
+  std::atomic<uint64_t> pub_deletes_{0};
+  std::atomic<uint64_t> pub_multi_puts_{0};
+  std::atomic<uint64_t> pub_batched_puts_{0};
+  std::atomic<uint64_t> pub_batches_{0};
+  std::atomic<uint64_t> pub_frames_rejected_{0};
+  std::atomic<uint64_t> pub_audit_requests_{0};
+  std::atomic<uint64_t> pub_audit_allocs_{0};
+  std::atomic<uint64_t> pub_audit_shared_locks_{0};
+};
+
+Server::Server(core::ShardedStore* store, const ServerConfig& config)
+    : store_(store), config_(config) {
+  if (config_.num_workers == 0) config_.num_workers = 1;
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(core::ShardedStore* store,
+                                                const ServerConfig& config) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  std::unique_ptr<Server> server(new Server(store, config));
+
+  server->listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (server->listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal("bind() failed");
+  }
+  if (::listen(server->listen_fd_, 128) != 0) {
+    return Status::Internal("listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Status::Internal("getsockname() failed");
+  }
+  server->port_ = ntohs(addr.sin_port);
+
+  server->accept_epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  server->accept_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (server->accept_epoll_fd_ < 0 || server->accept_event_fd_ < 0) {
+    return Status::Internal("acceptor epoll/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = server->listen_fd_;
+  if (::epoll_ctl(server->accept_epoll_fd_, EPOLL_CTL_ADD, server->listen_fd_,
+                  &ev) != 0) {
+    return Status::Internal("epoll_ctl(listen) failed");
+  }
+  ev.data.fd = server->accept_event_fd_;
+  if (::epoll_ctl(server->accept_epoll_fd_, EPOLL_CTL_ADD,
+                  server->accept_event_fd_, &ev) != 0) {
+    return Status::Internal("epoll_ctl(accept eventfd) failed");
+  }
+
+  for (size_t i = 0; i < server->config_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>(server.get());
+    E2_RETURN_IF_ERROR(worker->Init());
+    server->workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : server->workers_) worker->StartThread();
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (accept_event_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(accept_event_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) worker->RequestStop();
+  for (auto& worker : workers_) worker->Join();
+  CloseFd(listen_fd_);
+  CloseFd(accept_epoll_fd_);
+  CloseFd(accept_event_fd_);
+  listen_fd_ = accept_epoll_fd_ = accept_event_fd_ = -1;
+}
+
+WireStats Server::Stats() const {
+  WireStats s;
+  s.keys = store_->size();
+  s.connections = connections_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) worker->AccumulateInto(&s);
+  return s;
+}
+
+void Server::AcceptLoop() {
+  epoll_event events[8];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(accept_epoll_fd_, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == accept_event_fd_) {
+        uint64_t junk;
+        while (::read(accept_event_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;  // Stop flag re-checked by the outer loop.
+      }
+      while (true) {
+        int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: accepted everything pending.
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        workers_[next_worker_]->AddConnection(fd);
+        next_worker_ = (next_worker_ + 1) % workers_.size();
+      }
+    }
+  }
+}
+
+}  // namespace e2nvm::net

@@ -46,6 +46,14 @@ class MemoryController {
     return scheme_->Decode(pa, device_->ReadSegment(pa));
   }
 
+  /// Logical read into a caller-owned buffer (reuses `out`'s capacity) —
+  /// the allocation-free variant of Read for steady-state serving paths
+  /// (net/server GETs). Charges the same device read costs.
+  void ReadInto(size_t logical, BitVector* out) {
+    size_t pa = Physical(logical);
+    scheme_->DecodeInto(pa, device_->ReadSegment(pa), out);
+  }
+
   /// Zero-cost logical content inspection (software bookkeeping).
   BitVector Peek(size_t logical) const {
     size_t pa = Physical(logical);

@@ -29,6 +29,7 @@ void FaultInjector::Bind(size_t num_segments, size_t segment_bits,
       }
     }
   }
+  armed_stuck_cells_.store(stuck_.size(), std::memory_order_release);
 }
 
 void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
@@ -38,12 +39,22 @@ void FaultInjector::StickCell(size_t seg, size_t bit, bool value) {
   if (inserted) {
     ++stats_.stuck_cells;
     ++stats_.cells_stuck_total;
+    armed_stuck_cells_.store(stuck_.size(), std::memory_order_release);
   }
 }
 
 bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
                                 BitVector* stored, bool allow_tear,
                                 bool* torn) {
+  if (WriteUnarmed(allow_tear)) {
+    // Behavior-identical to the locked path in this state: no tear can
+    // fire (so no rng draw), and ClampStuckLocked would early-return on
+    // an empty stuck set without touching stats. Skipping the mutex
+    // keeps an attached-but-unarmed injector off the steady-state
+    // shared-lock audit (DESIGN.md §13).
+    if (torn != nullptr) *torn = false;
+    return false;
+  }
   debug::AuditedLockGuard lock(mu_);
   bool perturbed = false;
   if (torn != nullptr) *torn = false;
@@ -78,6 +89,7 @@ bool FaultInjector::MutateWrite(size_t seg, const BitVector& old,
 }
 
 bool FaultInjector::ClampStuck(size_t seg, BitVector* stored) {
+  if (armed_stuck_cells_.load(std::memory_order_acquire) == 0) return false;
   debug::AuditedLockGuard lock(mu_);
   return ClampStuckLocked(seg, stored);
 }
@@ -122,6 +134,7 @@ void FaultInjector::OnCellProgrammed(size_t seg, size_t bit, bool value,
   if (stuck_.emplace(CellKey(seg, bit), value).second) {
     ++stats_.stuck_cells;
     ++stats_.cells_stuck_total;
+    armed_stuck_cells_.store(stuck_.size(), std::memory_order_release);
   }
 }
 
@@ -154,7 +167,10 @@ bool FaultInjector::RepairCells(size_t seg, const std::vector<size_t>& bits) {
       ++stats_.repaired_cells;
     }
   }
-  if (stuck_n > 0) spares_used_[seg] = used + stuck_n;
+  if (stuck_n > 0) {
+    spares_used_[seg] = used + stuck_n;
+    armed_stuck_cells_.store(stuck_.size(), std::memory_order_release);
+  }
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef E2NVM_NVM_FAULT_INJECTOR_H_
 #define E2NVM_NVM_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -76,13 +77,32 @@ struct FaultStats {
 /// sharded device written by many threads. Determinism then holds per
 /// total order of injector calls: single-threaded runs replay
 /// bit-for-bit; concurrent runs are honest chaos.
+///
+/// Unarmed fast path: an injector whose tear probability is zero and
+/// whose stuck set is empty cannot perturb a write, and the locked path
+/// would neither draw from the rng nor touch the stats — so
+/// MutateWrite/ClampStuck skip the mutex entirely in that state (an
+/// atomic stuck-cell count, maintained under the mutex, gates the
+/// skip). An *attached but unarmed* injector therefore adds no shared
+/// lock to the steady-state datapath, which keeps it inside the
+/// contention-free contract audited by common/lock_audit.h.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultConfig& config)
-      : config_(config), rng_(config.seed) {}
+      : config_(config),
+        tear_armed_(config.torn_write_probability > 0.0),
+        rng_(config.seed) {}
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// True when no write-path perturbation is currently possible (no
+  /// stuck cells, and tearing is either unconfigured or disallowed):
+  /// the unarmed mutex-free fast path.
+  bool WriteUnarmed(bool allow_tear) const {
+    return (!allow_tear || !tear_armed_) &&
+           armed_stuck_cells_.load(std::memory_order_acquire) == 0;
+  }
 
   /// Fixes the device geometry and endurance budget; sticks
   /// `initial_stuck_fraction` of all cells at random values. Called by
@@ -155,6 +175,11 @@ class FaultInjector {
   bool ClampStuckLocked(size_t seg, BitVector* stored);
 
   FaultConfig config_;
+  /// Fixed at construction: whether torn writes can ever fire.
+  bool tear_armed_ = false;
+  /// stuck_.size(), mirrored into an atomic at every mutation (under
+  /// mu_) so the unarmed fast path can read it lock-free.
+  std::atomic<uint64_t> armed_stuck_cells_{0};
   mutable std::mutex mu_;  // Guards everything below.
   Rng rng_;
   size_t num_segments_ = 0;

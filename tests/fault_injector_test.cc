@@ -198,5 +198,39 @@ TEST(FaultInjectorTest, SameSeedReplaysBitForBit) {
   EXPECT_EQ(i1.stuck_clamps, i2.stuck_clamps);
 }
 
+TEST(FaultInjectorTest, UnarmedWritePathSkipsSharedLock) {
+  // An attached injector with nothing armed must not serialize writers:
+  // MutateWrite/ClampStuck take the mutex-free fast path, so the
+  // lock-audit counter (common/lock_audit.h) stays flat across writes.
+  NvmDevice dev(SmallConfig(/*verify=*/true));
+  FaultInjector inj{FaultConfig{}};
+  dev.AttachFaultInjector(&inj);
+  EXPECT_TRUE(inj.WriteUnarmed(/*allow_tear=*/true));
+
+  schemes::Dcw dcw;
+  const uint64_t before = debug::SharedLockAcquisitions();
+  for (int i = 0; i < 20; ++i) {
+    dev.WriteSegment(i % kSegs, RandomBits(kBits, 2000 + i), dcw);
+  }
+  EXPECT_EQ(debug::SharedLockAcquisitions(), before)
+      << "unarmed injector took its mutex on the write path";
+  EXPECT_EQ(inj.stats().stuck_clamps, 0u);
+  EXPECT_EQ(inj.stats().torn_writes, 0u);
+
+  // Arming re-engages the locked path: sticking one cell flips the
+  // fast-path gate and subsequent writes clamp (and count) again.
+  inj.StickCell(0, 3, /*value=*/true);
+  EXPECT_FALSE(inj.WriteUnarmed(/*allow_tear=*/false));
+  const uint64_t armed = debug::SharedLockAcquisitions();
+  dev.WriteSegment(0, BitVector(kBits), dcw);
+  EXPECT_GT(debug::SharedLockAcquisitions(), armed);
+
+  // Repairing every stuck cell disarms the gate once more.
+  if (inj.IsStuck(0, 3)) {
+    EXPECT_TRUE(inj.RepairCells(0, {3}));
+  }
+  EXPECT_TRUE(inj.WriteUnarmed(/*allow_tear=*/true));
+}
+
 }  // namespace
 }  // namespace e2nvm::nvm

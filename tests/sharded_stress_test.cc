@@ -243,9 +243,14 @@ TEST(ShardedStress, SteadyStatePutTakesNoSharedLocks) {
   cfg.shard.auto_retrain = false;
   cfg.shard.background_retrain = false;
   cfg.pool_threads = 4;
+  // An attached-but-unarmed fault injector (no stuck cells, zero tear /
+  // disturb probability) must ride along for free: its unarmed fast
+  // path skips the injector mutex, so the audit below still sees zero.
+  nvm::FaultInjector injector{nvm::FaultConfig{}};
   auto store_or = ShardedStore::Create(cfg);
   ASSERT_TRUE(store_or.ok());
   auto store = std::move(*store_or);
+  store->device().AttachFaultInjector(&injector);
   store->Seed(ds);
   ASSERT_TRUE(store->Bootstrap().ok());  // Training MAY submit to lanes.
 
