@@ -1,7 +1,9 @@
 #ifndef E2NVM_BENCH_BENCH_UTIL_H_
 #define E2NVM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -157,6 +159,135 @@ inline core::E2ModelConfig DefaultModel(size_t input_dim, size_t k,
 inline void PrintBanner(const char* figure, const char* description) {
   std::printf("### %s — %s\n", figure, description);
 }
+
+// --- Latency percentiles (shared by every BENCH_*.json emitter) -------
+
+/// Quantile `q` in [0, 1] of an ascending-sorted sample by the
+/// truncated-rank convention every bench here has always used:
+/// sorted[floor(q * (n - 1))]. q=1 is the max. Returns 0 on an empty
+/// sample. (Unit-tested in tests/bench_util_test.cc.)
+inline double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  return sorted[static_cast<size_t>(q * (sorted.size() - 1))];
+}
+
+/// The tail grid every serving/store benchmark reports: a rate plus
+/// p50/p99/p99.9/max latency in microseconds.
+struct TailStats {
+  double ops_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+/// Sorts `us` in place and summarizes it; `ops` is the operation count
+/// the rate is quoted over (it may differ from us.size() when one sample
+/// covers a batch of operations).
+inline TailStats SummarizeLatencies(std::vector<double>& us,
+                                    double seconds, uint64_t ops) {
+  TailStats s;
+  if (us.empty() || seconds <= 0) return s;
+  std::sort(us.begin(), us.end());
+  s.ops_s = static_cast<double>(ops) / seconds;
+  s.p50_us = us[us.size() / 2];
+  s.p99_us = Percentile(us, 0.99);
+  s.p999_us = Percentile(us, 0.999);
+  s.max_us = us.back();
+  return s;
+}
+
+// --- Minimal JSON emitter (shared by every BENCH_*.json writer) -------
+
+/// Writes the line-stable, two-space-indented JSON the BENCH_* files use
+/// (one field per line, fixed key order = caller's call order), so
+/// per-PR diffs of the trajectory files stay readable and the fprintf
+/// format strings are not copy-pasted across benches. No escaping —
+/// keys/values are identifier-ish by construction.
+class JsonWriter {
+ public:
+  /// Opens the root object. Finish() closes it (and the file stays the
+  /// caller's to close).
+  explicit JsonWriter(std::FILE* f) : f_(f) {
+    std::fputc('{', f_);
+    first_.push_back(true);
+  }
+
+  /// Named inside an object; pass nullptr inside an array.
+  void BeginObject(const char* name = nullptr) { Open(name, '{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* name) { Open(name, '['); }
+  void EndArray() { Close(']'); }
+
+  void Field(const char* name, double v, int precision = 2) {
+    Pre(name);
+    std::fprintf(f_, "%.*f", precision, v);
+  }
+  void Field(const char* name, uint64_t v) {
+    Pre(name);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void Field(const char* name, unsigned v) {
+    Field(name, static_cast<uint64_t>(v));
+  }
+  void Field(const char* name, int v) {
+    Pre(name);
+    std::fprintf(f_, "%d", v);
+  }
+  void Field(const char* name, const char* v) {
+    Pre(name);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void Field(const char* name, bool v) {
+    Pre(name);
+    std::fputs(v ? "true" : "false", f_);
+  }
+
+  /// One tail-grid section under `name` with the canonical key names.
+  void TailSection(const char* name, const TailStats& s) {
+    BeginObject(name);
+    Field("ops_per_s", s.ops_s, 1);
+    Field("p50_us", s.p50_us);
+    Field("p99_us", s.p99_us);
+    Field("p999_us", s.p999_us);
+    Field("max_us", s.max_us);
+    EndObject();
+  }
+
+  /// Closes the root object; the writer must not be used afterwards.
+  void Finish() {
+    Close('\0');
+    std::fputc('\n', f_);
+  }
+
+ private:
+  void Pre(const char* name) {
+    if (!first_.back()) std::fputc(',', f_);
+    first_.back() = false;
+    std::fputc('\n', f_);
+    for (size_t i = 0; i < 2 * first_.size(); ++i) std::fputc(' ', f_);
+    if (name != nullptr) std::fprintf(f_, "\"%s\": ", name);
+  }
+  void Open(const char* name, char bracket) {
+    Pre(name);
+    std::fputc(bracket, f_);
+    first_.push_back(true);
+  }
+  void Close(char bracket) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      std::fputc('\n', f_);
+      for (size_t i = 0; i < 2 * first_.size(); ++i) std::fputc(' ', f_);
+    }
+    std::fputc(bracket == '\0' ? '}' : bracket, f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;  // Per open scope: no field emitted yet.
+};
 
 }  // namespace e2nvm::bench
 

@@ -232,32 +232,29 @@ void WriteChaosJson(const char* path, const std::vector<ChaosRow>& rows) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"chaos_sweep\",\n  \"rows\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const ChaosRow& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"stuck_fraction\": %.4f, \"torn_probability\": %.4f, "
-        "\"crash_scenarios\": %zu, \"crash_fired\": %zu, "
-        "\"prefix_violations\": %zu, \"recovered_records\": %llu, "
-        "\"recovery_latency_us_mean\": %.2f, "
-        "\"rot_bits_injected\": %zu, \"scrub_mismatches\": %llu, "
-        "\"scrub_repaired\": %llu, \"scrub_quarantined\": %llu, "
-        "\"scrub_latency_us\": %.2f, \"torn_writes\": %llu, "
-        "\"stuck_clamps\": %llu}%s\n",
-        r.sev.stuck_fraction, r.sev.torn_probability, r.crash_scenarios,
-        r.crash_fired, r.prefix_violations,
-        static_cast<unsigned long long>(r.recovered_records),
-        r.recovery_latency_us_mean, r.rot_bits_injected,
-        static_cast<unsigned long long>(r.scrub_mismatches),
-        static_cast<unsigned long long>(r.scrub_repaired),
-        static_cast<unsigned long long>(r.scrub_quarantined),
-        r.scrub_latency_us,
-        static_cast<unsigned long long>(r.torn_writes),
-        static_cast<unsigned long long>(r.stuck_clamps),
-        i + 1 < rows.size() ? "," : "");
+  JsonWriter jw(f);
+  jw.Field("bench", "chaos_sweep");
+  jw.BeginArray("rows");
+  for (const ChaosRow& r : rows) {
+    jw.BeginObject();
+    jw.Field("stuck_fraction", r.sev.stuck_fraction, 4);
+    jw.Field("torn_probability", r.sev.torn_probability, 4);
+    jw.Field("crash_scenarios", r.crash_scenarios);
+    jw.Field("crash_fired", r.crash_fired);
+    jw.Field("prefix_violations", r.prefix_violations);
+    jw.Field("recovered_records", r.recovered_records);
+    jw.Field("recovery_latency_us_mean", r.recovery_latency_us_mean);
+    jw.Field("rot_bits_injected", r.rot_bits_injected);
+    jw.Field("scrub_mismatches", r.scrub_mismatches);
+    jw.Field("scrub_repaired", r.scrub_repaired);
+    jw.Field("scrub_quarantined", r.scrub_quarantined);
+    jw.Field("scrub_latency_us", r.scrub_latency_us);
+    jw.Field("torn_writes", r.torn_writes);
+    jw.Field("stuck_clamps", r.stuck_clamps);
+    jw.EndObject();
   }
-  std::fprintf(f, "  ]\n}\n");
+  jw.EndArray();
+  jw.Finish();
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }

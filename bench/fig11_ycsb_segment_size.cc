@@ -62,6 +62,9 @@ double RunYcsb(workload::YcsbWorkload wl, size_t segment_bits, size_t k) {
         (void)(*store)->Scan(op.key, op.scan_len);
         break;
       }
+      case workload::OpType::kDelete:  // Only emitted with churn enabled.
+        (void)(*store)->Delete(op.key);
+        break;
       case workload::OpType::kUpdate:
       case workload::OpType::kInsert:
       case workload::OpType::kReadModifyWrite: {

@@ -303,13 +303,13 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
   r.alloc_per_put_steady =
       steady_puts > 0 ? static_cast<double>(steady_allocs) / steady_puts
                       : 0.0;
-  r.put_ops_s = p.puts / put_s;
-  std::sort(put_us.begin(), put_us.end());
-  r.put_p50_us = put_us[put_us.size() / 2];
-  r.put_p99_us = put_us[static_cast<size_t>(0.99 * (put_us.size() - 1))];
-  r.put_p999_us =
-      put_us[static_cast<size_t>(0.999 * (put_us.size() - 1))];
-  r.put_max_us = put_us.back();
+  const bench::TailStats put_tail =
+      bench::SummarizeLatencies(put_us, put_s, p.puts);
+  r.put_ops_s = put_tail.ops_s;
+  r.put_p50_us = put_tail.p50_us;
+  r.put_p99_us = put_tail.p99_us;
+  r.put_p999_us = put_tail.p999_us;
+  r.put_max_us = put_tail.max_us;
 
   // Let any in-flight background retrain finish before timing reads, so
   // the GET figure measures the steady state rather than contention with
@@ -334,13 +334,13 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
         std::chrono::duration<double, std::micro>(now - prev).count());
     prev = now;
   }
-  r.get_ops_s =
-      p.gets / std::chrono::duration<double>(Clock::now() - t0).count();
-  std::sort(get_us.begin(), get_us.end());
-  r.get_p50_us = get_us[get_us.size() / 2];
-  r.get_p99_us = get_us[static_cast<size_t>(0.99 * (get_us.size() - 1))];
-  r.get_p999_us =
-      get_us[static_cast<size_t>(0.999 * (get_us.size() - 1))];
+  const bench::TailStats get_tail = bench::SummarizeLatencies(
+      get_us, std::chrono::duration<double>(Clock::now() - t0).count(),
+      p.gets);
+  r.get_ops_s = get_tail.ops_s;
+  r.get_p50_us = get_tail.p50_us;
+  r.get_p99_us = get_tail.p99_us;
+  r.get_p999_us = get_tail.p999_us;
 
   t0 = Clock::now();
   for (uint64_t key = 0; key < p.keys; ++key) {
@@ -561,18 +561,16 @@ ShardedOpsResult RunShardedBench(size_t num_shards, size_t client_threads,
     }
   });
   double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
-  r.put_ops_s = puts_per_shard * num_shards / put_s;
   {
     std::vector<double> all;
     all.reserve(puts_per_shard * num_shards);
     for (auto& v : op_us) all.insert(all.end(), v.begin(), v.end());
-    std::sort(all.begin(), all.end());
-    if (!all.empty()) {
-      r.put_p50_us = all[all.size() / 2];
-      r.put_p99_us = all[static_cast<size_t>(0.99 * (all.size() - 1))];
-      r.put_p999_us =
-          all[static_cast<size_t>(0.999 * (all.size() - 1))];
-    }
+    const bench::TailStats tail = bench::SummarizeLatencies(
+        all, put_s, puts_per_shard * num_shards);
+    r.put_ops_s = tail.ops_s;
+    r.put_p50_us = tail.p50_us;
+    r.put_p99_us = tail.p99_us;
+    r.put_p999_us = tail.p999_us;
   }
 
   for (size_t s = 0; s < num_shards; ++s) {
@@ -619,81 +617,58 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
     return;
   }
   // Key order is fixed so diffs between runs stay line-stable.
-  auto emit = [&](const char* name, const OpsResult& r, bool last) {
-    std::fprintf(f,
-                 "  \"%s\": {\n"
-                 "    \"put_ops_per_s\": %.1f,\n"
-                 "    \"get_ops_per_s\": %.1f,\n"
-                 "    \"delete_ops_per_s\": %.1f,\n"
-                 "    \"put_p50_us\": %.2f,\n"
-                 "    \"put_p99_us\": %.2f,\n"
-                 "    \"put_p999_us\": %.2f,\n"
-                 "    \"put_max_us\": %.2f,\n"
-                 "    \"get_p50_us\": %.2f,\n"
-                 "    \"get_p99_us\": %.2f,\n"
-                 "    \"get_p999_us\": %.2f,\n"
-                 "    \"alloc_per_put\": %.2f,\n"
-                 "    \"alloc_per_put_steady\": %.2f,\n"
-                 "    \"warmup_allocs\": %llu,\n"
-                 "    \"retrain_allocs\": %llu,\n"
-                 "    \"retrains\": %llu,\n"
-                 "    \"background_retrains\": %llu\n"
-                 "  }%s\n",
-                 name, r.put_ops_s, r.get_ops_s, r.delete_ops_s,
-                 r.put_p50_us, r.put_p99_us, r.put_p999_us, r.put_max_us,
-                 r.get_p50_us, r.get_p99_us, r.get_p999_us,
-                 r.alloc_per_put, r.alloc_per_put_steady,
-                 static_cast<unsigned long long>(r.warmup_allocs),
-                 static_cast<unsigned long long>(r.retrain_allocs),
-                 static_cast<unsigned long long>(r.retrains),
-                 static_cast<unsigned long long>(r.background_retrains),
-                 last ? "" : ",");
+  bench::JsonWriter jw(f);
+  auto emit = [&](const char* name, const OpsResult& r) {
+    jw.BeginObject(name);
+    jw.Field("put_ops_per_s", r.put_ops_s, 1);
+    jw.Field("get_ops_per_s", r.get_ops_s, 1);
+    jw.Field("delete_ops_per_s", r.delete_ops_s, 1);
+    jw.Field("put_p50_us", r.put_p50_us);
+    jw.Field("put_p99_us", r.put_p99_us);
+    jw.Field("put_p999_us", r.put_p999_us);
+    jw.Field("put_max_us", r.put_max_us);
+    jw.Field("get_p50_us", r.get_p50_us);
+    jw.Field("get_p99_us", r.get_p99_us);
+    jw.Field("get_p999_us", r.get_p999_us);
+    jw.Field("alloc_per_put", r.alloc_per_put);
+    jw.Field("alloc_per_put_steady", r.alloc_per_put_steady);
+    jw.Field("warmup_allocs", r.warmup_allocs);
+    jw.Field("retrain_allocs", r.retrain_allocs);
+    jw.Field("retrains", r.retrains);
+    jw.Field("background_retrains", r.background_retrains);
+    jw.EndObject();
   };
-  std::fprintf(f,
-               "{\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"simd_level\": \"%s\",\n"
-               "  \"pool_threads\": %u,\n"
-               "  \"batch_size\": %zu,\n",
-               std::thread::hardware_concurrency(),
-               SimdLevelName(ActiveSimdLevel()), threads, batch);
-  emit("serial_sync_retrain", serial, false);
-  emit("pooled_background_retrain", pooled, false);
+  jw.Field("hardware_concurrency", std::thread::hardware_concurrency());
+  jw.Field("simd_level", SimdLevelName(ActiveSimdLevel()));
+  jw.Field("pool_threads", threads);
+  jw.Field("batch_size", batch);
+  emit("serial_sync_retrain", serial);
+  emit("pooled_background_retrain", pooled);
   // The batched section only measures the PUT stream: no keys for the
   // GET/DELETE/latency fields it never timed, instead of fake zeros a
   // reader could mistake for measurements.
-  std::fprintf(f,
-               "  \"batched_put\": {\n"
-               "    \"put_ops_per_s\": %.1f,\n"
-               "    \"alloc_per_put\": %.2f,\n"
-               "    \"retrains\": %llu,\n"
-               "    \"background_retrains\": %llu\n"
-               "  },\n",
-               batched.put_ops_s, batched.alloc_per_put,
-               static_cast<unsigned long long>(batched.retrains),
-               static_cast<unsigned long long>(batched.background_retrains));
-  std::fprintf(f,
-               "  \"sharded_put\": {\n"
-               "    \"shards\": %zu,\n"
-               "    \"client_threads\": %zu,\n"
-               "    \"batch_size\": %zu,\n"
-               "    \"put_ops_per_s\": %.1f,\n"
-               "    \"get_ops_per_s\": %.1f,\n"
-               "    \"put_p50_us\": %.2f,\n"
-               "    \"put_p99_us\": %.2f,\n"
-               "    \"put_p999_us\": %.2f,\n"
-               "    \"background_retrains\": %llu,\n"
-               "    \"undersubscribed\": %s,\n"
-               "    \"speedup_vs_pooled_put\": %.2f\n"
-               "  }\n",
-               shards, client_threads, sharded.batch, sharded.put_ops_s,
-               sharded.get_ops_s, sharded.put_p50_us, sharded.put_p99_us,
-               sharded.put_p999_us,
-               static_cast<unsigned long long>(sharded.background_retrains),
-               Undersubscribed(client_threads) ? "true" : "false",
-               pooled.put_ops_s > 0 ? sharded.put_ops_s / pooled.put_ops_s
-                                    : 0.0);
-  std::fprintf(f, "}\n");
+  jw.BeginObject("batched_put");
+  jw.Field("put_ops_per_s", batched.put_ops_s, 1);
+  jw.Field("alloc_per_put", batched.alloc_per_put);
+  jw.Field("retrains", batched.retrains);
+  jw.Field("background_retrains", batched.background_retrains);
+  jw.EndObject();
+  jw.BeginObject("sharded_put");
+  jw.Field("shards", shards);
+  jw.Field("client_threads", client_threads);
+  jw.Field("batch_size", sharded.batch);
+  jw.Field("put_ops_per_s", sharded.put_ops_s, 1);
+  jw.Field("get_ops_per_s", sharded.get_ops_s, 1);
+  jw.Field("put_p50_us", sharded.put_p50_us);
+  jw.Field("put_p99_us", sharded.put_p99_us);
+  jw.Field("put_p999_us", sharded.put_p999_us);
+  jw.Field("background_retrains", sharded.background_retrains);
+  jw.Field("undersubscribed", Undersubscribed(client_threads));
+  jw.Field("speedup_vs_pooled_put",
+           pooled.put_ops_s > 0 ? sharded.put_ops_s / pooled.put_ops_s
+                                : 0.0);
+  jw.EndObject();
+  jw.Finish();
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -724,38 +699,30 @@ void RunScalingSweep(const char* path, size_t pool_threads) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"simd_level\": \"%s\",\n"
-               "  \"pool_threads\": %zu,\n"
-               "  \"points\": [\n",
-               std::thread::hardware_concurrency(),
-               SimdLevelName(ActiveSimdLevel()), pool_threads);
+  bench::JsonWriter jw(f);
+  jw.Field("hardware_concurrency", std::thread::hardware_concurrency());
+  jw.Field("simd_level", SimdLevelName(ActiveSimdLevel()));
+  jw.Field("pool_threads", pool_threads);
+  jw.BeginArray("points");
   const double base = points[0].put_ops_s;
   for (size_t i = 0; i < points.size(); ++i) {
     const size_t shards = kShardCounts[i];
     const ShardedOpsResult& r = points[i];
-    std::fprintf(f,
-                 "    {\n"
-                 "      \"shards\": %zu,\n"
-                 "      \"client_threads\": %zu,\n"
-                 "      \"batch_size\": %zu,\n"
-                 "      \"put_ops_per_s\": %.1f,\n"
-                 "      \"get_ops_per_s\": %.1f,\n"
-                 "      \"put_p50_us\": %.2f,\n"
-                 "      \"put_p99_us\": %.2f,\n"
-                 "      \"put_p999_us\": %.2f,\n"
-                 "      \"speedup_vs_1shard\": %.2f,\n"
-                 "      \"undersubscribed\": %s\n"
-                 "    }%s\n",
-                 shards, shards, r.batch, r.put_ops_s, r.get_ops_s,
-                 r.put_p50_us, r.put_p99_us, r.put_p999_us,
-                 base > 0 ? r.put_ops_s / base : 0.0,
-                 Undersubscribed(shards) ? "true" : "false",
-                 i + 1 < points.size() ? "," : "");
+    jw.BeginObject();
+    jw.Field("shards", shards);
+    jw.Field("client_threads", shards);
+    jw.Field("batch_size", r.batch);
+    jw.Field("put_ops_per_s", r.put_ops_s, 1);
+    jw.Field("get_ops_per_s", r.get_ops_s, 1);
+    jw.Field("put_p50_us", r.put_p50_us);
+    jw.Field("put_p99_us", r.put_p99_us);
+    jw.Field("put_p999_us", r.put_p999_us);
+    jw.Field("speedup_vs_1shard", base > 0 ? r.put_ops_s / base : 0.0);
+    jw.Field("undersubscribed", Undersubscribed(shards));
+    jw.EndObject();
   }
-  std::fprintf(f, "  ]\n}\n");
+  jw.EndArray();
+  jw.Finish();
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }

@@ -86,27 +86,8 @@ NetParams MakeParams() {
   std::exit(1);
 }
 
-struct OpStats {
-  double ops_s = 0;
-  double p50_us = 0;
-  double p99_us = 0;
-  double p999_us = 0;
-  double max_us = 0;
-};
-
-/// `us` holds one latency sample per request (or per frame for
-/// MULTI_PUT); `ops` is the operation count the rate is quoted over.
-OpStats Summarize(std::vector<double>& us, double seconds, uint64_t ops) {
-  OpStats s;
-  if (us.empty() || seconds <= 0) return s;
-  std::sort(us.begin(), us.end());
-  s.ops_s = static_cast<double>(ops) / seconds;
-  s.p50_us = us[us.size() / 2];
-  s.p99_us = us[static_cast<size_t>(0.99 * (us.size() - 1))];
-  s.p999_us = us[static_cast<size_t>(0.999 * (us.size() - 1))];
-  s.max_us = us.back();
-  return s;
-}
+// Latency summaries use the shared tail grid (bench/bench_util.h).
+using OpStats = bench::TailStats;
 
 double Micros(Clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
@@ -146,7 +127,7 @@ OpStats RunClosedLoop(net::Client& client, uint64_t ops, size_t depth,
   }
   const double secs =
       std::chrono::duration<double>(Clock::now() - t0).count();
-  return Summarize(us, secs, ops * ops_per_request);
+  return bench::SummarizeLatencies(us, secs, ops * ops_per_request);
 }
 
 struct OpenLoopResult {
@@ -244,8 +225,10 @@ OpenLoopResult RunOpenLoop(net::Client& client, const NetParams& p,
   const double secs =
       std::chrono::duration<double>(last_completion - t0).count();
   r.achieved_ops_s = secs > 0 ? completed / secs : 0.0;
-  r.put = Summarize(put_us, secs > 0 ? secs : 1.0, put_us.size());
-  r.get = Summarize(get_us, secs > 0 ? secs : 1.0, get_us.size());
+  r.put = bench::SummarizeLatencies(put_us, secs > 0 ? secs : 1.0,
+                                    put_us.size());
+  r.get = bench::SummarizeLatencies(get_us, secs > 0 ? secs : 1.0,
+                                    get_us.size());
   return r;
 }
 
@@ -285,20 +268,6 @@ std::unique_ptr<core::ShardedStore> MakeNetStore(const NetParams& p) {
 /// undersubscribed).
 bool Undersubscribed(const NetParams& p) {
   return p.workers + 2 > std::thread::hardware_concurrency();
-}
-
-void EmitSection(std::FILE* f, const char* name, const OpStats& s,
-                 bool last) {
-  std::fprintf(f,
-               "    \"%s\": {\n"
-               "      \"ops_per_s\": %.1f,\n"
-               "      \"p50_us\": %.2f,\n"
-               "      \"p99_us\": %.2f,\n"
-               "      \"p999_us\": %.2f,\n"
-               "      \"max_us\": %.2f\n"
-               "    }%s\n",
-               name, s.ops_s, s.p50_us, s.p99_us, s.p999_us, s.max_us,
-               last ? "" : ",");
 }
 
 }  // namespace
@@ -430,49 +399,39 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_net.json\n");
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"workers\": %zu,\n"
-               "  \"shards\": %zu,\n"
-               "  \"value_bits\": %zu,\n"
-               "  \"keys\": %llu,\n"
-               "  \"pipeline_depth\": %zu,\n"
-               "  \"multi_put_batch\": %zu,\n"
-               "  \"closed_loop\": {\n",
-               std::thread::hardware_concurrency(), p.workers, p.shards,
-               p.bits, static_cast<unsigned long long>(p.keys), p.depth,
-               p.multi_batch);
-  EmitSection(f, "put_depth1", put1, false);
-  EmitSection(f, "put_depth32", put_d, false);
-  EmitSection(f, "get_depth1", get1, false);
-  EmitSection(f, "get_depth32", get_d, false);
-  EmitSection(f, "multi_put", multi, false);
-  std::fprintf(f,
-               "    \"pipelined_put_speedup_vs_depth1\": %.2f,\n"
-               "    \"pipelined_get_speedup_vs_depth1\": %.2f\n"
-               "  },\n"
-               "  \"open_loop\": {\n"
-               "    \"offered_ops_per_s\": %.1f,\n"
-               "    \"achieved_ops_per_s\": %.1f,\n"
-               "    \"put_p50_us\": %.2f,\n"
-               "    \"put_p99_us\": %.2f,\n"
-               "    \"put_p999_us\": %.2f,\n"
-               "    \"get_p50_us\": %.2f,\n"
-               "    \"get_p99_us\": %.2f,\n"
-               "    \"get_p999_us\": %.2f\n"
-               "  },\n"
-               "  \"dropped_requests\": %llu,\n"
-               "  \"failed_requests\": %llu,\n"
-               "  \"undersubscribed\": %s\n"
-               "}\n",
-               speedup_put, speedup_get, open.offered_ops_s,
-               open.achieved_ops_s, open.put.p50_us, open.put.p99_us,
-               open.put.p999_us, open.get.p50_us, open.get.p99_us,
-               open.get.p999_us,
-               static_cast<unsigned long long>(open.dropped),
-               static_cast<unsigned long long>(failed),
-               Undersubscribed(p) ? "true" : "false");
+  {
+    bench::JsonWriter jw(f);
+    jw.Field("hardware_concurrency", std::thread::hardware_concurrency());
+    jw.Field("workers", p.workers);
+    jw.Field("shards", p.shards);
+    jw.Field("value_bits", p.bits);
+    jw.Field("keys", static_cast<uint64_t>(p.keys));
+    jw.Field("pipeline_depth", p.depth);
+    jw.Field("multi_put_batch", p.multi_batch);
+    jw.BeginObject("closed_loop");
+    jw.TailSection("put_depth1", put1);
+    jw.TailSection("put_depth32", put_d);
+    jw.TailSection("get_depth1", get1);
+    jw.TailSection("get_depth32", get_d);
+    jw.TailSection("multi_put", multi);
+    jw.Field("pipelined_put_speedup_vs_depth1", speedup_put);
+    jw.Field("pipelined_get_speedup_vs_depth1", speedup_get);
+    jw.EndObject();
+    jw.BeginObject("open_loop");
+    jw.Field("offered_ops_per_s", open.offered_ops_s, 1);
+    jw.Field("achieved_ops_per_s", open.achieved_ops_s, 1);
+    jw.Field("put_p50_us", open.put.p50_us);
+    jw.Field("put_p99_us", open.put.p99_us);
+    jw.Field("put_p999_us", open.put.p999_us);
+    jw.Field("get_p50_us", open.get.p50_us);
+    jw.Field("get_p99_us", open.get.p99_us);
+    jw.Field("get_p999_us", open.get.p999_us);
+    jw.EndObject();
+    jw.Field("dropped_requests", static_cast<uint64_t>(open.dropped));
+    jw.Field("failed_requests", static_cast<uint64_t>(failed));
+    jw.Field("undersubscribed", Undersubscribed(p));
+    jw.Finish();
+  }
   std::fclose(f);
   std::printf("wrote BENCH_net.json\n");
   std::printf(

@@ -46,7 +46,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== concurrency tests under TSan =="
   build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
   run_ctest "$repo_root/build-tsan" --timeout 600 \
-    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|recovery_fuzz|energy_accounting|net_server"
+    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|workload_model|recovery_fuzz|energy_accounting|net_server"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -168,6 +168,57 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
     exit 1
   fi
   echo "net smoke OK (pipelined_put_speedup_vs_depth1=$net_speedup)"
+
+  echo "== workload smoke (scenario matrix -> BENCH_workloads.json) =="
+  cmake --build "$perf_dir" -j "$jobs" --target workload_sweep
+  # Runs the shortened scenario matrix (skew / YCSB mixes / churn /
+  # drift / mixed-width / net front-end). The binary itself exits
+  # nonzero when any operation fails or the store's final key count
+  # disagrees with the generator, so a lossy scenario cannot pass.
+  (cd "$perf_dir" && E2NVM_WORKLOAD_SMOKE=1 ./bench/workload_sweep)
+  for key in scenarios zipf_theta churn_fraction drift_period pad \
+             reads updates inserts deletes scans scan_misses failed_ops \
+             live_keys store_keys ops_per_s flips_per_bit pj_per_write \
+             total_pj retrains background_retrains undersubscribed; do
+    if ! grep -q "\"$key\"" "$perf_dir/BENCH_workloads.json"; then
+      echo "workload smoke: key '$key' missing from BENCH_workloads.json" >&2
+      exit 1
+    fi
+  done
+  for name in zipf_0.50 zipf_0.80 zipf_0.99 ycsb_a ycsb_b ycsb_c ycsb_d \
+              ycsb_e ycsb_f churn drift width_zero width_one \
+              width_random width_input width_dataset width_memory \
+              net_ycsb_a; do
+    if ! grep -q "\"name\": \"$name\"" "$perf_dir/BENCH_workloads.json"; then
+      echo "workload smoke: scenario '$name' missing" >&2
+      exit 1
+    fi
+  done
+  # Drift gate: the phase-shifted scenario must actually have fired at
+  # least one background retrain (the §5.3 adaptability loop end-to-end).
+  if ! awk '
+      /"name":/ { in_drift = ($0 ~ /"drift"/) }
+      in_drift && /"background_retrains":/ { bg = $2 + 0; found = 1 }
+      END { exit !(found && bg >= 1) }' \
+      "$perf_dir/BENCH_workloads.json"; then
+    echo "workload smoke: drift scenario recorded no background retrain" >&2
+    exit 1
+  fi
+  # Determinism anchor: zipf_0.99 and ycsb_a are the same scenario run
+  # twice from scratch; their (seed-deterministic) flips_per_bit must
+  # match bit-for-bit.
+  if ! awk '
+      /"name":/ { cur = $2 }
+      /"flips_per_bit":/ {
+        if (cur == "\"zipf_0.99\",") a = $2 + 0
+        if (cur == "\"ycsb_a\",") b = $2 + 0
+      }
+      END { exit !(a == b && a > 0) }' \
+      "$perf_dir/BENCH_workloads.json"; then
+    echo "workload smoke: determinism anchor broken (zipf_0.99 vs ycsb_a)" >&2
+    exit 1
+  fi
+  echo "workload smoke OK"
 fi
 
 echo "== slowest tests =="

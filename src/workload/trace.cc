@@ -127,6 +127,10 @@ OpTrace OpTrace::RecordFromYcsb(YcsbGenerator& gen, size_t n) {
         trace.Append({TraceOp::kPut, op.key, 0, 0});
         versions[op.key] = 0;
         break;
+      case OpType::kDelete:
+        trace.Append({TraceOp::kDelete, op.key, 0, 0});
+        versions.erase(op.key);
+        break;
       case OpType::kReadModifyWrite:
         trace.Append({TraceOp::kGet, op.key, 0, 0});
         [[fallthrough]];

@@ -1,5 +1,7 @@
 #include "workload/ycsb.h"
 
+#include <cassert>
+
 namespace e2nvm::workload {
 
 const char* YcsbWorkloadName(YcsbWorkload w) {
@@ -23,21 +25,53 @@ const char* YcsbWorkloadName(YcsbWorkload w) {
 YcsbGenerator::YcsbGenerator(const Config& config)
     : config_(config),
       rng_(config.seed),
-      zipf_(config.record_count, 0.99),
+      zipf_(config.record_count, config.zipf_theta),
       latest_(config.record_count),
-      inserted_(config.record_count) {}
+      inserted_(config.record_count) {
+  for (size_t w : config_.width_mix) {
+    assert(w > 0 && w <= config_.value_bits);
+    (void)w;
+  }
+}
 
 uint64_t YcsbGenerator::ChooseExistingKey() {
+  const uint64_t window = inserted_ - evicted_;
   if (config_.workload == YcsbWorkload::kD) {
-    return latest_.Next(rng_, inserted_ - 1);
+    uint64_t key = latest_.Next(rng_, inserted_ - 1);
+    // Churn may have retired old keys the latest chooser still reaches;
+    // fold those back into the live window.
+    return key < evicted_ ? evicted_ + key % window : key;
   }
   // Zipfian over the *loaded* key space; inserts beyond it are reached by
   // the latest chooser only, matching the YCSB core behavior closely
-  // enough for placement experiments.
-  return zipf_.Next(rng_);
+  // enough for placement experiments. Under churn the scrambled rank is
+  // folded into the moving live window [evicted_, inserted_), keeping
+  // the skew while the population turns over.
+  uint64_t key = zipf_.Next(rng_);
+  if (evicted_ == 0 && key < inserted_) return key;
+  return evicted_ + key % window;
 }
 
 YcsbOp YcsbGenerator::Next() {
+  if (config_.drift_period > 0 && ops_ > 0 &&
+      ops_ % config_.drift_period == 0) {
+    ++phase_;
+  }
+  ++ops_;
+  if (config_.churn_fraction > 0 &&
+      rng_.NextDouble() < config_.churn_fraction) {
+    // Alternate insert/delete so the live window keeps its size while
+    // its identity drifts; never let it shrink below half the initial
+    // population (the skewed choosers need a working set to hit).
+    const bool must_insert =
+        inserted_ - evicted_ <= (config_.record_count + 1) / 2;
+    if (churn_insert_next_ || must_insert) {
+      churn_insert_next_ = false;
+      return {OpType::kInsert, inserted_++};
+    }
+    churn_insert_next_ = true;
+    return {OpType::kDelete, evicted_++};
+  }
   double p = rng_.NextDouble();
   switch (config_.workload) {
     case YcsbWorkload::kA:
@@ -66,20 +100,27 @@ YcsbOp YcsbGenerator::Next() {
 }
 
 BitVector YcsbGenerator::MakeValue(uint64_t key, uint32_t version) const {
-  // The class prototype is derived deterministically from key % classes;
-  // a per-(key, version) perturbation flips value_noise of the bits.
+  // The class prototype is derived deterministically from key % classes
+  // and the current drift phase (phase 0 reproduces the pre-drift
+  // prototypes exactly); a per-(key, version) perturbation flips
+  // value_noise of the bits.
   uint64_t cls = key % config_.num_value_classes;
-  Rng proto_rng(0xBEEF0000ull + cls);
+  Rng proto_rng(0xBEEF0000ull + cls + phase_ * 0x9E3779B1ull);
   BitVector v(config_.value_bits);
   v.Randomize(proto_rng);
 
   Rng perturb_rng(Fnv1a64(&key, sizeof(key)) ^
-                  (0x9E37ull * (version + 1)));
+                  (0x9E37ull * (version + 1)) ^ (phase_ * 0xA5A5ull));
   size_t flips = static_cast<size_t>(config_.value_noise *
                                      static_cast<double>(config_.value_bits));
-  BitVector copy = v;
-  copy.FlipRandomBits(flips, perturb_rng);
-  return copy;
+  v.FlipRandomBits(flips, perturb_rng);
+  if (!config_.width_mix.empty()) {
+    uint64_t h = Fnv1a64(&key, sizeof(key)) ^
+                 (0x517CC1B727220A95ull * (version + 1));
+    size_t width = config_.width_mix[h % config_.width_mix.size()];
+    if (width < v.size()) return v.Slice(0, width);
+  }
+  return v;
 }
 
 }  // namespace e2nvm::workload

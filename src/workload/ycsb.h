@@ -21,7 +21,8 @@ enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
 
 const char* YcsbWorkloadName(YcsbWorkload w);
 
-enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite,
+                    kDelete };
 
 /// One generated operation.
 struct YcsbOp {
@@ -34,6 +35,18 @@ struct YcsbOp {
 /// from a per-key latent class (plus a version perturbation), so the value
 /// stream has the cluster structure E2-NVM exploits — the analogue of
 /// YCSB's field-structured records.
+///
+/// Three orthogonal scenario axes extend the core workloads for the
+/// scenario matrix (DESIGN.md §15):
+///  - churn: a fraction of operations turn over the key population
+///    (insert a fresh key / delete the oldest live key, alternating, so
+///    the live-set size stays near record_count while its identity
+///    drifts);
+///  - drift: every `drift_period` operations the latent value-class
+///    prototypes are re-drawn (a phase shift), so a trained placement
+///    model goes stale and the store's efficiency trigger must fire;
+///  - width mixing: value widths are drawn per (key, version) from
+///    `width_mix`, exercising the padding strategies of §4.1.
 class YcsbGenerator {
  public:
   struct Config {
@@ -45,19 +58,52 @@ class YcsbGenerator {
     double value_noise = 0.05;
     size_t max_scan_len = 100;
     uint64_t seed = 11;
+
+    /// Zipfian skew of the key chooser, in (0, 1). YCSB's constant is
+    /// 0.99; lower is closer to uniform.
+    double zipf_theta = 0.99;
+
+    /// Fraction of operations diverted into key-population turnover:
+    /// alternating kInsert (a fresh key) and kDelete (the oldest live
+    /// key). 0 disables churn. The live window never shrinks below half
+    /// of record_count.
+    double churn_fraction = 0.0;
+
+    /// Operations per value-class phase; after each period the class
+    /// prototypes are re-drawn, shifting the whole value distribution.
+    /// 0 = static classes (the pre-drift behavior).
+    uint64_t drift_period = 0;
+
+    /// When non-empty, MakeValue truncates each value to a width drawn
+    /// from this list by (key, version) hash. Every entry must be
+    /// <= value_bits; value_bits remains the full/model width.
+    std::vector<size_t> width_mix;
   };
 
   explicit YcsbGenerator(const Config& config);
 
-  /// Next operation. Inserts extend the key space (workloads D and E).
+  /// Next operation. Inserts extend the key space (workloads D and E,
+  /// and churn); deletes (churn only) retire the oldest live key.
   YcsbOp Next();
 
-  /// Deterministic value for (key, version): version 0 is the load-phase
-  /// value; each update bumps the version.
+  /// Deterministic value for (key, version) under the *current* phase:
+  /// version 0 is the load-phase value; each update bumps the version.
+  /// Replaying the same op stream (same config, same seed) regenerates
+  /// the identical value stream.
   BitVector MakeValue(uint64_t key, uint32_t version) const;
 
-  /// Keys currently in the database (load keys + inserts so far).
+  /// Keys ever inserted (load keys + inserts so far). Deletes do not
+  /// shrink this; see live_records().
   uint64_t current_records() const { return inserted_; }
+
+  /// Live keys: [oldest_live(), oldest_live() + live_records()).
+  uint64_t live_records() const { return inserted_ - evicted_; }
+  uint64_t oldest_live() const { return evicted_; }
+
+  /// Current value-class phase (advances every drift_period operations;
+  /// tests and harnesses can also force a shift with AdvancePhase).
+  uint64_t phase() const { return phase_; }
+  void AdvancePhase() { ++phase_; }
 
   const Config& config() const { return config_; }
 
@@ -69,6 +115,10 @@ class YcsbGenerator {
   ScrambledZipfianGenerator zipf_;
   LatestGenerator latest_;
   uint64_t inserted_;
+  uint64_t evicted_ = 0;       // Keys below this were churned out.
+  uint64_t ops_ = 0;           // Operations generated (drives drift).
+  uint64_t phase_ = 0;         // Value-class phase.
+  bool churn_insert_next_ = true;  // Alternates insert/delete pairs.
 };
 
 }  // namespace e2nvm::workload

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
+#include <vector>
 
 namespace e2nvm::workload {
 namespace {
@@ -128,6 +131,188 @@ TEST(YcsbTest, SameClassKeysShareStructure) {
 TEST(YcsbTest, NamesStable) {
   EXPECT_STREQ(YcsbWorkloadName(YcsbWorkload::kA), "A");
   EXPECT_STREQ(YcsbWorkloadName(YcsbWorkload::kF), "F");
+}
+
+// --- Scenario-matrix coverage (DESIGN.md §15) -------------------------
+
+/// Flattened op record for stream-equality comparisons.
+struct OpRec {
+  OpType type;
+  uint64_t key;
+  size_t scan_len;
+  bool operator==(const OpRec& o) const {
+    return type == o.type && key == o.key && scan_len == o.scan_len;
+  }
+};
+
+std::vector<OpRec> Stream(const YcsbGenerator::Config& cfg, int n) {
+  YcsbGenerator gen(cfg);
+  std::vector<OpRec> ops;
+  ops.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    YcsbOp op = gen.Next();
+    ops.push_back({op.type, op.key, op.scan_len});
+  }
+  return ops;
+}
+
+TEST(YcsbTest, SameSeedSameOpAndValueStream) {
+  for (auto w : {YcsbWorkload::kA, YcsbWorkload::kD, YcsbWorkload::kE}) {
+    YcsbGenerator::Config cfg;
+    cfg.workload = w;
+    cfg.record_count = 500;
+    cfg.churn_fraction = 0.1;
+    cfg.drift_period = 300;
+    cfg.width_mix = {64, 128, 256};
+    cfg.value_bits = 256;
+    EXPECT_EQ(Stream(cfg, 2000), Stream(cfg, 2000));
+    YcsbGenerator g1(cfg), g2(cfg);
+    for (int i = 0; i < 500; ++i) {
+      g1.Next();
+      g2.Next();
+    }
+    EXPECT_EQ(g1.phase(), g2.phase());
+    EXPECT_EQ(g1.MakeValue(3, 7), g2.MakeValue(3, 7));
+  }
+}
+
+TEST(YcsbTest, DifferentSeedDifferentStream) {
+  YcsbGenerator::Config a;
+  a.record_count = 500;
+  YcsbGenerator::Config b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(Stream(a, 1000), Stream(b, 1000));
+}
+
+/// Fraction of draws landing on the 10% most-drawn keys.
+double HotMass(double theta) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kC;
+  cfg.record_count = 1000;
+  cfg.zipf_theta = theta;
+  YcsbGenerator gen(cfg);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next().key];
+  std::vector<int> sorted;
+  for (auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  int hot = 0;
+  for (size_t i = 0; i < 100 && i < sorted.size(); ++i) hot += sorted[i];
+  return static_cast<double>(hot) / n;
+}
+
+TEST(YcsbTest, ZipfianMassConcentratesWithTheta) {
+  const double m50 = HotMass(0.50);
+  const double m80 = HotMass(0.80);
+  const double m99 = HotMass(0.99);
+  // Zipf(s) over 1000 keys puts ~30% / ~50% / ~69% of the mass on the
+  // top decile at s = 0.5 / 0.8 / 0.99; assert with wide margins plus
+  // strict monotonicity in theta.
+  EXPECT_LT(m50, 0.45);
+  EXPECT_GT(m99, 0.55);
+  EXPECT_LT(m50, m80);
+  EXPECT_LT(m80, m99);
+}
+
+TEST(YcsbTest, ChurnTurnsOverKeysKeepingWindowSize) {
+  YcsbGenerator::Config cfg;
+  cfg.workload = YcsbWorkload::kA;
+  cfg.record_count = 200;
+  cfg.churn_fraction = 0.3;
+  YcsbGenerator gen(cfg);
+  int inserts = 0, deletes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    YcsbOp op = gen.Next();
+    switch (op.type) {
+      case OpType::kInsert:
+        EXPECT_EQ(op.key, 200u + inserts);  // Fresh sequential keys.
+        ++inserts;
+        break;
+      case OpType::kDelete:
+        EXPECT_EQ(op.key, gen.oldest_live() - 1);  // Oldest live key.
+        ++deletes;
+        break;
+      default:
+        // Skewed choosers must stay inside the live window.
+        EXPECT_GE(op.key, gen.oldest_live());
+        EXPECT_LT(op.key, gen.current_records());
+        break;
+    }
+    EXPECT_GE(gen.live_records(), 100u);  // Never below half.
+  }
+  EXPECT_NEAR((inserts + deletes) / 10000.0, 0.3, 0.02);
+  // Alternation keeps the window near the initial population.
+  EXPECT_LE(inserts - deletes, 1);
+  EXPECT_EQ(gen.live_records(), 200u + inserts - deletes);
+}
+
+TEST(YcsbTest, ChurnZeroNeverDeletes) {
+  auto ops = Stream([] {
+    YcsbGenerator::Config cfg;
+    cfg.workload = YcsbWorkload::kA;
+    cfg.record_count = 100;
+    return cfg;
+  }(), 5000);
+  for (const OpRec& op : ops) EXPECT_NE(op.type, OpType::kDelete);
+}
+
+TEST(YcsbTest, DriftAdvancesPhaseAndRedrawsPrototypes) {
+  YcsbGenerator::Config cfg;
+  cfg.record_count = 100;
+  cfg.drift_period = 250;
+  cfg.value_bits = 1024;
+  YcsbGenerator gen(cfg);
+  EXPECT_EQ(gen.phase(), 0u);
+  BitVector before = gen.MakeValue(5, 0);
+  for (int i = 0; i < 250; ++i) gen.Next();
+  // The phase boundary lands exactly on the period.
+  EXPECT_EQ(gen.phase(), 0u);
+  gen.Next();
+  EXPECT_EQ(gen.phase(), 1u);
+  BitVector after = gen.MakeValue(5, 0);
+  // Prototypes were re-drawn: same (key, version) is now far away
+  // (independent random vectors differ in ~half the bits).
+  EXPECT_GT(before.HammingDistance(after), 1024u / 4);
+  // A forced shift (harness hook) does the same without ops.
+  gen.AdvancePhase();
+  EXPECT_EQ(gen.phase(), 2u);
+  EXPECT_GT(after.HammingDistance(gen.MakeValue(5, 0)), 1024u / 4);
+}
+
+TEST(YcsbTest, PhaseZeroMatchesDriftFreeGenerator) {
+  YcsbGenerator::Config plain;
+  plain.record_count = 100;
+  YcsbGenerator::Config drifting = plain;
+  drifting.drift_period = 1000;
+  YcsbGenerator a(plain), b(drifting);
+  EXPECT_EQ(a.MakeValue(17, 3), b.MakeValue(17, 3));
+}
+
+TEST(YcsbTest, WidthMixDrawsEveryWidthDeterministically) {
+  YcsbGenerator::Config cfg;
+  cfg.record_count = 200;
+  cfg.value_bits = 256;
+  cfg.width_mix = {64, 128, 192, 256};
+  YcsbGenerator g1(cfg), g2(cfg);
+  std::set<size_t> seen;
+  for (uint64_t k = 0; k < 200; ++k) {
+    BitVector v = g1.MakeValue(k, 0);
+    seen.insert(v.size());
+    EXPECT_EQ(v, g2.MakeValue(k, 0));  // Width choice is (key, version).
+    EXPECT_TRUE(std::count(cfg.width_mix.begin(), cfg.width_mix.end(),
+                           v.size()) > 0);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All widths occur across 200 keys.
+  // A truncated value is a prefix of the full-width value.
+  YcsbGenerator::Config full = cfg;
+  full.width_mix.clear();
+  YcsbGenerator gf(full);
+  for (uint64_t k = 0; k < 20; ++k) {
+    BitVector narrow = g1.MakeValue(k, 0);
+    BitVector wide = gf.MakeValue(k, 0);
+    EXPECT_EQ(narrow, wide.Slice(0, narrow.size()));
+  }
 }
 
 }  // namespace
