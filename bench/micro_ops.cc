@@ -7,7 +7,10 @@
 // The binary also runs a store-level ops benchmark and writes the results
 // to BENCH_ops.json (machine-readable): PUT/GET/DELETE ops/s with the
 // serial kernels + synchronous retraining versus the pooled kernels +
-// background retraining, a batched (MultiPut) PUT section,
+// background retraining, an incremental-learning section (serial kernels
+// + §16 replay-ring refinement under a drifting PUT stream, with the
+// steady-state tail and refine-step counters), a batched (MultiPut) PUT
+// section,
 // p50/p99/p99.9/max PUT and p50/p99/p99.9 GET latency (the same tail
 // grid as the serving benchmark's BENCH_net.json, so store-level and
 // wire-level tails line up), and heap allocations per PUT on the
@@ -182,13 +185,21 @@ struct OpsResult {
   double get_p999_us = 0;
   double alloc_per_put = 0;  // Whole PUT loop (back-compat headline).
   // Attribution of alloc_per_put (see RunOpsBench): one-off warm-up
-  // inserts, retrain/adoption epochs, and the residual steady state —
-  // the steady figure is the one that must be 0.
+  // inserts, retrain/adoption epochs, refinement steps, and the residual
+  // steady state — the steady figure is the one that must be 0.
   double alloc_per_put_steady = 0;
   uint64_t warmup_allocs = 0;
   uint64_t retrain_allocs = 0;
+  uint64_t refine_allocs = 0;
+  // Worst PUT outside the warm-up inserts and full-retrain epochs —
+  // refinement steps included, since with incremental learning on they
+  // ARE the steady-state drift answer (§16: this is the figure the
+  // "retrain tail" work drives under 1 ms; put_max_us keeps covering
+  // every put including the retrain epochs).
+  double put_max_us_steady = 0;
   uint64_t retrains = 0;
   uint64_t background_retrains = 0;
+  uint64_t refine_steps = 0;
 };
 
 struct OpsParams {
@@ -216,7 +227,8 @@ OpsParams MakeParams() {
 std::unique_ptr<core::E2KvStore> MakeOpsStore(const OpsParams& p,
                                               size_t pool_threads,
                                               bool background_retrain,
-                                              workload::BitDataset* ds) {
+                                              workload::BitDataset* ds,
+                                              bool incremental = false) {
   core::StoreConfig sc;
   sc.num_segments = p.segments;
   sc.segment_bits = p.bits;
@@ -226,6 +238,26 @@ std::unique_ptr<core::E2KvStore> MakeOpsStore(const OpsParams& p,
   sc.background_retrain = background_retrain;
   sc.pool_threads = pool_threads;
   sc.retrain.min_free_per_cluster = 8;
+  if (incremental) {
+    // §16: drift is answered with inline replay-ring refinement steps; a
+    // generous escalation budget keeps full retrains down to the
+    // capacity trigger (which refinement can never serve). The policy
+    // window is shortened so the efficiency trigger reacts within a
+    // drift phase (the default 256-write window spans most of the smoke
+    // run), and the capacity floor is relaxed so the drift detector —
+    // the §16 mechanism this section measures — acts before the pool
+    // runs dry; every full retrain that still fires is reported.
+    sc.incremental_learning = true;
+    sc.replay_ring_capacity = 256;
+    // 6 rows keeps one inline VAE mini-batch comfortably under the 1 ms
+    // steady-tail budget on a single 2.1 GHz core (~0.75 ms measured).
+    sc.refine_batch = 6;
+    sc.retrain.window = 64;
+    sc.retrain.baseline_writes = 32;
+    sc.retrain.min_free_per_cluster = 4;
+    sc.retrain.refine_interval = 8;
+    sc.retrain.max_refine_rounds = 64;
+  }
   auto store_or = core::E2KvStore::Create(sc);
   if (!store_or.ok()) std::abort();
   auto store = std::move(*store_or);
@@ -242,12 +274,41 @@ std::unique_ptr<core::E2KvStore> MakeOpsStore(const OpsParams& p,
 }
 
 /// One full PUT/GET/DELETE pass over a store built with `pool_threads`
-/// worker threads and either synchronous or background retraining.
-OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
+/// worker threads and either synchronous or background retraining. With
+/// `incremental` the store runs the §16 replay-ring refinement pipeline
+/// and the PUT stream drifts (prototypes re-drawn twice, like the
+/// workload sweep's drift scenario) so the drift detector actually has
+/// something to refine against.
+OpsResult RunOpsBench(size_t pool_threads, bool background_retrain,
+                      bool incremental = false) {
   using Clock = std::chrono::steady_clock;
   const OpsParams p = MakeParams();
   workload::BitDataset ds;
-  auto store = MakeOpsStore(p, pool_threads, background_retrain, &ds);
+  auto store =
+      MakeOpsStore(p, pool_threads, background_retrain, &ds, incremental);
+
+  // Drift phases for the incremental section: same geometry, re-drawn
+  // class prototypes (the Fig 17 drift scenario). Phase 0 reuses the
+  // seeded dataset so the frozen efficiency baseline is honest.
+  workload::BitDataset drift[2];
+  if (incremental) {
+    workload::ProtoConfig pc;
+    pc.dim = p.bits;
+    pc.num_classes = 4;
+    pc.samples = p.segments + 64;
+    pc.seed = 17;
+    drift[0] = workload::MakeProtoDataset(pc);
+    pc.seed = 29;
+    drift[1] = workload::MakeProtoDataset(pc);
+  }
+  auto value_at = [&](uint64_t i) -> const BitVector& {
+    if (incremental && i >= p.puts / 3) {
+      const workload::BitDataset& d =
+          i >= 2 * p.puts / 3 ? drift[1] : drift[0];
+      return d.items[i % d.items.size()];
+    }
+    return ds.items[i % ds.items.size()];
+  };
 
   OpsResult r;
   // PUTs (inserts + updates), timed per-op so retrain stalls land in the
@@ -266,8 +327,10 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
   //    and alloc_per_put_steady in BENCH_ops.json pins it.
   std::vector<double> put_us;
   put_us.reserve(p.puts);
-  uint64_t warmup_allocs = 0, retrain_allocs = 0, steady_allocs = 0;
+  uint64_t warmup_allocs = 0, retrain_allocs = 0, refine_allocs = 0;
+  uint64_t steady_allocs = 0;
   uint64_t steady_puts = 0;
+  double steady_max_us = 0;
   auto retrain_epoch = [&] {
     const auto& st = store->engine().stats();
     return st.retrains + st.background_retrains + st.failed_retrains +
@@ -278,21 +341,31 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
   for (uint64_t i = 0; i < p.puts; ++i) {
     const uint64_t a0 = t_alloc_count;
     const uint64_t e0 = retrain_epoch();
+    const uint64_t f0 = store->engine().stats().refine_steps;
     auto op0 = Clock::now();
-    if (!store->Put(i % p.keys, ds.items[i % ds.items.size()]).ok()) {
+    if (!store->Put(i % p.keys, value_at(i)).ok()) {
       std::abort();
     }
-    put_us.push_back(
+    const double us =
         std::chrono::duration<double, std::micro>(Clock::now() - op0)
-            .count());
+            .count();
+    put_us.push_back(us);
     const uint64_t d = t_alloc_count - a0;
     if (i < p.keys) {
       warmup_allocs += d;
     } else if (retrain_epoch() != e0) {
       retrain_allocs += d;
+    } else if (store->engine().stats().refine_steps != f0) {
+      // A PUT that carried an inline refinement step: part of the §16
+      // steady state for the latency headline (it IS the drift answer),
+      // but its allocations (PartialFit scratch) are its own bucket so
+      // alloc_per_put_steady keeps pinning the pure write path at 0.
+      refine_allocs += d;
+      steady_max_us = std::max(steady_max_us, us);
     } else {
       steady_allocs += d;
       ++steady_puts;
+      steady_max_us = std::max(steady_max_us, us);
     }
   }
   double put_s = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -300,6 +373,8 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
       static_cast<double>(t_alloc_count - alloc0) / p.puts;
   r.warmup_allocs = warmup_allocs;
   r.retrain_allocs = retrain_allocs;
+  r.refine_allocs = refine_allocs;
+  r.put_max_us_steady = steady_max_us;
   r.alloc_per_put_steady =
       steady_puts > 0 ? static_cast<double>(steady_allocs) / steady_puts
                       : 0.0;
@@ -351,6 +426,7 @@ OpsResult RunOpsBench(size_t pool_threads, bool background_retrain) {
 
   r.retrains = store->engine().stats().retrains;
   r.background_retrains = store->engine().stats().background_retrains;
+  r.refine_steps = store->engine().stats().refine_steps;
   return r;
 }
 
@@ -609,8 +685,9 @@ ShardedOpsResult RunShardedBench(size_t num_shards, size_t client_threads,
 
 void WriteOpsJson(const char* path, unsigned threads, size_t batch,
                   const OpsResult& serial, const OpsResult& pooled,
-                  const OpsResult& batched, size_t shards,
-                  size_t client_threads, const ShardedOpsResult& sharded) {
+                  const OpsResult& incremental, const OpsResult& batched,
+                  size_t shards, size_t client_threads,
+                  const ShardedOpsResult& sharded) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -627,6 +704,7 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
     jw.Field("put_p99_us", r.put_p99_us);
     jw.Field("put_p999_us", r.put_p999_us);
     jw.Field("put_max_us", r.put_max_us);
+    jw.Field("put_max_us_steady", r.put_max_us_steady);
     jw.Field("get_p50_us", r.get_p50_us);
     jw.Field("get_p99_us", r.get_p99_us);
     jw.Field("get_p999_us", r.get_p999_us);
@@ -634,8 +712,10 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
     jw.Field("alloc_per_put_steady", r.alloc_per_put_steady);
     jw.Field("warmup_allocs", r.warmup_allocs);
     jw.Field("retrain_allocs", r.retrain_allocs);
+    jw.Field("refine_allocs", r.refine_allocs);
     jw.Field("retrains", r.retrains);
     jw.Field("background_retrains", r.background_retrains);
+    jw.Field("refine_steps", r.refine_steps);
     jw.EndObject();
   };
   jw.Field("hardware_concurrency", std::thread::hardware_concurrency());
@@ -644,6 +724,11 @@ void WriteOpsJson(const char* path, unsigned threads, size_t batch,
   jw.Field("batch_size", batch);
   emit("serial_sync_retrain", serial);
   emit("pooled_background_retrain", pooled);
+  // Serial kernels + sync retraining + §16 incremental learning, under a
+  // drifting PUT stream: the apples-to-apples counterpart of the serial
+  // section, showing drift answered by sub-ms refinement steps instead
+  // of tens-of-ms full rebuilds (put_max_us_steady is the headline).
+  emit("incremental_put", incremental);
   // The batched section only measures the PUT stream: no keys for the
   // GET/DELETE/latency fields it never timed, instead of fake zeros a
   // reader could mistake for measurements.
@@ -749,6 +834,8 @@ int main(int argc, char** argv) {
                      "vs sharded concurrent PUT");
     auto serial = e2nvm::RunOpsBench(0, false);
     auto pooled = e2nvm::RunOpsBench(threads, true);
+    // Serial + incremental learning under a drifting PUT stream (§16).
+    auto incremental = e2nvm::RunOpsBench(0, false, /*incremental=*/true);
     // Same configuration as the pooled section, so batched_put vs
     // pooled_background_retrain isolates what MultiPut itself buys.
     auto batched = e2nvm::RunBatchedBench(threads, true);
@@ -759,8 +846,8 @@ int main(int argc, char** argv) {
     constexpr size_t kClients = 4;
     auto sharded = e2nvm::RunShardedBench(kShards, kClients, threads);
     e2nvm::WriteOpsJson("BENCH_ops.json", threads,
-                        e2nvm::MakeParams().batch, serial, pooled, batched,
-                        kShards, kClients, sharded);
+                        e2nvm::MakeParams().batch, serial, pooled,
+                        incremental, batched, kShards, kClients, sharded);
   }
   e2nvm::bench::PrintBanner(
       "BENCH_scaling", "shard-scaling curve: 1/2/4/8 shards x matching "

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and print per-metric regression ratios.
+
+Usage:
+    scripts/bench_ratio.py BASELINE.json CURRENT.json [options]
+
+Typical use: compare a fresh build-perf run against the committed
+baseline to spot regressions before updating the checked-in file:
+
+    scripts/bench_ratio.py BENCH_ops.json build-perf/BENCH_ops.json
+    scripts/bench_ratio.py BENCH_ops.json build-perf/BENCH_ops.json \
+        --only 'ops_per_s|put_max_us_steady' --fail-worse 1.5
+
+The two files are walked structurally: objects align by key, and lists
+of objects align by their "name" field when present (so the
+BENCH_workloads.json scenario matrix matches by scenario name even if
+rows are reordered or added), falling back to index alignment. Every
+numeric leaf present in both files yields one row:
+
+    path                              baseline     current   ratio
+    incremental_put.put_ops_per_s       2614.1      2782.8   1.065
+
+The ratio is always current/baseline. Whether a ratio > 1 is good or
+bad depends on the metric, so --fail-worse interprets direction from
+the leaf key: throughput-like keys (ops_per_s, speedup_*) regress when
+the ratio falls BELOW 1/factor; everything else (latencies, allocs,
+flips, energy, counters) regresses when it rises ABOVE factor. Counter
+metrics whose baseline is 0 cannot form a ratio and are reported as
+"new"/"n/a" but never gated.
+
+Stdlib only; exits 0 when no gated regression, 1 otherwise, 2 on bad
+input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Leaf-key patterns where bigger numbers are better. Anything numeric
+# that does not match is treated as smaller-is-better for gating.
+HIGHER_IS_BETTER = re.compile(
+    r"(ops_per_s|speedup|recovered_records|refine_steps)$"
+)
+
+# Environment facts, not measurements: never worth a ratio row.
+SKIP_KEYS = {
+    "hardware_concurrency", "simd_level", "pool_threads", "smoke",
+    "seed", "undersubscribed",
+}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def align_lists(base, cur):
+    """Pair list elements by "name" when both sides carry one."""
+    def named(xs):
+        return all(isinstance(x, dict) and "name" in x for x in xs)
+
+    if named(base) and named(cur):
+        cur_by_name = {x["name"]: x for x in cur}
+        pairs, missing = [], []
+        for b in base:
+            c = cur_by_name.pop(b["name"], None)
+            if c is None:
+                missing.append(b["name"])
+            else:
+                pairs.append((str(b["name"]), b, c))
+        return pairs, missing, sorted(cur_by_name)
+    n = min(len(base), len(cur))
+    return ([(str(i), base[i], cur[i]) for i in range(n)], [], [])
+
+
+def walk(base, cur, path, rows, structure_notes):
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in base:
+            if key in SKIP_KEYS:
+                continue
+            if key not in cur:
+                structure_notes.append(f"dropped: {path}{key}")
+                continue
+            walk(base[key], cur[key], f"{path}{key}.", rows,
+                 structure_notes)
+        for key in cur:
+            if key not in base and key not in SKIP_KEYS:
+                structure_notes.append(f"new: {path}{key}")
+    elif isinstance(base, list) and isinstance(cur, list):
+        pairs, dropped, added = align_lists(base, cur)
+        structure_notes.extend(f"dropped: {path}{n}" for n in dropped)
+        structure_notes.extend(f"new: {path}{n}" for n in added)
+        for name, b, c in pairs:
+            walk(b, c, f"{path}{name}.", rows, structure_notes)
+    elif is_number(base) and is_number(cur):
+        rows.append((path.rstrip("."), float(base), float(cur)))
+
+
+def leaf_key(path):
+    return path.rsplit(".", 1)[-1]
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Print current/baseline ratios between two "
+                    "BENCH_*.json files.")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--only", metavar="REGEX", default=None,
+                    help="only report leaves whose path matches")
+    ap.add_argument("--fail-worse", metavar="FACTOR", type=float,
+                    default=None,
+                    help="exit 1 if any reported metric is worse than "
+                         "FACTOR x baseline (direction-aware)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.current) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_ratio: {e}", file=sys.stderr)
+        return 2
+
+    rows, notes = [], []
+    walk(base, cur, "", rows, notes)
+    if args.only:
+        sel = re.compile(args.only)
+        rows = [r for r in rows if sel.search(r[0])]
+
+    if not rows:
+        print("bench_ratio: no comparable numeric leaves", file=sys.stderr)
+        return 2
+
+    width = max(len(p) for p, _, _ in rows)
+    print(f"{'path':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    regressions = []
+    for path, b, c in rows:
+        if b == 0.0:
+            ratio_s = "new" if c != 0.0 else "n/a"
+        else:
+            ratio = c / b
+            ratio_s = f"{ratio:.3f}"
+            if args.fail_worse is not None:
+                better = HIGHER_IS_BETTER.search(leaf_key(path))
+                worse = (ratio < 1.0 / args.fail_worse) if better \
+                    else (ratio > args.fail_worse)
+                if worse:
+                    regressions.append((path, ratio))
+        print(f"{path:<{width}}  {b:>12g}  {c:>12g}  {ratio_s}")
+
+    for note in notes:
+        print(f"  ({note})")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.fail_worse}x:", file=sys.stderr)
+        for path, ratio in regressions:
+            print(f"  {path}: {ratio:.3f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -46,7 +46,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== concurrency tests under TSan =="
   build_tree "$repo_root/build-tsan" -DE2NVM_SANITIZE=thread
   run_ctest "$repo_root/build-tsan" --timeout 600 \
-    -R "thread_pool|parallel_ml|background_retrain|sharded_stress|sharded_store|store_model|workload_model|recovery_fuzz|energy_accounting|net_server"
+    -R "thread_pool|parallel_ml|background_retrain|incremental_learning|sharded_stress|sharded_store|store_model|workload_model|recovery_fuzz|energy_accounting|net_server"
 fi
 
 if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
@@ -59,9 +59,10 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   (cd "$perf_dir" && E2NVM_OPS_SMOKE=1 \
     ./bench/micro_ops --benchmark_filter='NoSuchBenchmark')
   for key in serial_sync_retrain pooled_background_retrain batched_put \
-             sharded_put speedup_vs_pooled_put \
+             sharded_put incremental_put speedup_vs_pooled_put \
              put_ops_per_s get_ops_per_s alloc_per_put \
              alloc_per_put_steady warmup_allocs retrain_allocs \
+             refine_allocs refine_steps put_max_us_steady \
              put_p999_us get_p50_us get_p99_us get_p999_us \
              undersubscribed hardware_concurrency simd_level; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_ops.json"; then
@@ -89,6 +90,35 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
     echo "perf smoke: speedup gate OK (speedup_vs_pooled_put=$speedup)"
   else
     echo "perf smoke: speedup gate skipped (hw=$hw, undersubscribed=$under)"
+  fi
+  # Incremental-learning tail gate (§16): with replay-ring refinement on,
+  # the worst PUT outside warmup and full-retrain epochs — refinement
+  # steps included — must stay under 1 ms. The threshold is generous
+  # (smoke runs sit well below half of it), and like the speedup gate it
+  # self-disarms on a box where the run was timesliced rather than
+  # measured, since a descheduled put inflates the max arbitrarily.
+  steady_max="$(awk '
+      /"incremental_put": \{/   { in_inc = 1 }
+      in_inc && /"put_max_us_steady":/ { v = $2 + 0; print v; exit }' \
+      "$perf_dir/BENCH_ops.json")"
+  refines="$(awk '
+      /"incremental_put": \{/   { in_inc = 1 }
+      in_inc && /"refine_steps":/ { print $2 + 0; exit }' \
+      "$perf_dir/BENCH_ops.json")"
+  if ! awk -v r="$refines" 'BEGIN { exit !(r >= 1) }'; then
+    echo "perf smoke: incremental_put recorded no refinement step" >&2
+    exit 1
+  fi
+  if [[ "$hw" -ge 2 && "$under" == "false" ]]; then
+    if ! awk -v s="$steady_max" 'BEGIN { exit !(s < 1000.0) }'; then
+      echo "perf smoke: incremental put_max_us_steady $steady_max >= 1000" >&2
+      exit 1
+    fi
+    echo "perf smoke: tail gate OK (put_max_us_steady=$steady_max us," \
+         "refine_steps=$refines)"
+  else
+    echo "perf smoke: tail gate skipped (hw=$hw, undersubscribed=$under;" \
+         "put_max_us_steady=$steady_max us, refine_steps=$refines)"
   fi
   echo "perf smoke OK"
 
@@ -179,16 +209,17 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
   for key in scenarios zipf_theta churn_fraction drift_period pad \
              reads updates inserts deletes scans scan_misses failed_ops \
              live_keys store_keys ops_per_s flips_per_bit pj_per_write \
-             total_pj retrains background_retrains undersubscribed; do
+             total_pj retrains background_retrains refine_steps \
+             incremental undersubscribed; do
     if ! grep -q "\"$key\"" "$perf_dir/BENCH_workloads.json"; then
       echo "workload smoke: key '$key' missing from BENCH_workloads.json" >&2
       exit 1
     fi
   done
   for name in zipf_0.50 zipf_0.80 zipf_0.99 ycsb_a ycsb_b ycsb_c ycsb_d \
-              ycsb_e ycsb_f churn drift width_zero width_one \
-              width_random width_input width_dataset width_memory \
-              net_ycsb_a; do
+              ycsb_e ycsb_f churn drift drift_incremental width_zero \
+              width_one width_random width_input width_dataset \
+              width_memory net_ycsb_a; do
     if ! grep -q "\"name\": \"$name\"" "$perf_dir/BENCH_workloads.json"; then
       echo "workload smoke: scenario '$name' missing" >&2
       exit 1
@@ -202,6 +233,23 @@ if [[ "${SKIP_PERF_SMOKE:-0}" != "1" ]]; then
       END { exit !(found && bg >= 1) }' \
       "$perf_dir/BENCH_workloads.json"; then
     echo "workload smoke: drift scenario recorded no background retrain" >&2
+    exit 1
+  fi
+  # Incremental drift gate (§16): the same drifting stream with replay-
+  # ring refinement on must absorb the drift entirely inline — at least
+  # one refinement step, and not a single full retrain (foreground or
+  # background). This is deliberately a separate gate from the one above:
+  # `drift` proves the escalation path still works end-to-end, while
+  # `drift_incremental` proves refinement makes escalation unnecessary.
+  if ! awk '
+      /"name":/ { in_inc = ($0 ~ /"drift_incremental"/) }
+      in_inc && /"refine_steps":/         { rs = $2 + 0; found = 1 }
+      in_inc && /"retrains":/             { rt = $2 + 0 }
+      in_inc && /"background_retrains":/  { bg = $2 + 0 }
+      END { exit !(found && rs >= 1 && rt == 0 && bg == 0) }' \
+      "$perf_dir/BENCH_workloads.json"; then
+    echo "workload smoke: drift_incremental gate failed" \
+         "(want refine_steps >= 1 and zero full retrains)" >&2
     exit 1
   fi
   # Determinism anchor: zipf_0.99 and ycsb_a are the same scenario run

@@ -15,8 +15,16 @@
 
 namespace e2nvm::core {
 
-/// Runs model retraining off the write path (§4.1.4, §5.3: "the
+/// Runs *full* model retraining off the write path (§4.1.4, §5.3: "the
 /// re-training process happens in the background").
+///
+/// With incremental learning on (DESIGN.md §16,
+/// PlacementEngine::Config::Incremental), most drift is absorbed by
+/// inline replay-ring PartialFit refinement steps that never come
+/// through here; this retrainer then only sees the escalations — the
+/// capacity trigger and degradations that `max_refine_rounds`
+/// refinement steps failed to recover. With incremental off (the
+/// default) it carries every policy firing, exactly as before.
 ///
 /// Protocol (all foreground calls come from the thread that owns the
 /// PlacementEngine — typically the one serving Place/Release):

@@ -102,6 +102,29 @@ Status E2Model::Train(const ml::Matrix& contents) {
   return Status::Ok();
 }
 
+Status E2Model::PartialFit(const ml::Matrix& batch) {
+  if (!kmeans_.fitted()) {
+    return Status::FailedPrecondition("PartialFit before Train");
+  }
+  if (batch.cols() != config_.input_dim) {
+    return Status::InvalidArgument("batch width != model input_dim");
+  }
+  if (batch.rows() == 0) {
+    last_partial_fit_flops_ = 0;
+    return Status::Ok();
+  }
+  // Warm ELBO steps on the current encoder/decoder; the existing
+  // parameters are the starting point, which is the whole point.
+  last_partial_fit_flops_ = vae_->PartialFit(batch, config_.batch_size);
+  // Pull the latent centroids toward the refreshed codes.
+  ml::Matrix z = vae_->EncodeMu(batch);
+  E2_RETURN_IF_ERROR(kmeans_.PartialFit(z));
+  last_partial_fit_flops_ +=
+      vae_->PredictFlops() * static_cast<double>(batch.rows()) +
+      kmeans_.PartialFitFlops(z.rows());
+  return Status::Ok();
+}
+
 size_t E2Model::PredictCluster(const std::vector<float>& features) {
   E2_CHECK(features.size() == config_.input_dim,
            "feature width %zu != input_dim %zu", features.size(),

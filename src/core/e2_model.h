@@ -72,6 +72,18 @@ class E2Model : public placement::ContentClusterer {
 
   double LastTrainFlops() const override { return last_train_flops_; }
 
+  /// Incremental refinement (DESIGN.md §16): a few warm SGD steps of the
+  /// *current* VAE on the batch (no re-initialization — unlike Train,
+  /// which rebuilds the model from scratch), then a warm-started
+  /// mini-batch k-means nudge of the latent centroids toward the fresh
+  /// codes. Orders of magnitude cheaper than Train; requires a prior
+  /// successful Train.
+  bool SupportsPartialFit() const override { return true; }
+  Status PartialFit(const ml::Matrix& batch) override;
+  double LastPartialFitFlops() const override {
+    return last_partial_fit_flops_;
+  }
+
   /// Learning curves of the most recent Train call (Fig 9).
   const ml::TrainHistory& history() const { return history_; }
 
@@ -89,6 +101,7 @@ class E2Model : public placement::ContentClusterer {
   ml::KMeans kmeans_;
   ml::TrainHistory history_;
   double last_train_flops_ = 0;
+  double last_partial_fit_flops_ = 0;
 };
 
 }  // namespace e2nvm::core

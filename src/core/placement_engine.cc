@@ -23,8 +23,29 @@ void EngineStats::MergeFrom(const EngineStats& other) {
   failed_retrains += other.failed_retrains;
   background_retrains += other.background_retrains;
   swap_repredictions += other.swap_repredictions;
+  refine_steps += other.refine_steps;
+  refine_flops += other.refine_flops;
   release_cluster_hits += other.release_cluster_hits;
 }
+
+namespace {
+
+/// The policy config the engine actually runs: refinement is a
+/// three-party agreement between the engine config (incremental on),
+/// the clusterer (supports PartialFit), and the policy (escalation
+/// thresholds) — derive the enable bit here so there is one source of
+/// truth and an unsupported clusterer silently falls back to full
+/// retrains.
+RetrainPolicy::Config EffectivePolicyConfig(
+    const PlacementEngine::Config& config,
+    const placement::ContentClusterer* clusterer) {
+  RetrainPolicy::Config pc = config.retrain;
+  pc.refine_enabled =
+      config.incremental.enabled && clusterer->SupportsPartialFit();
+  return pc;
+}
+
+}  // namespace
 
 PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
                                  placement::ContentClusterer* clusterer,
@@ -36,11 +57,16 @@ PlacementEngine::PlacementEngine(nvm::MemoryController* ctrl,
       // touch, so the DAP runs in externally-synchronized (lock-free)
       // mode: Acquire/Release never take a mutex on the write path.
       pool_(clusterer->num_clusters(), /*internal_locking=*/false),
-      policy_(config.retrain),
+      policy_(EffectivePolicyConfig(config, clusterer)),
       // All of this engine's segments live in one accounting lane (the
       // shard's); cache the id so every charge routes without a divide.
       lane_(ctrl->device().LaneOfSegment(config.first_segment)),
-      placed_cluster_(config.num_segments, -1) {}
+      placed_cluster_(config.num_segments, -1) {
+  if (config_.incremental.enabled) {
+    // The ring's one allocation happens here; every append reuses it.
+    ring_.Reset(config_.incremental.ring_capacity, ctrl_->segment_bits());
+  }
+}
 
 std::string_view PlacementEngine::name() const {
   return clusterer_->name();
@@ -317,6 +343,13 @@ StatusOr<uint64_t> PlacementEngine::PlaceAt(const BitVector& value,
     }
     if (!first_pick) ++stats_.fallback_placements;
     ++stats_.placements;
+    if (ring_.capacity() > 0) {
+      // Replay-ring feed: the committed segment image is exactly the
+      // training row a full retrain would gather for this address, and
+      // the word-level float expansion costs a fraction of the write
+      // itself (no allocation — the ring is pre-sized).
+      r.stored.AppendFloatsTo(ring_.AppendRow());
+    }
     // Memoize the value's cluster for Release: valid only when the model
     // actually predicted it and the value fills the whole segment (so
     // the content Release would re-encode IS this value).
@@ -384,6 +417,7 @@ Status PlacementEngine::PlaceMany(
     }
     uint64_t gen = model_generation_;
     uint64_t retrains = stats_.retrains;
+    uint64_t refines = stats_.refine_steps;
     clusterer_->AssignScratch(&scratch_);
     while (next < end) {
       const size_t row = next - base;
@@ -398,12 +432,14 @@ Status PlacementEngine::PlaceMany(
       addrs->push_back(addr);
       ++next;
       if (next < end &&
-          (model_generation_ != gen || stats_.retrains != retrains)) {
-        // The model changed mid-batch (sync retrain or shadow swap):
-        // re-assign the remaining rows with the new model, exactly as
-        // sequential Places after the retrain would. Features are
-        // model-independent, so no re-featurize (and the running
-        // 1-ratio counters advance once per value, as in Place).
+          (model_generation_ != gen || stats_.retrains != retrains ||
+           stats_.refine_steps != refines)) {
+        // The model changed mid-batch (sync retrain, shadow swap, or an
+        // incremental refinement step): re-assign the remaining rows
+        // with the new model, exactly as sequential Places after the
+        // change would. Features are model-independent, so no
+        // re-featurize (and the running 1-ratio counters advance once
+        // per value, as in Place).
         const size_t remaining = end - next;
         for (size_t i = 0; i < remaining; ++i) {
           std::memmove(scratch_.in.Row(i),
@@ -416,6 +452,7 @@ Status PlacementEngine::PlaceMany(
         base = next;
         gen = model_generation_;
         retrains = stats_.retrains;
+        refines = stats_.refine_steps;
         clusterer_->AssignScratch(&scratch_);
       }
     }
@@ -434,6 +471,45 @@ void PlacementEngine::OnRetrainFailure(const Status& s) {
   E2_LOG(kWarning, "auto-retrain failed (backing off %llu writes): %s",
          static_cast<unsigned long long>(retrain_cooldown_),
          s.ToString().c_str());
+}
+
+void PlacementEngine::RefineStep() {
+  const size_t batch = config_.incremental.refine_batch;
+  if (batch == 0 || ring_.size() < batch) return;  // Ring still filling.
+  const size_t dim = ring_.dim();
+  refine_in_.EnsureShape(batch, dim);
+  // Oldest-to-newest across the last `batch` writes: successive steps
+  // see a sliding window in write order, so the mini-batch sequence —
+  // and therefore the refined model — is a deterministic function of
+  // the write stream (the §16 determinism contract).
+  for (size_t i = 0; i < batch; ++i) {
+    std::memcpy(refine_in_.Row(i), ring_.RecentRow(batch - 1 - i),
+                dim * sizeof(float));
+  }
+  Status s = clusterer_->PartialFit(refine_in_);
+  if (!s.ok()) {
+    // A broken PartialFit backs off exactly like a failed retrain, so it
+    // cannot re-run and re-log on every write.
+    OnRetrainFailure(s);
+    return;
+  }
+  const double flops = clusterer_->LastPartialFitFlops();
+  ++stats_.refine_steps;
+  stats_.refine_flops += flops;
+  stats_.train_flops += flops;
+  // Refinement runs inline on the write path: unlike a background
+  // retrain it costs both CPU energy and write-path time — which is
+  // fine, because one step is orders of magnitude below a full retrain.
+  const nvm::EnergyModel& em = ctrl_->device().energy_model();
+  ctrl_->device().meter().ChargeLane(lane_, nvm::EnergyDomain::kCpuModel,
+                                     em.CpuPj(flops));
+  ctrl_->device().meter().AdvanceTimeLane(lane_, em.CpuNs(flops));
+  policy_.OnRefine();
+  retrain_failures_in_row_ = 0;
+  // The model moved: placement-time cluster memos are stale. The DAP is
+  // deliberately NOT rebuilt (that is what keeps a step cheap); free
+  // addresses re-bucket under the refined model as they recycle.
+  InvalidateClusterCache();
 }
 
 void PlacementEngine::EnableBackgroundRetrain(ThreadPool* pool) {
@@ -520,7 +596,12 @@ void PlacementEngine::MaybeAutoRetrain() {
       return;
     }
     if (bg_->running() || bg_->ready()) return;
-    if (!policy_.ShouldRetrain(pool_)) return;
+    RetrainAction action = policy_.Decide(pool_);
+    if (action == RetrainAction::kNone) return;
+    if (action == RetrainAction::kRefine) {
+      RefineStep();
+      return;
+    }
     std::vector<uint64_t> free_addrs = pool_.AllFree();
     if (free_addrs.size() < clusterer_->num_clusters()) {
       OnRetrainFailure(Status::FailedPrecondition(
@@ -538,7 +619,15 @@ void PlacementEngine::MaybeAutoRetrain() {
     --retrain_cooldown_;
     return;
   }
-  if (!policy_.ShouldRetrain(pool_)) return;
+  RetrainAction action = policy_.Decide(pool_);
+  if (action == RetrainAction::kNone) return;
+  if (action == RetrainAction::kRefine) {
+    // The synchronous engine gains the most here: a refinement step is
+    // orders of magnitude below the full Retrain() that used to stall
+    // this Place for tens of milliseconds.
+    RefineStep();
+    return;
+  }
   Status s = Retrain();
   if (s.ok()) {
     retrain_failures_in_row_ = 0;

@@ -9,6 +9,7 @@
 #include "core/address_pool.h"
 #include "core/background_retrainer.h"
 #include "core/padding.h"
+#include "core/replay_ring.h"
 #include "core/retrain.h"
 #include "index/value_placer.h"
 #include "ml/inference.h"
@@ -53,6 +54,12 @@ struct EngineStats {
   /// Free addresses that needed a fresh on-swap prediction because they
   /// were released after the training snapshot was taken.
   uint64_t swap_repredictions = 0;
+
+  // --- Incremental-learning counters (§16) ---
+  /// Inline replay-ring PartialFit refinement steps.
+  uint64_t refine_steps = 0;
+  /// Flops those steps spent (a subset of train_flops).
+  double refine_flops = 0;
 
   // --- Write-path fast-path counters ---
   /// Releases that reused the cluster memoized at placement time instead
@@ -125,6 +132,27 @@ class PlacementEngine : public index::ValuePlacer {
     /// is bit-identical — this switch exists for the equivalence tests
     /// and A/B debugging, not for production use.
     bool reference_inference = false;
+
+    /// --- Incremental online learning (DESIGN.md §16) ---
+    /// When enabled (and the clusterer supports PartialFit), the engine
+    /// keeps a fixed-capacity replay ring of recently committed segment
+    /// images, fed for pennies on the PUT path, and the retrain policy's
+    /// drift detector answers efficiency degradation with cheap inline
+    /// PartialFit refinement steps over that ring — escalating to a full
+    /// retrain only when refinement fails to recover efficiency
+    /// (retrain.max_refine_rounds) or the capacity trigger fires. Off by
+    /// default: placements, flips, and the retrain schedule are
+    /// bit-identical to the pre-incremental engine.
+    struct Incremental {
+      bool enabled = false;
+      /// Replay-ring rows (recently written segment images), allocated
+      /// once at construction; appends never allocate.
+      size_t ring_capacity = 256;
+      /// Rows per refinement step — the most recent writes, oldest
+      /// first. Steps are skipped until the ring holds this many.
+      size_t refine_batch = 16;
+    };
+    Incremental incremental;
   };
 
   PlacementEngine(nvm::MemoryController* ctrl,
@@ -208,6 +236,11 @@ class PlacementEngine : public index::ValuePlacer {
   /// CPU accounting) — used by tests and the padding experiments.
   StatusOr<size_t> PredictClusterFor(const BitVector& value);
 
+  /// Replay ring of recently written segment images (empty capacity
+  /// unless config.incremental.enabled) — exposed for the determinism
+  /// tests and diagnostics.
+  const ReplayRing& replay_ring() const { return ring_; }
+
   const DynamicAddressPool& pool() const { return pool_; }
   /// Mutable pool access for harnesses that drive the acquire/write steps
   /// themselves (e.g. the Fig 15 oracle control).
@@ -252,6 +285,11 @@ class PlacementEngine : public index::ValuePlacer {
   ml::Matrix ContentsMatrix(const std::vector<uint64_t>& addrs) const;
   /// Starts/extends the exponential retrain-failure backoff.
   void OnRetrainFailure(const Status& s);
+  /// One inline incremental refinement step (§16): copies the most
+  /// recent refine_batch ring rows (oldest first) into scratch, runs the
+  /// clusterer's PartialFit, charges flops/energy/time, and invalidates
+  /// the placement memo. Skipped while the ring is still filling.
+  void RefineStep();
   /// Adopts a trained shadow: swaps the serving model pointer and
   /// rebuilds the DAP from the current free set using the snapshot's
   /// precomputed clusters.
@@ -298,6 +336,11 @@ class PlacementEngine : public index::ValuePlacer {
   // Reused buffer for Release's memo-miss content peeks (same
   // single-caller contract as the scratches above).
   BitVector peek_scratch_;
+  // Incremental learning (§16): the replay ring of committed segment
+  // images (capacity 0 unless configured) and the reused mini-batch
+  // staging matrix RefineStep copies ring rows into.
+  ReplayRing ring_;
+  ml::Matrix refine_in_;
   // placed_cluster_[addr - first_segment]: cluster the serving model
   // assigned to the full-width value most recently placed at addr, or -1
   // when unknown. Lets Release recycle the address without re-encoding

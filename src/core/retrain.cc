@@ -22,6 +22,7 @@ void RetrainPolicy::RecordWrite(size_t bits_flipped, size_t bits_written) {
     window_bits_ += bits_written;
   }
   ++writes_since_retrain_;
+  ++writes_since_refine_;
   if (baseline_ratio_ < 0 &&
       writes_since_retrain_ >= config_.baseline_writes &&
       window_bits_ > 0) {
@@ -36,12 +37,52 @@ void RetrainPolicy::OnRetrain() {
   window_count_ = 0;  // The ring's capacity is kept.
   window_flips_ = 0;
   window_bits_ = 0;
+  refine_rounds_ = 0;
+  writes_since_refine_ = 0;
+}
+
+void RetrainPolicy::OnRefine() {
+  ++refine_rounds_;
+  writes_since_refine_ = 0;
 }
 
 double RetrainPolicy::CurrentRatio() const {
   if (window_bits_ == 0) return 0.0;
   return static_cast<double>(window_flips_) /
          static_cast<double>(window_bits_);
+}
+
+RetrainAction RetrainPolicy::Decide(const DynamicAddressPool& pool) {
+  if (!config_.refine_enabled) {
+    // Incremental learning off: exactly the pre-incremental schedule.
+    return ShouldRetrain(pool) ? RetrainAction::kFullRetrain
+                               : RetrainAction::kNone;
+  }
+  // Capacity trigger: the pool's shape is at risk, and refinement never
+  // rebuilds the DAP, so escalate straight to a full retrain.
+  if (pool.MinClusterFree() < config_.min_free_per_cluster) {
+    return RetrainAction::kFullRetrain;
+  }
+  if (baseline_ratio_ < 0 || WindowSize() < config_.window) {
+    return RetrainAction::kNone;  // Still collecting the baseline/window.
+  }
+  constexpr double kBaselineFloor = 0.01;
+  const double ref = std::max(baseline_ratio_, kBaselineFloor);
+  const double current = CurrentRatio();
+  if (current > config_.degradation_factor * ref) {
+    if (refine_rounds_ >= config_.max_refine_rounds) {
+      // Refinement is not pulling efficiency back: escalate.
+      return RetrainAction::kFullRetrain;
+    }
+    if (writes_since_refine_ >= config_.refine_interval) {
+      return RetrainAction::kRefine;
+    }
+    return RetrainAction::kNone;  // Let the last step reach the window.
+  }
+  if (refine_rounds_ > 0 && current <= config_.recovery_factor * ref) {
+    refine_rounds_ = 0;  // Recovered: the drift was handled by refining.
+  }
+  return RetrainAction::kNone;
 }
 
 bool RetrainPolicy::ShouldRetrain(const DynamicAddressPool& pool) const {

@@ -10,6 +10,16 @@
 
 namespace e2nvm::core {
 
+/// What the policy wants done about the model right now (the escalating
+/// drift detector of DESIGN.md §16).
+enum class RetrainAction {
+  kNone,
+  /// Run one cheap inline PartialFit refinement step on the replay ring.
+  kRefine,
+  /// Rebuild model + DAP from scratch (the pre-incremental behavior).
+  kFullRetrain,
+};
+
 /// Decides *when* to rebuild the model and DAP (§4.1.4 and §5.3):
 ///
 ///  1. capacity trigger — some cluster's free list fell below a minimum
@@ -20,6 +30,18 @@ namespace e2nvm::core {
 ///     `degradation_factor` times the ratio observed right after the last
 ///     (re)training, meaning the model no longer reflects memory content
 ///     (the Fig 17 scenario-3/4 situation).
+///
+/// With incremental learning on (`refine_enabled`), Decide() runs the
+/// two triggers through an escalation state machine: the efficiency
+/// trigger first answers with kRefine (one cheap mini-batch refinement
+/// every `refine_interval` writes), and only escalates to kFullRetrain
+/// after `max_refine_rounds` consecutive refinements fail to pull the
+/// window ratio back under `recovery_factor` x baseline. The capacity
+/// trigger always escalates straight to a full retrain — refinement
+/// never rebuilds the DAP, so it cannot fix a starving cluster. With
+/// refine_enabled off (the default), Decide() is exactly
+/// ShouldRetrain() mapped to kNone/kFullRetrain — bit-identical to the
+/// pre-incremental schedule.
 class RetrainPolicy {
  public:
   struct Config {
@@ -30,6 +52,22 @@ class RetrainPolicy {
     double degradation_factor = 1.6;
     /// Writes to collect after a retrain before freezing the baseline.
     size_t baseline_writes = 128;
+
+    /// --- Incremental refinement (DESIGN.md §16). Defaults reproduce
+    /// today's full-retrain-only behavior: refine_enabled is off, and
+    /// PlacementEngine derives it from its own incremental config (it is
+    /// forced off unless the clusterer supports PartialFit). ---
+    bool refine_enabled = false;
+    /// Minimum writes between two refinement steps while degraded (lets
+    /// each step's effect reach the moving window before the next).
+    size_t refine_interval = 64;
+    /// Consecutive refinement steps without recovery before the
+    /// degradation escalates to a full retrain.
+    size_t max_refine_rounds = 8;
+    /// Degradation counts as recovered — resetting the escalation
+    /// counter — once the window ratio falls back under recovery_factor
+    /// * baseline. Keep <= degradation_factor so recovery is reachable.
+    double recovery_factor = 1.2;
   };
 
   explicit RetrainPolicy(const Config& config) : config_(config) {}
@@ -37,15 +75,27 @@ class RetrainPolicy {
   /// Records the outcome of one placed write.
   void RecordWrite(size_t bits_flipped, size_t bits_written);
 
-  /// Marks a completed (re)training; resets the baseline.
+  /// Marks a completed (re)training; resets the baseline and the
+  /// refinement escalation state.
   void OnRetrain();
+
+  /// Records a completed refinement step (advances the escalation
+  /// counter and restarts the refine interval).
+  void OnRefine();
 
   /// Combined decision over both triggers.
   bool ShouldRetrain(const DynamicAddressPool& pool) const;
 
+  /// Three-way decision of the escalating drift detector (see class
+  /// comment). Non-const: observing a recovered window resets the
+  /// escalation counter.
+  RetrainAction Decide(const DynamicAddressPool& pool);
+
   /// Current moving-window flips-per-bit (diagnostics).
   double CurrentRatio() const;
   double BaselineRatio() const { return baseline_ratio_; }
+  /// Consecutive refinement steps in the current degradation episode.
+  size_t refine_rounds() const { return refine_rounds_; }
   const Config& config() const { return config_; }
 
  private:
@@ -62,6 +112,9 @@ class RetrainPolicy {
   size_t window_bits_ = 0;
   size_t writes_since_retrain_ = 0;
   double baseline_ratio_ = -1.0;  // <0 means not yet frozen.
+  // Escalation state of the drift detector (refine_enabled mode).
+  size_t refine_rounds_ = 0;
+  size_t writes_since_refine_ = 0;
 };
 
 }  // namespace e2nvm::core

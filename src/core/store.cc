@@ -23,6 +23,9 @@ void BuildModelAndEngine(const StoreConfig& config, uint64_t first_segment,
   ec.retrain = config.retrain;
   ec.retrain_backoff_writes = config.retrain_backoff_writes;
   ec.reference_inference = config.reference_inference;
+  ec.incremental.enabled = config.incremental_learning;
+  ec.incremental.ring_capacity = config.replay_ring_capacity;
+  ec.incremental.refine_batch = config.refine_batch;
   *engine = std::make_unique<PlacementEngine>(ctrl, model->get(), ec);
   if (config.background_retrain) {
     (*engine)->EnableBackgroundRetrain(retrain_pool);

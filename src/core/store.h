@@ -42,10 +42,29 @@ struct StoreConfig {
   /// owns the pool and installs it as the process compute pool
   /// (ml::SetComputePool) if none is installed yet.
   size_t pool_threads = 0;
+  /// Retrain triggers (capacity + flip-efficiency) and, when
+  /// `incremental_learning` is on, the drift-escalation thresholds
+  /// (refine_interval, max_refine_rounds, recovery_factor). The
+  /// refine_enabled bit itself is derived from `incremental_learning`
+  /// by the engine — leave it alone here.
   RetrainPolicy::Config retrain;
   /// Placements skipped after a failed auto-retrain (doubles per
   /// consecutive failure); see PlacementEngine::Config.
   size_t retrain_backoff_writes = 64;
+
+  /// --- Incremental online learning (DESIGN.md §16) ---
+  /// Feed a per-shard replay ring with every committed segment image and
+  /// answer model drift with inline mini-batch PartialFit refinement
+  /// steps (warm VAE SGD + warm-started k-means) instead of launching a
+  /// full retrain, escalating to one only on persistent degradation or
+  /// the capacity trigger. Off by default: placements, flips, and the
+  /// retrain schedule stay bit-identical to the full-retrain-only store.
+  bool incremental_learning = false;
+  /// Replay-ring rows per engine/shard (one allocation at build time;
+  /// the PUT-path append never allocates).
+  size_t replay_ring_capacity = 256;
+  /// Rows per refinement step (the most recent writes, oldest first).
+  size_t refine_batch = 16;
   /// Serve placements through the allocating reference inference path
   /// instead of the scratch/batched fast path (bit-identical results;
   /// for the equivalence tests and A/B debugging).

@@ -103,6 +103,9 @@ Status KMeans::Fit(const Matrix& x) {
   const size_t blocks = ThreadPool::NumBlocks(n, kRowGrain);
 
   std::vector<size_t> assign(n, 0);
+  // Final-iteration cluster sizes, kept after the loop to seed
+  // PartialFit's warm-start counts.
+  std::vector<size_t> counts(config_.k, 0);
   double prev_sse = std::numeric_limits<double>::max();
   iters_run_ = 0;
   for (int iter = 0; iter < config_.max_iters; ++iter) {
@@ -139,7 +142,7 @@ Status KMeans::Fit(const Matrix& x) {
     }
     // Update step: per-block centroid sums merged in block order.
     Matrix sums(config_.k, dim);
-    std::vector<size_t> counts(config_.k, 0);
+    counts.assign(config_.k, 0);
     auto accumulate = [&](Matrix& s, std::vector<size_t>& cnt, size_t lo,
                           size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
@@ -179,6 +182,34 @@ Status KMeans::Fit(const Matrix& x) {
     if (prev_sse - sse < config_.tol * std::max(prev_sse, 1.0)) break;
     prev_sse = sse;
   }
+  // Seed PartialFit's warm-start mass from the final assignment: each
+  // centroid starts incremental updates weighted by the samples that
+  // shaped it, so the first refinement nudges rather than teleports.
+  partial_counts_.assign(counts.begin(), counts.end());
+  return Status::Ok();
+}
+
+Status KMeans::PartialFit(const Matrix& x) {
+  if (!fitted()) {
+    return Status::FailedPrecondition("PartialFit before Fit");
+  }
+  if (x.cols() != dim()) {
+    return Status::InvalidArgument("sample width != centroid dim");
+  }
+  const size_t d = dim();
+  if (partial_counts_.size() != centroids_.rows()) {
+    // Centroids were installed via SetCentroids without a Fit on this
+    // instance; give each unit mass so updates start responsive.
+    partial_counts_.assign(centroids_.rows(), 1);
+  }
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.Row(i);
+    size_t c = Predict(row, d);
+    float lr = 1.0f / static_cast<float>(++partial_counts_[c]);
+    float* crow = centroids_.Row(c);
+    for (size_t j = 0; j < d; ++j) crow[j] += lr * (row[j] - crow[j]);
+  }
+  norms_valid_ = false;  // Centroids moved; fused cache rebuilds lazily.
   return Status::Ok();
 }
 

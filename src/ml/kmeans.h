@@ -53,6 +53,25 @@ class KMeans {
   void AssignFusedInto(const Matrix& x, Matrix* scores,
                        std::vector<size_t>* out) const;
 
+  /// Incremental warm-started update (web-scale mini-batch k-means):
+  /// each row of `x` is assigned to its nearest *current* centroid,
+  /// which then moves toward the row with a per-centroid learning rate
+  /// 1 / cumulative-count. Counts are seeded from the last Fit's final
+  /// cluster sizes, so refinement continues from the full fit's mass
+  /// instead of re-seeding (or teleporting a centroid onto the first
+  /// fresh sample). Requires a prior Fit; rows are consumed in order on
+  /// the calling thread, so the post-update centroids are a pure
+  /// function of (current centroids, counts, x) — pool-size invariant
+  /// by construction. Invalidates the fused-assignment norm cache.
+  Status PartialFit(const Matrix& x);
+
+  /// Multiply-accumulates of one PartialFit call on `n` rows (a predict
+  /// plus a centroid nudge per row).
+  double PartialFitFlops(size_t n) const {
+    return 4.0 * static_cast<double>(n) * static_cast<double>(config_.k) *
+           static_cast<double>(dim());
+  }
+
   /// Sum of squared distances of rows of `x` to their nearest centroid —
   /// the elbow-method objective (paper Eq. 1).
   double Sse(const Matrix& x) const;
@@ -92,6 +111,9 @@ class KMeans {
   KMeansConfig config_;
   Matrix centroids_;  // k x dim
   int iters_run_ = 0;
+  // Cumulative per-centroid sample counts driving PartialFit's learning
+  // rates; reset to the final assignment counts by Fit.
+  std::vector<uint64_t> partial_counts_;
   // Centroid-norm cache for AssignFusedInto. Mutable because the cache
   // is a memo of const state; KMeans is not written to be shared across
   // threads without synchronization (each model instance — serving or

@@ -267,6 +267,26 @@ TrainHistory Vae::Train(const Matrix& x, const VaeTrainOptions& opts) {
   return history;
 }
 
+double Vae::PartialFit(const Matrix& x, size_t batch_size) {
+  const size_t n = x.rows();
+  if (n == 0) return 0.0;
+  const size_t bs_cap = batch_size == 0 ? n : batch_size;
+  VaeTrainOptions opts;  // Pure ELBO; no clustering term.
+  double flops = 0.0;
+  for (size_t start = 0; start < n; start += bs_cap) {
+    const size_t bs = std::min(bs_cap, n - start);
+    if (bs == n) {
+      TrainBatch(x, opts);
+    } else {
+      Matrix batch(bs, x.cols());
+      for (size_t i = 0; i < bs; ++i) batch.CopyRowFrom(x, start + i, i);
+      TrainBatch(batch, opts);
+    }
+    flops += TrainStepFlops(bs);
+  }
+  return flops;
+}
+
 double Vae::PredictFlops() const {
   double enc = 2.0 * static_cast<double>(config_.input_dim) *
                    static_cast<double>(config_.hidden_dim) +

@@ -96,6 +96,16 @@ class Vae {
   /// Full training loop: shuffles, splits train/validation, runs epochs.
   TrainHistory Train(const Matrix& x, const VaeTrainOptions& opts);
 
+  /// Incremental mini-batch update (the replay-ring refinement path,
+  /// DESIGN.md §16): runs one pure-ELBO TrainBatch step per
+  /// `batch_size` chunk of `x`, in row order, on the *current*
+  /// parameters — no re-initialization, no shuffling, no validation
+  /// split. Returns the multiply-accumulates spent. The update is a
+  /// deterministic function of (parameters, internal RNG state, x):
+  /// chunk order is fixed and the kernels are pool-size invariant, so
+  /// refinement preserves the engine's determinism contract.
+  double PartialFit(const Matrix& x, size_t batch_size);
+
   /// Multiply-accumulates of one EncodeOne call.
   double PredictFlops() const;
   /// Approximate multiply-accumulates of one training step on `batch` rows

@@ -58,6 +58,22 @@ class ContentClusterer {
 
   /// Multiply-accumulates consumed by the most recent Train call.
   virtual double LastTrainFlops() const = 0;
+
+  /// Incremental refinement support (DESIGN.md §16): PartialFit applies
+  /// a cheap mini-batch update to the *current* parameters from recently
+  /// written contents, instead of a from-scratch Train — the engine's
+  /// replay-ring refinement steps run through it. Models that support it
+  /// override all three members; engines fall back to full retrains for
+  /// the rest. PartialFit must keep the determinism contract: the
+  /// post-update model is a pure function of (pre-update model, batch),
+  /// independent of the installed compute pool.
+  virtual bool SupportsPartialFit() const { return false; }
+  virtual Status PartialFit(const ml::Matrix& batch) {
+    (void)batch;
+    return Status::Unimplemented("clusterer has no incremental update");
+  }
+  /// Multiply-accumulates of the most recent successful PartialFit call.
+  virtual double LastPartialFitFlops() const { return 0; }
 };
 
 /// k = 1: every segment is in the single cluster; placement degenerates to
@@ -107,10 +123,20 @@ class RawKMeansClusterer : public ContentClusterer {
   size_t num_clusters() const override { return kmeans_.k(); }
   double PredictFlops() const override { return kmeans_.PredictFlops(); }
   double LastTrainFlops() const override { return train_flops_; }
+  /// Mini-batch k-means directly on the bits (warm-started counts from
+  /// the last Fit; see ml::KMeans::PartialFit).
+  bool SupportsPartialFit() const override { return true; }
+  Status PartialFit(const ml::Matrix& batch) override {
+    E2_RETURN_IF_ERROR(kmeans_.PartialFit(batch));
+    partial_fit_flops_ = kmeans_.PartialFitFlops(batch.rows());
+    return Status::Ok();
+  }
+  double LastPartialFitFlops() const override { return partial_fit_flops_; }
 
  private:
   ml::KMeans kmeans_;
   double train_flops_ = 0;
+  double partial_fit_flops_ = 0;
 };
 
 /// DATACON-style placement (Song et al. [48]): the memory controller
